@@ -1,0 +1,453 @@
+package cachemap
+
+// The benchmark harness regenerates every table and figure of the paper's
+// evaluation (Section 5). Each BenchmarkTableX/BenchmarkFigureX measures
+// the time to reproduce that experiment end to end (mapping + simulation
+// for every application involved) and reports the experiment's headline
+// numbers as custom metrics, so `go test -bench . -benchmem` prints the
+// same series the paper plots, at the default evaluation scale.
+//
+// Reported custom metrics are normalized values (original = 1): lower is
+// better, and "impr%" metrics are mean improvement percentages.
+
+import (
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/mapping"
+	"repro/internal/tags"
+	"repro/internal/workloads"
+)
+
+const benchScale = 1
+
+func benchConfig() experiments.Config {
+	cfg := experiments.DefaultConfig()
+	cfg.Scale = benchScale
+	return cfg
+}
+
+func mean(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range v {
+		s += x
+	}
+	return s / float64(len(v))
+}
+
+// BenchmarkTable2MissRates regenerates Table 2: per-application L1/L2/L3
+// miss rates of the original version.
+func BenchmarkTable2MissRates(b *testing.B) {
+	cfg := benchConfig()
+	var l1, l2, l3 []float64
+	for i := 0; i < b.N; i++ {
+		apps, err := cfg.Apps()
+		if err != nil {
+			b.Fatal(err)
+		}
+		l1, l2, l3 = nil, nil, nil
+		for _, w := range apps {
+			m, err := cfg.Run(w, mapping.Original)
+			if err != nil {
+				b.Fatal(err)
+			}
+			l1 = append(l1, m.MissRateL(1)*100)
+			l2 = append(l2, m.MissRateL(2)*100)
+			l3 = append(l3, m.MissRateL(3)*100)
+		}
+	}
+	b.ReportMetric(mean(l1), "L1miss%")
+	b.ReportMetric(mean(l2), "L2miss%")
+	b.ReportMetric(mean(l3), "L3miss%")
+}
+
+// BenchmarkFigure10NormalizedMissRates regenerates Figure 10: normalized
+// miss rates of the intra- and inter-processor schemes.
+func BenchmarkFigure10NormalizedMissRates(b *testing.B) {
+	cfg := benchConfig()
+	var rows []experiments.Figure10Row
+	for i := 0; i < b.N; i++ {
+		base, err := experiments.RunBaseline(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = base.Figure10()
+	}
+	var iL1, eL1, eL2, eL3 []float64
+	for _, r := range rows {
+		iL1 = append(iL1, r.IntraL1)
+		eL1 = append(eL1, r.InterL1)
+		eL2 = append(eL2, r.InterL2)
+		eL3 = append(eL3, r.InterL3)
+	}
+	b.ReportMetric(mean(iL1), "intraL1norm")
+	b.ReportMetric(mean(eL1), "interL1norm")
+	b.ReportMetric(mean(eL2), "interL2norm")
+	b.ReportMetric(mean(eL3), "interL3norm")
+}
+
+// BenchmarkFigure11Latency regenerates Figure 11: normalized I/O latency
+// and total execution time.
+func BenchmarkFigure11Latency(b *testing.B) {
+	cfg := benchConfig()
+	var rows []experiments.Figure11Row
+	for i := 0; i < b.N; i++ {
+		base, err := experiments.RunBaseline(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = base.Figure11()
+	}
+	var iIO, eIO, iEx, eEx []float64
+	for _, r := range rows {
+		iIO = append(iIO, r.IntraIO)
+		eIO = append(eIO, r.InterIO)
+		iEx = append(iEx, r.IntraExec)
+		eEx = append(eEx, r.InterExec)
+	}
+	b.ReportMetric(experiments.GeoMeanImprovement(iIO), "intraIOimpr%")
+	b.ReportMetric(experiments.GeoMeanImprovement(eIO), "interIOimpr%")
+	b.ReportMetric(experiments.GeoMeanImprovement(iEx), "intraExecimpr%")
+	b.ReportMetric(experiments.GeoMeanImprovement(eEx), "interExecimpr%")
+}
+
+// BenchmarkFigure12Topologies regenerates Figure 12: sensitivity to the
+// (clients, I/O nodes, storage nodes) topology.
+func BenchmarkFigure12Topologies(b *testing.B) {
+	cfg := benchConfig()
+	topos := experiments.Figure12Topologies()
+	var rows []experiments.SweepRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.Figure12(cfg, topos)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	byLabel := map[string][]float64{}
+	for _, r := range rows {
+		byLabel[r.Label] = append(byLabel[r.Label], r.IO)
+	}
+	for _, t := range topos {
+		b.ReportMetric(experiments.GeoMeanImprovement(byLabel[t.String()]), "IOimpr%"+t.String())
+	}
+}
+
+// BenchmarkFigure13CacheCapacities regenerates Figure 13: sensitivity to
+// per-node cache capacities.
+func BenchmarkFigure13CacheCapacities(b *testing.B) {
+	cfg := benchConfig()
+	caps := experiments.Figure13Capacities()
+	var rows []experiments.SweepRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.Figure13(cfg, caps)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	byLabel := map[string][]float64{}
+	for _, r := range rows {
+		byLabel[r.Label] = append(byLabel[r.Label], r.IO)
+	}
+	for _, c := range caps {
+		b.ReportMetric(experiments.GeoMeanImprovement(byLabel[c.String()]), "IOimpr%"+c.String())
+	}
+}
+
+// BenchmarkFigure14ChunkSizes regenerates Figure 14: sensitivity to the
+// data chunk size.
+func BenchmarkFigure14ChunkSizes(b *testing.B) {
+	cfg := benchConfig()
+	sizes := experiments.Figure14Sizes()
+	var rows []experiments.SweepRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.Figure14(cfg, sizes)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	byLabel := map[string][]float64{}
+	var order []string
+	for _, r := range rows {
+		if _, ok := byLabel[r.Label]; !ok {
+			order = append(order, r.Label)
+		}
+		byLabel[r.Label] = append(byLabel[r.Label], r.IO)
+	}
+	for _, l := range order {
+		b.ReportMetric(experiments.GeoMeanImprovement(byLabel[l]), "IOimpr%@"+l)
+	}
+}
+
+// BenchmarkFigure18Scheduling regenerates Figure 18: the scheduling
+// enhancement's L1 miss, I/O and execution improvements.
+func BenchmarkFigure18Scheduling(b *testing.B) {
+	cfg := benchConfig()
+	var rows []experiments.Figure18Row
+	for i := 0; i < b.N; i++ {
+		base, err := experiments.RunBaseline(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = base.Figure18()
+	}
+	var l1, io, ex []float64
+	for _, r := range rows {
+		l1 = append(l1, r.L1Miss)
+		io = append(io, r.IO)
+		ex = append(ex, r.Exec)
+	}
+	b.ReportMetric(experiments.GeoMeanImprovement(l1), "L1impr%")
+	b.ReportMetric(experiments.GeoMeanImprovement(io), "IOimpr%")
+	b.ReportMetric(experiments.GeoMeanImprovement(ex), "Execimpr%")
+}
+
+// BenchmarkAlphaBeta regenerates the Section 5.4 α/β weight study.
+func BenchmarkAlphaBeta(b *testing.B) {
+	cfg := benchConfig()
+	weights := [][2]float64{{0, 1}, {0.5, 0.5}, {1, 0}}
+	var rows []experiments.AlphaBetaRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.AlphaBetaSweep(cfg, weights)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.MeanIO, "IOnorm@a"+trim(r.Alpha))
+	}
+}
+
+func trim(v float64) string {
+	switch v {
+	case 0:
+		return "0"
+	case 0.5:
+		return "05"
+	case 1:
+		return "1"
+	}
+	return "x"
+}
+
+// BenchmarkDependenceHandling regenerates the Section 5.4 dependence study
+// (merge vs sync strategies on a wavefront nest).
+func BenchmarkDependenceHandling(b *testing.B) {
+	cfg := benchConfig()
+	var rows []experiments.DependenceRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.DependenceStudy(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.IO, "IOnorm@"+r.Mode)
+	}
+}
+
+// BenchmarkMultiNest regenerates the Section 5.4 multi-nest study.
+func BenchmarkMultiNest(b *testing.B) {
+	cfg := benchConfig()
+	var rows []experiments.MultiNestRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.MultiNestStudy(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.HitRate*100, "hit%@"+r.Mode)
+	}
+}
+
+// --- component micro-benchmarks ---
+
+// BenchmarkTagComputation measures iteration chunk formation on the
+// largest application model.
+func BenchmarkTagComputation(b *testing.B) {
+	w, err := workloads.Get("contour", benchScale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		chunks := tags.Compute(w.Prog.Nest, w.Prog.Refs, w.Prog.Data)
+		if len(chunks) == 0 {
+			b.Fatal("no chunks")
+		}
+	}
+}
+
+// BenchmarkDistribute measures the Figure 5 clustering algorithm.
+func BenchmarkDistribute(b *testing.B) {
+	cfg := benchConfig()
+	w, err := workloads.Get("contour", benchScale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	chunks := tags.Compute(w.Prog.Nest, w.Prog.Refs, w.Prog.Data)
+	tree := cfg.Tree()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Distribute(chunks, tree, core.DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSchedule measures the Figure 15 scheduling algorithm.
+func BenchmarkSchedule(b *testing.B) {
+	cfg := benchConfig()
+	w, err := workloads.Get("contour", benchScale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	chunks := tags.Compute(w.Prog.Nest, w.Prog.Refs, w.Prog.Data)
+	tree := cfg.Tree()
+	assign, err := core.Distribute(chunks, tree, core.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Schedule(assign, tree, core.DefaultScheduleOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulate measures the event-driven simulator on one mapped
+// application.
+func BenchmarkSimulate(b *testing.B) {
+	cfg := benchConfig()
+	w, err := workloads.Get("apsi", benchScale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tree := cfg.Tree()
+	res, err := mapping.Map(mapping.InterProcessor, w.Prog, mapping.Config{Tree: tree})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := Simulate(cfg.Tree(), w.Prog, res.Assignment, cfg.Params)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if m.Iterations == 0 {
+			b.Fatal("nothing executed")
+		}
+	}
+}
+
+// BenchmarkLRUCache measures the chunk cache fast path.
+func BenchmarkLRUCache(b *testing.B) {
+	c := cache.New(cache.LRU, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		chunk := i & 2047
+		if !c.Lookup(chunk, false) {
+			c.Insert(chunk, false)
+		}
+	}
+}
+
+// BenchmarkTagDotProduct measures the similarity-graph edge weight kernel.
+func BenchmarkTagDotProduct(b *testing.B) {
+	a := bitvec.New(2048)
+	c := bitvec.New(2048)
+	for i := 0; i < 2048; i += 3 {
+		a.Set(i)
+	}
+	for i := 0; i < 2048; i += 5 {
+		c.Set(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if a.AndPopCount(c) < 0 {
+			b.Fatal("impossible")
+		}
+	}
+}
+
+// BenchmarkCacheModes regenerates the cache-management-mode ablation
+// (inclusive / exclusive / prefetching).
+func BenchmarkCacheModes(b *testing.B) {
+	cfg := benchConfig()
+	var rows []experiments.ModeRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.CacheModeStudy(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.Norm, "IOnorm@"+r.Mode)
+	}
+}
+
+// BenchmarkIrregular regenerates the future-work irregular-access study.
+func BenchmarkIrregular(b *testing.B) {
+	cfg := benchConfig()
+	var rows []experiments.IrregularRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.IrregularStudy(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.Scheme == "inter" || r.Scheme == "inter-sched" {
+			b.ReportMetric(r.Norm, "IOnorm@"+r.Scheme)
+		}
+	}
+}
+
+// BenchmarkPolicyAblation regenerates the replacement-policy ablation.
+func BenchmarkPolicyAblation(b *testing.B) {
+	cfg := benchConfig()
+	var rows []experiments.PolicyRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.PolicyAblation(cfg,
+			[]cache.PolicyKind{cache.LRU, cache.FIFO, cache.CLOCK, cache.MQ})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.MeanIO, "IOnorm@"+r.Policy)
+	}
+}
+
+// BenchmarkThresholdSweep regenerates the balance-threshold ablation.
+func BenchmarkThresholdSweep(b *testing.B) {
+	cfg := benchConfig()
+	var rows []experiments.ThresholdRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.ThresholdSweep(cfg, []float64{0.05, 0.10, 0.20})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		_ = r
+	}
+	b.ReportMetric(rows[1].MeanIO, "IOnorm@10%")
+}

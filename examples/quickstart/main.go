@@ -1,0 +1,69 @@
+// Quickstart: map a small out-of-core loop nest onto a 3-level storage
+// cache hierarchy with each of the four schemes and compare the simulated
+// metrics.
+//
+// The program models the classic situation from the paper's introduction: a
+// parallel loop over a disk-resident array where the default block mapping
+// makes clients that share storage caches work on unrelated data
+// (destructive sharing), while the cache-hierarchy-aware mapping co-locates
+// iterations that touch the same data chunks (constructive sharing).
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	cachemap "repro"
+)
+
+func main() {
+	// Platform: 8 clients, 4 I/O nodes, 2 storage nodes; every node holds a
+	// small storage cache (capacities in data chunks).
+	tree := cachemap.NewLayeredHierarchy(
+		cachemap.LayerSpec{Count: 2, CacheChunks: 96, Label: "SN"},
+		cachemap.LayerSpec{Count: 4, CacheChunks: 48, Label: "IO"},
+		cachemap.LayerSpec{Count: 8, CacheChunks: 24, Label: "CN"},
+	)
+
+	// A 4-pass sweep over a disk-resident array A (coarse 64 B records,
+	// 256 B data chunks), reading a sliding window and updating a result
+	// array B in place. Iterations (t, i) and (t', i) touch the same chunks,
+	// so there is plenty of sharing for the mapper to exploit.
+	const passes, n = 4, 512
+	data := cachemap.NewDataSpace(256,
+		cachemap.Array{Name: "A", Dims: []int64{n + 64}, ElemSize: 64},
+		cachemap.Array{Name: "B", Dims: []int64{n}, ElemSize: 64},
+	)
+	nest := cachemap.NewNest("sweep", []int64{0, 0}, []int64{passes - 1, n - 1})
+	refs := []cachemap.Ref{
+		cachemap.SimpleRef(0, 2, []int{1}, []int64{0}, cachemap.Read),  // A[i]
+		cachemap.SimpleRef(0, 2, []int{1}, []int64{64}, cachemap.Read), // A[i+64] (neighbour window)
+		cachemap.SimpleRef(1, 2, []int{1}, []int64{0}, cachemap.Write), // B[i]
+	}
+	prog := cachemap.Program{Nest: nest, Refs: refs, Data: data}
+
+	fmt.Printf("workload: %d iterations over %d data chunks, platform: %d clients\n\n",
+		nest.Size(), data.NumChunks(), tree.NumClients())
+
+	params := cachemap.DefaultSimParams()
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "scheme\tL1 miss\tL2 miss\tL3 miss\tdisk reads\tI/O (ms)\texec (ms)")
+	for _, scheme := range cachemap.Schemes() {
+		m, err := cachemap.MapAndSimulate(scheme, prog, tree, params)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(tw, "%s\t%.1f%%\t%.1f%%\t%.1f%%\t%d\t%.0f\t%.0f\n",
+			scheme, m.MissRateL(1)*100, m.MissRateL(2)*100, m.MissRateL(3)*100,
+			m.DiskReads, m.IOLatencyMS(), m.ExecTimeMS())
+	}
+	tw.Flush()
+
+	fmt.Println("\nThe inter-processor schemes cluster iterations by shared data chunks")
+	fmt.Println("and assign clusters along the cache hierarchy (Figure 5 of the paper);")
+	fmt.Println("inter-sched additionally orders each client's chunks for reuse (Figure 15).")
+}

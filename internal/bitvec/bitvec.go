@@ -1,0 +1,331 @@
+// Package bitvec implements fixed-width bit vectors used as iteration tags.
+//
+// A tag Λ = λ0λ1…λ(r−1) marks which of the r data chunks an iteration (or an
+// iteration chunk) accesses: bit k is set iff data chunk π_k is touched.
+// The package provides the operations the mapping algorithm needs: bitwise
+// AND/OR, population counts, the popcount-of-AND edge weight used by the
+// similarity graph, and Hamming distance.
+package bitvec
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const wordBits = 64
+
+// Vector is a fixed-length bit vector. The zero value is an empty (length 0)
+// vector; use New to create a vector of a given width.
+type Vector struct {
+	n     int
+	words []uint64
+}
+
+// New returns a zeroed Vector with n bits. It panics if n is negative.
+func New(n int) Vector {
+	if n < 0 {
+		panic(fmt.Sprintf("bitvec: negative length %d", n))
+	}
+	return Vector{n: n, words: make([]uint64, (n+wordBits-1)/wordBits)}
+}
+
+// FromBits builds a Vector from a slice of booleans, bit i taken from bits[i].
+func FromBits(bitsIn []bool) Vector {
+	v := New(len(bitsIn))
+	for i, b := range bitsIn {
+		if b {
+			v.Set(i)
+		}
+	}
+	return v
+}
+
+// FromIndices builds an n-bit Vector with the given bit positions set.
+func FromIndices(n int, indices ...int) Vector {
+	v := New(n)
+	for _, i := range indices {
+		v.Set(i)
+	}
+	return v
+}
+
+// ParseString parses a string of '0' and '1' runes (most significant bit
+// first is NOT assumed: character i corresponds to bit i, matching the
+// paper's λ0λ1…λ(r−1) notation).
+func ParseString(s string) (Vector, error) {
+	v := New(len(s))
+	for i, c := range s {
+		switch c {
+		case '1':
+			v.Set(i)
+		case '0':
+		default:
+			return Vector{}, fmt.Errorf("bitvec: invalid character %q at position %d", c, i)
+		}
+	}
+	return v, nil
+}
+
+// Len returns the number of bits in the vector.
+func (v Vector) Len() int { return v.n }
+
+// Set sets bit i. It panics if i is out of range.
+func (v Vector) Set(i int) {
+	v.check(i)
+	v.words[i/wordBits] |= 1 << (uint(i) % wordBits)
+}
+
+// Clear clears bit i. It panics if i is out of range.
+func (v Vector) Clear(i int) {
+	v.check(i)
+	v.words[i/wordBits] &^= 1 << (uint(i) % wordBits)
+}
+
+// Get reports whether bit i is set. It panics if i is out of range.
+func (v Vector) Get(i int) bool {
+	v.check(i)
+	return v.words[i/wordBits]&(1<<(uint(i)%wordBits)) != 0
+}
+
+func (v Vector) check(i int) {
+	if i < 0 || i >= v.n {
+		panic(fmt.Sprintf("bitvec: index %d out of range [0,%d)", i, v.n))
+	}
+}
+
+// Clone returns an independent copy of v.
+func (v Vector) Clone() Vector {
+	w := Vector{n: v.n, words: make([]uint64, len(v.words))}
+	copy(w.words, v.words)
+	return w
+}
+
+// And returns v ∧ o. Both vectors must have the same length.
+func (v Vector) And(o Vector) Vector {
+	v.match(o)
+	out := New(v.n)
+	for i := range v.words {
+		out.words[i] = v.words[i] & o.words[i]
+	}
+	return out
+}
+
+// Or returns v ∨ o. Both vectors must have the same length.
+func (v Vector) Or(o Vector) Vector {
+	v.match(o)
+	out := New(v.n)
+	for i := range v.words {
+		out.words[i] = v.words[i] | o.words[i]
+	}
+	return out
+}
+
+// Xor returns v ⊕ o. Both vectors must have the same length.
+func (v Vector) Xor(o Vector) Vector {
+	v.match(o)
+	out := New(v.n)
+	for i := range v.words {
+		out.words[i] = v.words[i] ^ o.words[i]
+	}
+	return out
+}
+
+// OrInPlace sets v = v ∨ o, avoiding an allocation.
+func (v Vector) OrInPlace(o Vector) {
+	v.match(o)
+	for i := range v.words {
+		v.words[i] |= o.words[i]
+	}
+}
+
+func (v Vector) match(o Vector) {
+	if v.n != o.n {
+		panic(fmt.Sprintf("bitvec: length mismatch %d vs %d", v.n, o.n))
+	}
+}
+
+// PopCount returns the number of set bits.
+func (v Vector) PopCount() int {
+	total := 0
+	for _, w := range v.words {
+		total += bits.OnesCount64(w)
+	}
+	return total
+}
+
+// AndPopCount returns popcount(v ∧ o) without allocating the intermediate
+// vector. This is the similarity-graph edge weight ω(γ^Λi, γ^Λj) from the
+// paper: the number of common "1" bits in Λi ∧ Λj.
+func (v Vector) AndPopCount(o Vector) int {
+	v.match(o)
+	total := 0
+	for i := range v.words {
+		total += bits.OnesCount64(v.words[i] & o.words[i])
+	}
+	return total
+}
+
+// HammingDistance returns the number of bit positions where v and o differ.
+func (v Vector) HammingDistance(o Vector) int {
+	v.match(o)
+	total := 0
+	for i := range v.words {
+		total += bits.OnesCount64(v.words[i] ^ o.words[i])
+	}
+	return total
+}
+
+// IsZero reports whether no bit is set.
+func (v Vector) IsZero() bool {
+	for _, w := range v.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether v and o have the same length and the same bits.
+func (v Vector) Equal(o Vector) bool {
+	if v.n != o.n {
+		return false
+	}
+	for i := range v.words {
+		if v.words[i] != o.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Indices returns the positions of all set bits in increasing order.
+func (v Vector) Indices() []int {
+	out := make([]int, 0, v.PopCount())
+	for wi, w := range v.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			out = append(out, wi*wordBits+b)
+			w &= w - 1
+		}
+	}
+	return out
+}
+
+// ForEach calls fn for every set bit position in increasing order.
+func (v Vector) ForEach(fn func(i int)) {
+	for wi, w := range v.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			fn(wi*wordBits + b)
+			w &= w - 1
+		}
+	}
+}
+
+// String renders the vector in the paper's λ0λ1…λ(r−1) order ("0011…").
+func (v Vector) String() string {
+	var sb strings.Builder
+	sb.Grow(v.n)
+	for i := 0; i < v.n; i++ {
+		if v.Get(i) {
+			sb.WriteByte('1')
+		} else {
+			sb.WriteByte('0')
+		}
+	}
+	return sb.String()
+}
+
+// Key returns a compact comparable representation of the vector's contents,
+// usable as a map key for grouping iterations by tag.
+func (v Vector) Key() string {
+	buf := make([]byte, 0, len(v.words)*8)
+	for _, w := range v.words {
+		for s := 0; s < 64; s += 8 {
+			buf = append(buf, byte(w>>uint(s)))
+		}
+	}
+	return string(buf)
+}
+
+// CountTag is a per-position integer tag: the "bitwise sum" of member bit
+// tags used as a cluster tag by the Figure 5 algorithm. Position k counts
+// how many member iteration chunks access data chunk π_k.
+type CountTag []int64
+
+// NewCountTag returns an all-zero CountTag of width n.
+func NewCountTag(n int) CountTag { return make(CountTag, n) }
+
+// CountTagOf converts a bit vector to a CountTag (0/1 entries).
+func CountTagOf(v Vector) CountTag {
+	t := NewCountTag(v.Len())
+	v.ForEach(func(i int) { t[i] = 1 })
+	return t
+}
+
+// Add accumulates the bits of v into t (per-position sum).
+func (t CountTag) Add(v Vector) {
+	if len(t) != v.Len() {
+		panic(fmt.Sprintf("bitvec: counttag length mismatch %d vs %d", len(t), v.Len()))
+	}
+	v.ForEach(func(i int) { t[i]++ })
+}
+
+// Sub removes the bits of v from t.
+func (t CountTag) Sub(v Vector) {
+	if len(t) != v.Len() {
+		panic(fmt.Sprintf("bitvec: counttag length mismatch %d vs %d", len(t), v.Len()))
+	}
+	v.ForEach(func(i int) { t[i]-- })
+}
+
+// AddTag accumulates another CountTag into t.
+func (t CountTag) AddTag(o CountTag) {
+	if len(t) != len(o) {
+		panic(fmt.Sprintf("bitvec: counttag length mismatch %d vs %d", len(t), len(o)))
+	}
+	for i, c := range o {
+		t[i] += c
+	}
+}
+
+// Dot returns the dot product t·o, the paper's cluster-affinity measure.
+func (t CountTag) Dot(o CountTag) int64 {
+	if len(t) != len(o) {
+		panic(fmt.Sprintf("bitvec: counttag length mismatch %d vs %d", len(t), len(o)))
+	}
+	var sum int64
+	for i, c := range t {
+		sum += c * o[i]
+	}
+	return sum
+}
+
+// DotVec returns the dot product of t with the 0/1 expansion of v
+// (used when weighing an iteration chunk's bit tag against a cluster tag).
+func (t CountTag) DotVec(v Vector) int64 {
+	if len(t) != v.Len() {
+		panic(fmt.Sprintf("bitvec: counttag length mismatch %d vs %d", len(t), v.Len()))
+	}
+	var sum int64
+	v.ForEach(func(i int) { sum += t[i] })
+	return sum
+}
+
+// Clone returns an independent copy of t.
+func (t CountTag) Clone() CountTag {
+	o := make(CountTag, len(t))
+	copy(o, t)
+	return o
+}
+
+// IsZero reports whether every position is zero.
+func (t CountTag) IsZero() bool {
+	for _, c := range t {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,325 @@
+package bitvec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewZeroed(t *testing.T) {
+	v := New(130)
+	if v.Len() != 130 {
+		t.Fatalf("Len = %d, want 130", v.Len())
+	}
+	for i := 0; i < 130; i++ {
+		if v.Get(i) {
+			t.Fatalf("bit %d set in fresh vector", i)
+		}
+	}
+	if !v.IsZero() {
+		t.Fatal("fresh vector not zero")
+	}
+}
+
+func TestSetGetClear(t *testing.T) {
+	v := New(200)
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 199} {
+		v.Set(i)
+		if !v.Get(i) {
+			t.Fatalf("bit %d not set after Set", i)
+		}
+	}
+	if v.PopCount() != 8 {
+		t.Fatalf("PopCount = %d, want 8", v.PopCount())
+	}
+	v.Clear(64)
+	if v.Get(64) {
+		t.Fatal("bit 64 still set after Clear")
+	}
+	if v.PopCount() != 7 {
+		t.Fatalf("PopCount = %d, want 7", v.PopCount())
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	v := New(10)
+	for name, fn := range map[string]func(){
+		"Get(-1)":  func() { v.Get(-1) },
+		"Get(10)":  func() { v.Get(10) },
+		"Set(10)":  func() { v.Set(10) },
+		"Clear(-)": func() { v.Clear(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestLengthMismatchPanics(t *testing.T) {
+	a, b := New(10), New(11)
+	defer func() {
+		if recover() == nil {
+			t.Error("And with mismatched lengths did not panic")
+		}
+	}()
+	a.And(b)
+}
+
+func TestParseStringRoundTrip(t *testing.T) {
+	s := "0011010011"
+	v, err := ParseString(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.String() != s {
+		t.Fatalf("round trip got %q, want %q", v.String(), s)
+	}
+}
+
+func TestParseStringInvalid(t *testing.T) {
+	if _, err := ParseString("01x"); err == nil {
+		t.Fatal("expected error for invalid character")
+	}
+}
+
+func TestAndOrXor(t *testing.T) {
+	a, _ := ParseString("1100")
+	b, _ := ParseString("1010")
+	if got := a.And(b).String(); got != "1000" {
+		t.Errorf("And = %s, want 1000", got)
+	}
+	if got := a.Or(b).String(); got != "1110" {
+		t.Errorf("Or = %s, want 1110", got)
+	}
+	if got := a.Xor(b).String(); got != "0110" {
+		t.Errorf("Xor = %s, want 0110", got)
+	}
+}
+
+func TestAndPopCountMatchesPaperExample(t *testing.T) {
+	// Paper Figure 8: tags of γ1 and γ3 share 3 chunk bits.
+	g1, _ := ParseString("101010000000")
+	g3, _ := ParseString("101010100000")
+	if w := g1.AndPopCount(g3); w != 3 {
+		t.Fatalf("edge weight = %d, want 3", w)
+	}
+	// γ1 and γ5 share 2 bits.
+	g5, _ := ParseString("100010101000")
+	if w := g1.AndPopCount(g5); w != 2 {
+		t.Fatalf("edge weight = %d, want 2", w)
+	}
+}
+
+func TestHammingDistance(t *testing.T) {
+	a, _ := ParseString("1010")
+	b, _ := ParseString("0110")
+	if d := a.HammingDistance(b); d != 2 {
+		t.Fatalf("Hamming = %d, want 2", d)
+	}
+	if d := a.HammingDistance(a); d != 0 {
+		t.Fatalf("self Hamming = %d, want 0", d)
+	}
+}
+
+func TestIndicesAndForEach(t *testing.T) {
+	v := FromIndices(100, 3, 64, 99)
+	got := v.Indices()
+	want := []int{3, 64, 99}
+	if len(got) != len(want) {
+		t.Fatalf("Indices = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Indices = %v, want %v", got, want)
+		}
+	}
+	var walked []int
+	v.ForEach(func(i int) { walked = append(walked, i) })
+	if len(walked) != 3 || walked[0] != 3 || walked[1] != 64 || walked[2] != 99 {
+		t.Fatalf("ForEach walked %v", walked)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := FromIndices(70, 5, 65)
+	b := a.Clone()
+	b.Set(6)
+	if a.Get(6) {
+		t.Fatal("Clone shares storage with original")
+	}
+	if !a.Equal(a.Clone()) {
+		t.Fatal("Clone not equal to original")
+	}
+}
+
+func TestKeyGrouping(t *testing.T) {
+	a := FromIndices(128, 1, 127)
+	b := FromIndices(128, 1, 127)
+	c := FromIndices(128, 1, 126)
+	if a.Key() != b.Key() {
+		t.Fatal("equal vectors have different keys")
+	}
+	if a.Key() == c.Key() {
+		t.Fatal("different vectors share a key")
+	}
+}
+
+func TestOrInPlace(t *testing.T) {
+	a := FromIndices(10, 1)
+	b := FromIndices(10, 2)
+	a.OrInPlace(b)
+	if a.String() != "0110000000" {
+		t.Fatalf("OrInPlace got %s", a.String())
+	}
+}
+
+func TestFromBits(t *testing.T) {
+	v := FromBits([]bool{true, false, true})
+	if v.String() != "101" {
+		t.Fatalf("FromBits got %s", v.String())
+	}
+}
+
+func TestCountTagAddSubDot(t *testing.T) {
+	a, _ := ParseString("1100")
+	b, _ := ParseString("0110")
+	t1 := NewCountTag(4)
+	t1.Add(a)
+	t1.Add(b) // counts: 1,2,1,0
+	t2 := CountTagOf(b)
+	if got := t1.Dot(t2); got != 3 { // 0*... 2*1 + 1*1
+		t.Fatalf("Dot = %d, want 3", got)
+	}
+	if got := t1.DotVec(a); got != 3 { // positions 0,1 -> 1+2
+		t.Fatalf("DotVec = %d, want 3", got)
+	}
+	t1.Sub(a)
+	if t1[0] != 0 || t1[1] != 1 {
+		t.Fatalf("after Sub got %v", t1)
+	}
+}
+
+func TestCountTagAddTagClone(t *testing.T) {
+	a := CountTag{1, 2, 3}
+	b := a.Clone()
+	b.AddTag(CountTag{1, 1, 1})
+	if a[0] != 1 || b[0] != 2 {
+		t.Fatalf("Clone/AddTag aliasing: a=%v b=%v", a, b)
+	}
+	if a.IsZero() {
+		t.Fatal("non-zero tag reported zero")
+	}
+	if !NewCountTag(3).IsZero() {
+		t.Fatal("zero tag reported non-zero")
+	}
+}
+
+func TestCountTagMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Dot with mismatched lengths did not panic")
+		}
+	}()
+	CountTag{1}.Dot(CountTag{1, 2})
+}
+
+func randomVector(r *rand.Rand, n int) Vector {
+	v := New(n)
+	for i := 0; i < n; i++ {
+		if r.Intn(2) == 1 {
+			v.Set(i)
+		}
+	}
+	return v
+}
+
+// Property: AndPopCount(a,b) == popcount(a.And(b)) and is symmetric.
+func TestPropertyAndPopCount(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		n := 1 + rr.Intn(300)
+		a, b := randomVector(r, n), randomVector(r, n)
+		return a.AndPopCount(b) == a.And(b).PopCount() &&
+			a.AndPopCount(b) == b.AndPopCount(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Hamming distance is a metric on random vectors
+// (identity, symmetry, triangle inequality).
+func TestPropertyHammingMetric(t *testing.T) {
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		n := 1 + rr.Intn(200)
+		a, b, c := randomVector(rr, n), randomVector(rr, n), randomVector(rr, n)
+		if a.HammingDistance(a) != 0 {
+			return false
+		}
+		if a.HammingDistance(b) != b.HammingDistance(a) {
+			return false
+		}
+		return a.HammingDistance(c) <= a.HammingDistance(b)+b.HammingDistance(c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: popcount(a) + popcount(b) == popcount(a∧b) + popcount(a∨b).
+func TestPropertyInclusionExclusion(t *testing.T) {
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		n := 1 + rr.Intn(500)
+		a, b := randomVector(rr, n), randomVector(rr, n)
+		return a.PopCount()+b.PopCount() == a.And(b).PopCount()+a.Or(b).PopCount()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: CountTag accumulated from bit vectors dots consistently with
+// expanding the sum manually.
+func TestPropertyCountTagDot(t *testing.T) {
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		n := 1 + rr.Intn(100)
+		vs := make([]Vector, 1+rr.Intn(5))
+		tag := NewCountTag(n)
+		for i := range vs {
+			vs[i] = randomVector(rr, n)
+			tag.Add(vs[i])
+		}
+		probe := randomVector(rr, n)
+		var want int64
+		for _, v := range vs {
+			want += int64(v.AndPopCount(probe))
+		}
+		return tag.DotVec(probe) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: String/ParseString round-trips.
+func TestPropertyStringRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		n := rr.Intn(200)
+		v := randomVector(rr, n)
+		got, err := ParseString(v.String())
+		return err == nil && got.Equal(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,97 @@
+package cache
+
+// clockCache implements the CLOCK (second-chance) approximation of LRU: a
+// circular buffer of frames with reference bits; the hand sweeps, clearing
+// reference bits, and evicts the first unreferenced frame.
+type clockCache struct {
+	capacity int
+	frames   []clockFrame
+	index    map[int]int // chunk -> frame
+	hand     int
+	used     int
+	stats    Stats
+}
+
+type clockFrame struct {
+	chunk int
+	ref   bool
+	dirty bool
+	live  bool
+}
+
+func newCLOCK(capacity int) *clockCache {
+	return &clockCache{
+		capacity: capacity,
+		frames:   make([]clockFrame, capacity),
+		index:    make(map[int]int, capacity),
+	}
+}
+
+func (c *clockCache) Lookup(chunk int, dirty bool) bool {
+	c.stats.Accesses++
+	fi, ok := c.index[chunk]
+	if !ok {
+		return false
+	}
+	c.stats.Hits++
+	c.frames[fi].ref = true
+	c.frames[fi].dirty = c.frames[fi].dirty || dirty
+	return true
+}
+
+func (c *clockCache) Insert(chunk int, dirty bool) (Eviction, bool) {
+	if fi, ok := c.index[chunk]; ok {
+		c.frames[fi].ref = true
+		c.frames[fi].dirty = c.frames[fi].dirty || dirty
+		return Eviction{}, false
+	}
+	if c.used < c.capacity {
+		for i := range c.frames {
+			if !c.frames[i].live {
+				c.frames[i] = clockFrame{chunk: chunk, ref: true, dirty: dirty, live: true}
+				c.index[chunk] = i
+				c.used++
+				return Eviction{}, false
+			}
+		}
+	}
+	// Sweep the hand for a victim.
+	for {
+		f := &c.frames[c.hand]
+		if f.ref {
+			f.ref = false
+			c.hand = (c.hand + 1) % c.capacity
+			continue
+		}
+		ev := Eviction{Chunk: f.chunk, Dirty: f.dirty}
+		delete(c.index, f.chunk)
+		*f = clockFrame{chunk: chunk, ref: true, dirty: dirty, live: true}
+		c.index[chunk] = c.hand
+		c.hand = (c.hand + 1) % c.capacity
+		return ev, true
+	}
+}
+
+func (c *clockCache) Contains(chunk int) bool {
+	_, ok := c.index[chunk]
+	return ok
+}
+
+// Remove drops a resident chunk, returning its dirty state.
+func (c *clockCache) Remove(chunk int) bool {
+	fi, ok := c.index[chunk]
+	if !ok {
+		return false
+	}
+	dirty := c.frames[fi].dirty
+	c.frames[fi] = clockFrame{}
+	delete(c.index, chunk)
+	c.used--
+	return dirty
+}
+
+func (c *clockCache) Len() int      { return c.used }
+func (c *clockCache) Capacity() int { return c.capacity }
+func (c *clockCache) Stats() Stats  { return c.stats }
+func (c *clockCache) ResetStats()   { c.stats = Stats{} }
+func (c *clockCache) Name() string  { return "clock" }

@@ -1,0 +1,83 @@
+package cache
+
+// fifoCache evicts in insertion order regardless of hits.
+type fifoCache struct {
+	capacity int
+	entries  map[int]*fifoEntry
+	queue    []int // insertion order of resident chunks
+	qhead    int   // index of the oldest live entry in queue
+	stats    Stats
+}
+
+type fifoEntry struct {
+	dirty bool
+}
+
+func newFIFO(capacity int) *fifoCache {
+	return &fifoCache{capacity: capacity, entries: make(map[int]*fifoEntry, capacity)}
+}
+
+func (c *fifoCache) Lookup(chunk int, dirty bool) bool {
+	c.stats.Accesses++
+	e, ok := c.entries[chunk]
+	if !ok {
+		return false
+	}
+	c.stats.Hits++
+	e.dirty = e.dirty || dirty
+	return true
+}
+
+func (c *fifoCache) Insert(chunk int, dirty bool) (Eviction, bool) {
+	if e, ok := c.entries[chunk]; ok {
+		e.dirty = e.dirty || dirty
+		return Eviction{}, false
+	}
+	var ev Eviction
+	evicted := false
+	if len(c.entries) >= c.capacity {
+		// Skip queue entries removed out of band (Remove).
+		for {
+			victim := c.queue[c.qhead]
+			c.qhead++
+			e, ok := c.entries[victim]
+			if !ok {
+				continue
+			}
+			delete(c.entries, victim)
+			ev = Eviction{Chunk: victim, Dirty: e.dirty}
+			evicted = true
+			break
+		}
+	}
+	c.entries[chunk] = &fifoEntry{dirty: dirty}
+	c.queue = append(c.queue, chunk)
+	// Compact the queue occasionally so it does not grow unboundedly.
+	if c.qhead > len(c.queue)/2 && c.qhead > 1024 {
+		c.queue = append([]int(nil), c.queue[c.qhead:]...)
+		c.qhead = 0
+	}
+	return ev, evicted
+}
+
+func (c *fifoCache) Contains(chunk int) bool {
+	_, ok := c.entries[chunk]
+	return ok
+}
+
+// Remove drops a resident chunk, returning its dirty state. The queue
+// entry is skipped lazily at eviction time.
+func (c *fifoCache) Remove(chunk int) bool {
+	e, ok := c.entries[chunk]
+	if !ok {
+		return false
+	}
+	delete(c.entries, chunk)
+	return e.dirty
+}
+
+func (c *fifoCache) Len() int      { return len(c.entries) }
+func (c *fifoCache) Capacity() int { return c.capacity }
+func (c *fifoCache) Stats() Stats  { return c.stats }
+func (c *fifoCache) ResetStats()   { c.stats = Stats{} }
+func (c *fifoCache) Name() string  { return "fifo" }

@@ -1,0 +1,110 @@
+package cache
+
+// lruCache is a classic LRU chunk cache built on a hash map plus an
+// intrusive doubly linked list (head = most recent, tail = LRU victim).
+type lruCache struct {
+	capacity int
+	entries  map[int]*lruEntry
+	head     *lruEntry
+	tail     *lruEntry
+	stats    Stats
+}
+
+type lruEntry struct {
+	chunk      int
+	dirty      bool
+	prev, next *lruEntry
+}
+
+func newLRU(capacity int) *lruCache {
+	return &lruCache{capacity: capacity, entries: make(map[int]*lruEntry, capacity)}
+}
+
+func (c *lruCache) Lookup(chunk int, dirty bool) bool {
+	c.stats.Accesses++
+	e, ok := c.entries[chunk]
+	if !ok {
+		return false
+	}
+	c.stats.Hits++
+	e.dirty = e.dirty || dirty
+	c.moveToFront(e)
+	return true
+}
+
+func (c *lruCache) Insert(chunk int, dirty bool) (Eviction, bool) {
+	if e, ok := c.entries[chunk]; ok {
+		e.dirty = e.dirty || dirty
+		c.moveToFront(e)
+		return Eviction{}, false
+	}
+	var ev Eviction
+	evicted := false
+	if len(c.entries) >= c.capacity {
+		victim := c.tail
+		c.unlink(victim)
+		delete(c.entries, victim.chunk)
+		ev = Eviction{Chunk: victim.chunk, Dirty: victim.dirty}
+		evicted = true
+	}
+	e := &lruEntry{chunk: chunk, dirty: dirty}
+	c.entries[chunk] = e
+	c.pushFront(e)
+	return ev, evicted
+}
+
+func (c *lruCache) Contains(chunk int) bool {
+	_, ok := c.entries[chunk]
+	return ok
+}
+
+// Remove drops a resident chunk, returning its dirty state.
+func (c *lruCache) Remove(chunk int) bool {
+	e, ok := c.entries[chunk]
+	if !ok {
+		return false
+	}
+	c.unlink(e)
+	delete(c.entries, chunk)
+	return e.dirty
+}
+
+func (c *lruCache) Len() int      { return len(c.entries) }
+func (c *lruCache) Capacity() int { return c.capacity }
+func (c *lruCache) Stats() Stats  { return c.stats }
+func (c *lruCache) ResetStats()   { c.stats = Stats{} }
+func (c *lruCache) Name() string  { return "lru" }
+
+func (c *lruCache) pushFront(e *lruEntry) {
+	e.prev = nil
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+func (c *lruCache) unlink(e *lruEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (c *lruCache) moveToFront(e *lruEntry) {
+	if c.head == e {
+		return
+	}
+	c.unlink(e)
+	c.pushFront(e)
+}

@@ -1,0 +1,204 @@
+package cache
+
+// mqCache implements the Multi-Queue (MQ) replacement policy of Zhou,
+// Philbin and Li (USENIX ATC 2001), cited by the paper as the
+// state-of-the-art policy for second-level buffer caches: LRU keeps recency
+// but ignores frequency, which matters below a large first-level cache.
+//
+// MQ maintains m LRU queues Q0…Q(m−1); a block with reference count f lives
+// in queue min(log2(f), m−1). On a hit the block's count increments and it
+// may be promoted one or more queues. Blocks evicted from the cache leave a
+// history entry (Qout) remembering their count, so a quickly-returning
+// block resumes its old frequency class. Queue membership also expires: a
+// block unreferenced for lifeTime consecutive accesses is demoted one
+// queue, which keeps stale-but-once-hot blocks from pinning the cache.
+type mqCache struct {
+	capacity int
+	queues   []*mqQueue
+	entries  map[int]*mqEntry
+	out      map[int]int // evicted chunk -> saved reference count (Qout)
+	outFIFO  []int
+	outCap   int
+	lifeTime int64
+	clock    int64 // access counter
+	stats    Stats
+}
+
+type mqEntry struct {
+	chunk      int
+	freq       int
+	queue      int
+	expire     int64 // demote when clock passes this
+	dirty      bool
+	prev, next *mqEntry
+}
+
+type mqQueue struct {
+	head, tail *mqEntry // head = MRU, tail = LRU
+	size       int
+}
+
+func (q *mqQueue) pushFront(e *mqEntry) {
+	e.prev, e.next = nil, q.head
+	if q.head != nil {
+		q.head.prev = e
+	}
+	q.head = e
+	if q.tail == nil {
+		q.tail = e
+	}
+	q.size++
+}
+
+func (q *mqQueue) unlink(e *mqEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		q.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		q.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+	q.size--
+}
+
+const mqNumQueues = 8
+
+func newMQ(capacity int) *mqCache {
+	qs := make([]*mqQueue, mqNumQueues)
+	for i := range qs {
+		qs[i] = &mqQueue{}
+	}
+	lt := int64(capacity) * 4
+	if lt < 16 {
+		lt = 16
+	}
+	return &mqCache{
+		capacity: capacity,
+		queues:   qs,
+		entries:  make(map[int]*mqEntry, capacity),
+		out:      make(map[int]int, capacity),
+		outCap:   capacity * 4,
+		lifeTime: lt,
+	}
+}
+
+// queueFor maps a reference count to its queue index: floor(log2(f)).
+func queueFor(freq int) int {
+	q := 0
+	for f := freq; f > 1 && q < mqNumQueues-1; f >>= 1 {
+		q++
+	}
+	return q
+}
+
+// adjust runs MQ's expiration check: demote the LRU block of each queue
+// whose expire time has passed.
+func (c *mqCache) adjust() {
+	for qi := 1; qi < mqNumQueues; qi++ {
+		q := c.queues[qi]
+		if q.tail != nil && q.tail.expire < c.clock {
+			e := q.tail
+			q.unlink(e)
+			e.queue = qi - 1
+			e.expire = c.clock + c.lifeTime
+			c.queues[qi-1].pushFront(e)
+		}
+	}
+}
+
+func (c *mqCache) Lookup(chunk int, dirty bool) bool {
+	c.stats.Accesses++
+	c.clock++
+	c.adjust()
+	e, ok := c.entries[chunk]
+	if !ok {
+		return false
+	}
+	c.stats.Hits++
+	e.freq++
+	e.dirty = e.dirty || dirty
+	c.queues[e.queue].unlink(e)
+	e.queue = queueFor(e.freq)
+	e.expire = c.clock + c.lifeTime
+	c.queues[e.queue].pushFront(e)
+	return true
+}
+
+func (c *mqCache) Insert(chunk int, dirty bool) (Eviction, bool) {
+	if e, ok := c.entries[chunk]; ok {
+		e.dirty = e.dirty || dirty
+		return Eviction{}, false
+	}
+	var ev Eviction
+	evicted := false
+	if len(c.entries) >= c.capacity {
+		victim := c.victim()
+		c.queues[victim.queue].unlink(victim)
+		delete(c.entries, victim.chunk)
+		c.remember(victim.chunk, victim.freq)
+		ev = Eviction{Chunk: victim.chunk, Dirty: victim.dirty}
+		evicted = true
+	}
+	freq := 1
+	if saved, ok := c.out[chunk]; ok {
+		freq = saved + 1
+		delete(c.out, chunk)
+	}
+	e := &mqEntry{chunk: chunk, freq: freq, dirty: dirty,
+		queue: queueFor(freq), expire: c.clock + c.lifeTime}
+	c.entries[chunk] = e
+	c.queues[e.queue].pushFront(e)
+	return ev, evicted
+}
+
+// victim returns the LRU block of the lowest non-empty queue.
+func (c *mqCache) victim() *mqEntry {
+	for _, q := range c.queues {
+		if q.tail != nil {
+			return q.tail
+		}
+	}
+	panic("cache: MQ victim on empty cache")
+}
+
+// remember records an evicted block's frequency in Qout (bounded FIFO).
+func (c *mqCache) remember(chunk, freq int) {
+	if c.outCap == 0 {
+		return
+	}
+	if len(c.out) >= c.outCap && len(c.outFIFO) > 0 {
+		oldest := c.outFIFO[0]
+		c.outFIFO = c.outFIFO[1:]
+		delete(c.out, oldest)
+	}
+	c.out[chunk] = freq
+	c.outFIFO = append(c.outFIFO, chunk)
+}
+
+func (c *mqCache) Contains(chunk int) bool {
+	_, ok := c.entries[chunk]
+	return ok
+}
+
+// Remove drops a resident chunk (remembering its frequency in Qout),
+// returning its dirty state.
+func (c *mqCache) Remove(chunk int) bool {
+	e, ok := c.entries[chunk]
+	if !ok {
+		return false
+	}
+	c.queues[e.queue].unlink(e)
+	delete(c.entries, chunk)
+	c.remember(chunk, e.freq)
+	return e.dirty
+}
+
+func (c *mqCache) Len() int      { return len(c.entries) }
+func (c *mqCache) Capacity() int { return c.capacity }
+func (c *mqCache) Stats() Stats  { return c.stats }
+func (c *mqCache) ResetStats()   { c.stats = Stats{} }
+func (c *mqCache) Name() string  { return "mq" }

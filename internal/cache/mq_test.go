@@ -1,0 +1,195 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMQBasics(t *testing.T) {
+	c := New(MQ, 4)
+	if c.Name() != "mq" {
+		t.Fatalf("Name = %q", c.Name())
+	}
+	if c.Lookup(1, false) {
+		t.Fatal("hit on empty MQ")
+	}
+	c.Insert(1, false)
+	if !c.Lookup(1, false) || !c.Contains(1) {
+		t.Fatal("miss after insert")
+	}
+	st := c.Stats()
+	if st.Accesses != 2 || st.Hits != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestMQRegisteredInFactory(t *testing.T) {
+	p, err := ParsePolicy("mq")
+	if err != nil || p != MQ {
+		t.Fatalf("ParsePolicy(mq) = %v, %v", p, err)
+	}
+	if MQ.String() != "mq" {
+		t.Fatalf("MQ.String() = %q", MQ.String())
+	}
+}
+
+func TestMQCapacityEnforced(t *testing.T) {
+	c := New(MQ, 3)
+	for i := 0; i < 20; i++ {
+		if !c.Lookup(i, false) {
+			c.Insert(i, false)
+		}
+		if c.Len() > 3 {
+			t.Fatalf("Len %d exceeds capacity", c.Len())
+		}
+	}
+}
+
+func TestMQFrequencyProtectsHotBlocks(t *testing.T) {
+	// A hot block referenced many times should survive a sweep of cold
+	// blocks that would evict it under pure LRU.
+	c := New(MQ, 8)
+	c.Insert(100, false)
+	for i := 0; i < 16; i++ {
+		c.Lookup(100, false) // frequency 17 -> high queue
+	}
+	// Sweep 7+ cold blocks (capacity 8): LRU would evict 100 once 8 new
+	// blocks arrive; MQ evicts from the lowest queue first.
+	for i := 0; i < 14; i++ {
+		if !c.Lookup(i, false) {
+			c.Insert(i, false)
+		}
+	}
+	if !c.Contains(100) {
+		t.Fatal("MQ evicted the hot block during a cold sweep")
+	}
+}
+
+func TestMQQoutRemembersFrequency(t *testing.T) {
+	c := newMQ(1)
+	c.Insert(1, false)
+	c.Lookup(1, false)
+	c.Lookup(1, false) // freq 3
+	// Evict 1 (capacity 1, any insert displaces it).
+	c.Insert(2, false)
+	if c.Contains(1) {
+		t.Fatal("block 1 should be evicted")
+	}
+	// Reinsert: frequency resumes from Qout (3+1) -> queue 2, above fresh
+	// blocks.
+	c.Insert(1, false)
+	e := c.entries[1]
+	if e.freq < 4 {
+		t.Fatalf("freq after Qout readmission = %d, want >= 4", e.freq)
+	}
+	if e.queue != queueFor(e.freq) {
+		t.Fatalf("queue %d inconsistent with freq %d", e.queue, e.freq)
+	}
+}
+
+func TestMQExpirationDemotes(t *testing.T) {
+	c := newMQ(4)
+	c.Insert(1, false)
+	for i := 0; i < 8; i++ {
+		c.Lookup(1, false)
+	}
+	hot := c.entries[1]
+	hiQueue := hot.queue
+	if hiQueue == 0 {
+		t.Fatal("hot block not promoted")
+	}
+	// Touch other blocks far past the lifetime: block 1 must eventually
+	// demote toward queue 0.
+	for i := 0; i < int(c.lifeTime)*mqNumQueues; i++ {
+		ch := 2 + i%3
+		if !c.Lookup(ch, false) {
+			c.Insert(ch, false)
+		}
+	}
+	if e := c.entries[1]; e != nil && e.queue >= hiQueue {
+		t.Fatalf("stale hot block not demoted: queue %d (was %d)", e.queue, hiQueue)
+	}
+}
+
+func TestMQDirtyPropagation(t *testing.T) {
+	c := New(MQ, 1)
+	c.Insert(1, false)
+	c.Lookup(1, true)
+	ev, ok := c.Insert(2, false)
+	if !ok || !ev.Dirty || ev.Chunk != 1 {
+		t.Fatalf("eviction %v, ok=%v", ev, ok)
+	}
+}
+
+func TestQueueFor(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 1, 4: 2, 7: 2, 8: 3, 255: 7, 1 << 20: 7}
+	for f, want := range cases {
+		if got := queueFor(f); got != want {
+			t.Errorf("queueFor(%d) = %d, want %d", f, got, want)
+		}
+	}
+}
+
+// Property: MQ obeys the same structural invariants as the other policies
+// (they are exercised together in TestPropertyPolicyInvariants; this covers
+// MQ alone with deeper traces).
+func TestPropertyMQInvariants(t *testing.T) {
+	f := func(seed int64, capRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		capacity := 1 + int(capRaw%24)
+		c := New(MQ, capacity)
+		resident := map[int]bool{}
+		for step := 0; step < 500; step++ {
+			chunk := r.Intn(capacity * 3)
+			hit := c.Lookup(chunk, false)
+			if hit != resident[chunk] {
+				return false
+			}
+			if !hit {
+				ev, ok := c.Insert(chunk, false)
+				if ok {
+					if !resident[ev.Chunk] {
+						return false
+					}
+					delete(resident, ev.Chunk)
+				}
+				resident[chunk] = true
+			}
+			if c.Len() > capacity || c.Len() != len(resident) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: on a mixed hot/cold trace MQ should hit at least as often as
+// FIFO (it is strictly smarter about frequency).
+func TestPropertyMQBeatsFIFOOnHotCold(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		mq := New(MQ, 16)
+		fifo := New(FIFO, 16)
+		for step := 0; step < 2000; step++ {
+			var chunk int
+			if r.Intn(2) == 0 {
+				chunk = r.Intn(8) // hot set
+			} else {
+				chunk = 8 + r.Intn(64) // cold set
+			}
+			for _, c := range []Cache{mq, fifo} {
+				if !c.Lookup(chunk, false) {
+					c.Insert(chunk, false)
+				}
+			}
+		}
+		return mq.Stats().Hits >= fifo.Stats().Hits
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,519 @@
+// Package core implements the paper's contribution: the cache
+// hierarchy-conscious loop iteration distribution algorithm (Figure 5) and
+// the cache hierarchy-conscious iteration scheduling algorithm (Figure 15),
+// plus the Section 5.4 extensions (dependence handling and multi-nest
+// distribution).
+//
+// Distribution walks the storage cache hierarchy tree top-down. At each
+// tree node the iteration chunks assigned to that node are clustered into
+// one cluster per child — greedily merging the pair of clusters whose tags
+// have the maximal dot product (Stage 1), then load-balancing cluster sizes
+// within a balance threshold by evicting the chunk with maximal affinity to
+// the recipient, splitting chunks when no whole chunk fits (Stage 2). The
+// leaves of the recursion are the k client nodes.
+//
+// A cluster's tag is the "bitwise sum" of its members' tags in the boolean
+// sense (bitwise OR), and the dot product of two tags is the number of
+// common "1" bits. This is the reading under which the algorithm reproduces
+// the paper's Figure 9 walk-through exactly; an integer-count reading makes
+// greedy merging collapse onto the largest cluster (its tag dominates every
+// dot product) and contradicts the example.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bitvec"
+	"repro/internal/hierarchy"
+	"repro/internal/tags"
+)
+
+// Options tunes the distribution algorithm.
+type Options struct {
+	// BalanceThreshold is the maximum tolerable imbalance of per-cluster
+	// iteration counts, as a fraction of the ideal share (the paper's
+	// BThres; its experiments use 10%).
+	BalanceThreshold float64
+}
+
+// DefaultOptions returns the paper's experimental settings.
+func DefaultOptions() Options { return Options{BalanceThreshold: 0.10} }
+
+// Cluster is an intermediate or final group of iteration chunks with its
+// aggregate tag (bitwise OR of member tags).
+type Cluster struct {
+	Members []*tags.IterationChunk
+	Tag     bitvec.Vector
+	Size    int64
+}
+
+func newCluster(r int) *Cluster { return &Cluster{Tag: bitvec.New(r)} }
+
+func (c *Cluster) add(ic *tags.IterationChunk) {
+	c.Members = append(c.Members, ic)
+	c.Tag.OrInPlace(ic.Tag)
+	c.Size += ic.Count()
+}
+
+// removeAt detaches member i, recomputing the aggregate tag.
+func (c *Cluster) removeAt(i int) *tags.IterationChunk {
+	ic := c.Members[i]
+	c.Members = append(c.Members[:i], c.Members[i+1:]...)
+	c.Size -= ic.Count()
+	c.Tag = bitvec.New(c.Tag.Len())
+	for _, m := range c.Members {
+		c.Tag.OrInPlace(m.Tag)
+	}
+	return ic
+}
+
+// absorb merges o into c.
+func (c *Cluster) absorb(o *Cluster) {
+	c.Members = append(c.Members, o.Members...)
+	c.Tag.OrInPlace(o.Tag)
+	c.Size += o.Size
+}
+
+// firstIter is a deterministic identity for ordering clusters.
+func (c *Cluster) firstIter() int64 {
+	v := int64(1) << 62
+	for _, m := range c.Members {
+		if !m.Iters.IsEmpty() {
+			key := m.Iters.Min() + int64(m.Nest)<<40
+			if key < v {
+				v = key
+			}
+		}
+	}
+	return v
+}
+
+// Distribute runs the Figure 5 algorithm: it assigns the given iteration
+// chunks to the client nodes of the hierarchy tree and returns one chunk
+// list per client (indexed by client number). Chunks may be split by load
+// balancing; the returned chunks partition the input iterations exactly.
+func Distribute(chunks []*tags.IterationChunk, tree *hierarchy.Tree, opts Options) ([][]*tags.IterationChunk, error) {
+	if tree == nil {
+		return nil, fmt.Errorf("core: nil tree")
+	}
+	if err := tree.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.BalanceThreshold < 0 || opts.BalanceThreshold > 1 {
+		return nil, fmt.Errorf("core: balance threshold %v outside [0,1]", opts.BalanceThreshold)
+	}
+	r := 0
+	if len(chunks) > 0 {
+		r = chunks[0].Tag.Len()
+		for _, c := range chunks {
+			if c.Tag.Len() != r {
+				return nil, fmt.Errorf("core: inconsistent tag widths %d vs %d", c.Tag.Len(), r)
+			}
+		}
+	}
+	d := &distributor{opts: opts, tree: tree, r: r}
+	out := make([][]*tags.IterationChunk, tree.NumClients())
+	clientIdx := make(map[*hierarchy.Node]int, tree.NumClients())
+	for i, leaf := range tree.Clients() {
+		clientIdx[leaf] = i
+	}
+	d.assign(tree.Root, chunks, clientIdx, out)
+	return out, nil
+}
+
+type distributor struct {
+	opts Options
+	tree *hierarchy.Tree
+	r    int
+}
+
+// assign recursively splits the chunk list of a tree node among its
+// children (one hierarchy level of the Figure 5 outer loop).
+func (d *distributor) assign(node *hierarchy.Node, members []*tags.IterationChunk,
+	clientIdx map[*hierarchy.Node]int, out [][]*tags.IterationChunk) {
+	if node.IsLeaf() {
+		out[clientIdx[node]] = members
+		return
+	}
+	if len(node.Children) == 1 {
+		d.assign(node.Children[0], members, clientIdx, out)
+		return
+	}
+	weights := make([]int64, len(node.Children))
+	for i, ch := range node.Children {
+		weights[i] = int64(len(d.tree.LeavesUnder(ch)))
+	}
+	clusters := d.split(members, weights)
+	for i, ch := range node.Children {
+		d.assign(ch, clusters[i].Members, clientIdx, out)
+	}
+}
+
+// split partitions chunks into len(weights) clusters whose sizes are
+// balanced proportionally to weights (all-equal weights reproduce the
+// paper exactly; unequal weights generalize to non-uniform trees).
+func (d *distributor) split(members []*tags.IterationChunk, weights []int64) []*Cluster {
+	k := len(weights)
+	// Stage 0: one singleton cluster per chunk.
+	clusters := make([]*Cluster, 0, len(members))
+	for _, m := range members {
+		c := newCluster(d.r)
+		c.add(m)
+		clusters = append(clusters, c)
+	}
+	// Stage 1a: agglomerative merging down to k clusters.
+	clusters = mergeClusters(clusters, k)
+	// Stage 1b: if fewer clusters than children, split until k.
+	clusters = d.splitUpTo(clusters, k)
+	// Stage 2: load balancing toward weighted targets.
+	d.balance(clusters, weights)
+	// Pair clusters to children rank-wise: largest cluster to the child
+	// with the most leaves, deterministically.
+	type ranked struct {
+		idx int
+		w   int64
+	}
+	byWeight := make([]ranked, k)
+	for i, w := range weights {
+		byWeight[i] = ranked{i, w}
+	}
+	sort.SliceStable(byWeight, func(a, b int) bool { return byWeight[a].w > byWeight[b].w })
+	order := make([]int, len(clusters))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ca, cb := clusters[order[a]], clusters[order[b]]
+		if ca.Size != cb.Size {
+			return ca.Size > cb.Size
+		}
+		return ca.firstIter() < cb.firstIter()
+	})
+	result := make([]*Cluster, k)
+	for rank, rw := range byWeight {
+		result[rw.idx] = clusters[order[rank]]
+	}
+	return result
+}
+
+// mergeClusters implements Figure 5 Stage 1: while more clusters remain
+// than needed, merge the pair with the maximal tag dot product.
+func mergeClusters(clusters []*Cluster, k int) []*Cluster {
+	n := len(clusters)
+	if n <= k {
+		return clusters
+	}
+	active := make([]bool, n)
+	version := make([]int, n)
+	for i := range active {
+		active[i] = true
+	}
+	// Max-heap of candidate merges with lazy invalidation.
+	h := &pairHeap{}
+	push := func(a, b int) {
+		h.push(mergePair{
+			dot: int64(clusters[a].Tag.AndPopCount(clusters[b].Tag)),
+			a:   a, b: b,
+			va: version[a], vb: version[b],
+		})
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			push(i, j)
+		}
+	}
+	remaining := n
+	for remaining > k {
+		p, ok := h.pop()
+		if !ok {
+			break
+		}
+		if !active[p.a] || !active[p.b] || version[p.a] != p.va || version[p.b] != p.vb {
+			continue
+		}
+		clusters[p.a].absorb(clusters[p.b])
+		active[p.b] = false
+		version[p.a]++
+		remaining--
+		for j := 0; j < n; j++ {
+			if j != p.a && active[j] {
+				a, b := p.a, j
+				if b < a {
+					a, b = b, a
+				}
+				push(a, b)
+			}
+		}
+	}
+	out := make([]*Cluster, 0, remaining)
+	for i, c := range clusters {
+		if active[i] {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// splitUpTo grows the cluster list to k clusters by repeatedly breaking the
+// largest cluster in two (Figure 5's |csi| < NumClusters case).
+func (d *distributor) splitUpTo(clusters []*Cluster, k int) []*Cluster {
+	for len(clusters) < k {
+		// Largest cluster by size; deterministic tie-break.
+		best := -1
+		for i, c := range clusters {
+			if best < 0 || c.Size > clusters[best].Size ||
+				(c.Size == clusters[best].Size && c.firstIter() < clusters[best].firstIter()) {
+				best = i
+			}
+		}
+		if best < 0 {
+			// No clusters at all: pad with empties.
+			clusters = append(clusters, newCluster(d.r))
+			continue
+		}
+		a, b := d.breakCluster(clusters[best])
+		clusters[best] = a
+		clusters = append(clusters, b)
+	}
+	return clusters
+}
+
+// breakCluster splits one cluster into two of roughly equal iteration
+// count. Multi-member clusters are partitioned greedily by member size;
+// single-member clusters split the iteration chunk itself.
+func (d *distributor) breakCluster(c *Cluster) (*Cluster, *Cluster) {
+	a, b := newCluster(d.r), newCluster(d.r)
+	switch len(c.Members) {
+	case 0:
+		return a, b
+	case 1:
+		m := c.Members[0]
+		if m.Count() < 2 {
+			a.add(m)
+			return a, b
+		}
+		m1, m2 := m.Split(m.Count() / 2)
+		a.add(m1)
+		b.add(m2)
+		return a, b
+	}
+	ms := append([]*tags.IterationChunk(nil), c.Members...)
+	sort.SliceStable(ms, func(i, j int) bool { return ms[i].Count() > ms[j].Count() })
+	for _, m := range ms {
+		if a.Size <= b.Size {
+			a.add(m)
+		} else {
+			b.add(m)
+		}
+	}
+	return a, b
+}
+
+// balance implements Figure 5 Stage 2: greedy eviction from over-full to
+// under-full clusters maximizing the dot product of the evicted chunk's
+// tag with the recipient cluster's tag; chunks are split when no whole
+// chunk satisfies the limits.
+func (d *distributor) balance(clusters []*Cluster, weights []int64) {
+	var total, wsum int64
+	for _, c := range clusters {
+		total += c.Size
+	}
+	for _, w := range weights {
+		wsum += w
+	}
+	if total == 0 || wsum == 0 {
+		return
+	}
+	k := len(clusters)
+	target := make([]int64, k)
+	uLim := make([]int64, k)
+	lLim := make([]int64, k)
+	// Limits are per size-rank slot: the weights sorted descending, so the
+	// largest cluster is held to the largest child's share.
+	ws := append([]int64(nil), weights...)
+	sort.Slice(ws, func(a, b int) bool { return ws[a] > ws[b] })
+	for i := 0; i < k; i++ {
+		w := int64(1)
+		if i < len(ws) {
+			w = ws[i]
+		}
+		target[i] = total * w / wsum
+		slack := int64(float64(target[i]) * d.opts.BalanceThreshold)
+		if slack < 1 {
+			slack = 1
+		}
+		uLim[i] = target[i] + slack
+		lLim[i] = target[i] - slack
+		if lLim[i] < 0 {
+			lLim[i] = 0
+		}
+	}
+	nMembers := 0
+	for _, c := range clusters {
+		nMembers += len(c.Members)
+	}
+	maxRounds := 4 * (nMembers + k + 4)
+	for round := 0; round < maxRounds; round++ {
+		order := make([]int, k)
+		for i := range order {
+			order[i] = i
+		}
+		sort.SliceStable(order, func(a, b int) bool {
+			ca, cb := clusters[order[a]], clusters[order[b]]
+			if ca.Size != cb.Size {
+				return ca.Size > cb.Size
+			}
+			return ca.firstIter() < cb.firstIter()
+		})
+		// Find a donor: a slot whose cluster exceeds its upper limit.
+		donorSlot := -1
+		for slot := 0; slot < k; slot++ {
+			if clusters[order[slot]].Size > uLim[slot] {
+				donorSlot = slot
+				break
+			}
+		}
+		if donorSlot < 0 {
+			return // balanced
+		}
+		donor := clusters[order[donorSlot]]
+		// Recipient: the most underfull slot relative to its lower limit.
+		recipSlot := -1
+		var worst int64 = 1 << 62
+		for slot := 0; slot < k; slot++ {
+			c := clusters[order[slot]]
+			if c == donor {
+				continue
+			}
+			deficit := c.Size - lLim[slot]
+			if deficit < worst {
+				worst = deficit
+				recipSlot = slot
+			}
+		}
+		if recipSlot < 0 {
+			return
+		}
+		recip := clusters[order[recipSlot]]
+		if !d.evict(donor, recip, lLim[donorSlot], uLim[recipSlot], target[donorSlot], target[recipSlot]) {
+			return // no progress possible
+		}
+	}
+}
+
+// evict moves one (possibly split) chunk from donor to recip, choosing the
+// chunk whose tag has maximal dot product with the recipient's tag.
+// Returns false when no move is possible.
+func (d *distributor) evict(donor, recip *Cluster, donorLLim, recipULim, donorTarget, recipTarget int64) bool {
+	bestIdx := -1
+	var bestDot int64 = -1
+	for i, m := range donor.Members {
+		cnt := m.Count()
+		if cnt == 0 {
+			continue
+		}
+		if donor.Size-cnt < donorLLim || recip.Size+cnt > recipULim {
+			continue
+		}
+		dot := int64(recip.Tag.AndPopCount(m.Tag))
+		if dot > bestDot {
+			bestDot, bestIdx = dot, i
+		}
+	}
+	if bestIdx >= 0 {
+		recip.add(donor.removeAt(bestIdx))
+		return true
+	}
+	// No whole chunk fits: split the highest-affinity chunk so both
+	// clusters land within limits.
+	move := donor.Size - donorTarget
+	if room := recipTarget - recip.Size; room < move {
+		move = room
+	}
+	if room := recipULim - recip.Size; room < move {
+		move = room
+	}
+	if move < 1 {
+		return false
+	}
+	bestIdx = -1
+	bestDot = -1
+	for i, m := range donor.Members {
+		if m.Count() > move {
+			dot := int64(recip.Tag.AndPopCount(m.Tag))
+			if dot > bestDot {
+				bestDot, bestIdx = dot, i
+			}
+		}
+	}
+	if bestIdx < 0 {
+		return false
+	}
+	m := donor.removeAt(bestIdx)
+	keep, give := m.Split(m.Count() - move)
+	donor.add(keep)
+	recip.add(give)
+	return true
+}
+
+// mergePair is a candidate merge in the Stage 1 heap.
+type mergePair struct {
+	dot    int64
+	a, b   int
+	va, vb int
+}
+
+// pairHeap is a max-heap on (dot, then smaller indices first) for
+// deterministic merging.
+type pairHeap struct{ items []mergePair }
+
+func (h *pairHeap) less(x, y mergePair) bool {
+	if x.dot != y.dot {
+		return x.dot > y.dot
+	}
+	if x.a != y.a {
+		return x.a < y.a
+	}
+	return x.b < y.b
+}
+
+func (h *pairHeap) push(p mergePair) {
+	h.items = append(h.items, p)
+	i := len(h.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(h.items[i], h.items[parent]) {
+			break
+		}
+		h.items[i], h.items[parent] = h.items[parent], h.items[i]
+		i = parent
+	}
+}
+
+func (h *pairHeap) pop() (mergePair, bool) {
+	if len(h.items) == 0 {
+		return mergePair{}, false
+	}
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < len(h.items) && h.less(h.items[l], h.items[m]) {
+			m = l
+		}
+		if r < len(h.items) && h.less(h.items[r], h.items[m]) {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		h.items[i], h.items[m] = h.items[m], h.items[i]
+		i = m
+	}
+	return top, true
+}

@@ -1,0 +1,254 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/hierarchy"
+	"repro/internal/tags"
+)
+
+// ScheduleOptions weighs the two reuse dimensions of the Figure 15
+// scheduling algorithm: Alpha scales affinity with the iteration chunk
+// last scheduled on the previous client of the same I/O cache group
+// (horizontal, shared-cache reuse); Beta scales affinity with the chunk
+// last scheduled on the same client (vertical, local reuse). The paper
+// finds Alpha = Beta = 0.5 best.
+type ScheduleOptions struct {
+	Alpha float64
+	Beta  float64
+}
+
+// DefaultScheduleOptions returns the paper's equal weighting.
+func DefaultScheduleOptions() ScheduleOptions { return ScheduleOptions{Alpha: 0.5, Beta: 0.5} }
+
+// Schedule implements the cache hierarchy-conscious iteration scheduling
+// algorithm (Figure 15). Given the per-client chunk assignment produced by
+// Distribute, it reorders each client's chunks to maximize chunk-level data
+// reuse both locally (consecutive chunks on one client) and across the
+// clients sharing an I/O-level cache (same scheduling slot on neighbouring
+// clients). Iteration counts are kept balanced circularly round by round.
+//
+// The input lists are not modified; the result has the same chunks per
+// client in the computed execution order.
+func Schedule(assign [][]*tags.IterationChunk, tree *hierarchy.Tree, opts ScheduleOptions) ([][]*tags.IterationChunk, error) {
+	if tree == nil {
+		return nil, fmt.Errorf("core: nil tree")
+	}
+	if len(assign) != tree.NumClients() {
+		return nil, fmt.Errorf("core: assignment for %d clients on a %d-client tree",
+			len(assign), tree.NumClients())
+	}
+	if opts.Alpha < 0 || opts.Beta < 0 {
+		return nil, fmt.Errorf("core: negative schedule weights (α=%v, β=%v)", opts.Alpha, opts.Beta)
+	}
+	out := make([][]*tags.IterationChunk, len(assign))
+	for _, group := range ioGroups(tree) {
+		scheduleGroup(assign, out, group, opts)
+	}
+	return out, nil
+}
+
+// ioGroups partitions the clients into groups sharing the same I/O-level
+// cache (their immediate parent node), preserving client order.
+func ioGroups(tree *hierarchy.Tree) [][]int {
+	var groups [][]int
+	seen := make(map[*hierarchy.Node]int)
+	for i, leaf := range tree.Clients() {
+		p := leaf.Parent
+		if p == nil {
+			groups = append(groups, []int{i})
+			continue
+		}
+		gi, ok := seen[p]
+		if !ok {
+			gi = len(groups)
+			seen[p] = gi
+			groups = append(groups, nil)
+		}
+		groups[gi] = append(groups[gi], i)
+	}
+	return groups
+}
+
+// scheduleGroup runs the Figure 15 inner loop for one I/O cache group.
+func scheduleGroup(assign, out [][]*tags.IterationChunk, group []int, opts ScheduleOptions) {
+	n := len(group)
+	remaining := make([][]*tags.IterationChunk, n)
+	for gi, c := range group {
+		remaining[gi] = append([]*tags.IterationChunk(nil), assign[c]...)
+	}
+	scheduled := make([][]*tags.IterationChunk, n)
+	counts := make([]int64, n)
+	last := make([]*tags.IterationChunk, n) // last chunk scheduled per client
+
+	pending := func() bool {
+		for _, r := range remaining {
+			if len(r) > 0 {
+				return true
+			}
+		}
+		return false
+	}
+
+	// takeBest removes and returns the chunk of remaining[gi] maximizing
+	// score; ties resolve to the earliest first-iteration for determinism.
+	takeBest := func(gi int, score func(*tags.IterationChunk) float64) *tags.IterationChunk {
+		best := -1
+		var bestScore float64
+		var bestKey int64
+		for i, c := range remaining[gi] {
+			s := score(c)
+			k := chunkKey(c)
+			if best < 0 || s > bestScore || (s == bestScore && k < bestKey) {
+				best, bestScore, bestKey = i, s, k
+			}
+		}
+		c := remaining[gi][best]
+		remaining[gi] = append(remaining[gi][:best], remaining[gi][best+1:]...)
+		return c
+	}
+
+	put := func(gi int, c *tags.IterationChunk) {
+		scheduled[gi] = append(scheduled[gi], c)
+		counts[gi] += c.Count()
+		last[gi] = c
+	}
+
+	dot := func(a, b *tags.IterationChunk) float64 {
+		if a == nil || b == nil {
+			return 0
+		}
+		return float64(a.Tag.AndPopCount(b.Tag))
+	}
+
+	for pending() {
+		for gi := 0; gi < n; gi++ {
+			if len(remaining[gi]) == 0 {
+				continue
+			}
+			// The balance bound: the first client matches the last client
+			// of the previous round (circular); others match their left
+			// neighbour.
+			boundIdx := gi - 1
+			if gi == 0 {
+				boundIdx = n - 1
+			}
+			first := true
+			for len(remaining[gi]) > 0 && (first || counts[gi] < counts[boundIdx]) {
+				first = false
+				var c *tags.IterationChunk
+				switch {
+				case gi == 0 && last[gi] == nil:
+					// Fewest data chunks first.
+					c = takeBest(gi, func(x *tags.IterationChunk) float64 {
+						return -float64(x.Tag.PopCount())
+					})
+				case gi > 0 && last[gi] == nil:
+					left := last[gi-1]
+					c = takeBest(gi, func(x *tags.IterationChunk) float64 {
+						return opts.Alpha * dot(x, left)
+					})
+				case gi == 0:
+					own := last[gi]
+					c = takeBest(gi, func(x *tags.IterationChunk) float64 {
+						return opts.Beta * dot(x, own)
+					})
+				default:
+					left, own := last[gi-1], last[gi]
+					c = takeBest(gi, func(x *tags.IterationChunk) float64 {
+						return opts.Alpha*dot(x, left) + opts.Beta*dot(x, own)
+					})
+				}
+				put(gi, c)
+			}
+		}
+	}
+	for gi, c := range group {
+		out[c] = scheduled[gi]
+	}
+}
+
+// chunkKey orders chunks deterministically (by nest, then first iteration).
+func chunkKey(c *tags.IterationChunk) int64 {
+	if c.Iters.IsEmpty() {
+		return int64(c.Nest) << 40
+	}
+	return int64(c.Nest)<<40 + c.Iters.Min()
+}
+
+// MergeChunks fuses several iteration chunks into one super-chunk: tags are
+// OR-ed, iteration sets unioned. Used by the dependence-handling mode that
+// pre-clusters dependent chunks (Section 5.4, first alternative — the
+// "infinite edge weight" strategy). All chunks must come from the same nest.
+func MergeChunks(chunks []*tags.IterationChunk) *tags.IterationChunk {
+	if len(chunks) == 0 {
+		panic("core: MergeChunks of nothing")
+	}
+	tag := chunks[0].Tag.Clone()
+	iters := chunks[0].Iters.Clone()
+	for _, c := range chunks[1:] {
+		if c.Nest != chunks[0].Nest {
+			panic("core: MergeChunks across nests")
+		}
+		tag.OrInPlace(c.Tag)
+		iters = iters.Union(c.Iters)
+	}
+	return &tags.IterationChunk{Tag: tag, Iters: iters, Nest: chunks[0].Nest}
+}
+
+// unionFind is a small DSU used by PreMergeDependent.
+type unionFind []int
+
+func newUnionFind(n int) unionFind {
+	u := make(unionFind, n)
+	for i := range u {
+		u[i] = i
+	}
+	return u
+}
+
+func (u unionFind) find(x int) int {
+	for u[x] != x {
+		u[x] = u[u[x]]
+		x = u[x]
+	}
+	return x
+}
+
+func (u unionFind) union(a, b int) { u[u.find(a)] = u.find(b) }
+
+// PreMergeDependent implements the first Section 5.4 dependence strategy:
+// chunks connected by a dependence edge are fused into a single super-chunk
+// (equivalent to an infinite-weight graph edge), guaranteeing that
+// dependent iterations land on the same client and need no inter-processor
+// synchronization. pairs lists dependent chunk index pairs.
+func PreMergeDependent(chunks []*tags.IterationChunk, pairs [][2]int) []*tags.IterationChunk {
+	if len(pairs) == 0 {
+		return chunks
+	}
+	u := newUnionFind(len(chunks))
+	for _, p := range pairs {
+		u.union(p[0], p[1])
+	}
+	groups := make(map[int][]*tags.IterationChunk)
+	var roots []int
+	for i, c := range chunks {
+		r := u.find(i)
+		if _, ok := groups[r]; !ok {
+			roots = append(roots, r)
+		}
+		groups[r] = append(groups[r], c)
+	}
+	sort.Ints(roots)
+	out := make([]*tags.IterationChunk, 0, len(roots))
+	for _, r := range roots {
+		g := groups[r]
+		if len(g) == 1 {
+			out = append(out, g[0])
+		} else {
+			out = append(out, MergeChunks(g))
+		}
+	}
+	return out
+}

@@ -1,0 +1,535 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/chunking"
+	"repro/internal/iosim"
+	"repro/internal/mapping"
+	"repro/internal/polyhedral"
+)
+
+// Baseline holds the default-configuration runs of every application under
+// every scheme; Table 2 and Figures 10, 11 and 18 all derive from it.
+type Baseline struct {
+	Config Config
+	// ByApp[app][scheme]
+	ByApp map[string]map[mapping.Scheme]*iosim.Metrics
+	Apps  []string
+}
+
+// RunBaseline executes all applications under all four schemes.
+func RunBaseline(cfg Config) (*Baseline, error) {
+	all, err := cfg.RunAll(mapping.Schemes()...)
+	if err != nil {
+		return nil, err
+	}
+	b := &Baseline{Config: cfg, ByApp: make(map[string]map[mapping.Scheme]*iosim.Metrics)}
+	for _, am := range all {
+		if b.ByApp[am.App] == nil {
+			b.ByApp[am.App] = make(map[mapping.Scheme]*iosim.Metrics)
+			b.Apps = append(b.Apps, am.App)
+		}
+		b.ByApp[am.App][am.Scheme] = am.Metrics
+	}
+	return b, nil
+}
+
+// Table2Row is one application's absolute miss rates under the original
+// version (the paper's Table 2).
+type Table2Row struct {
+	App        string
+	L1, L2, L3 float64 // percent
+}
+
+// Table2 reports the original version's per-level miss rates.
+func (b *Baseline) Table2() []Table2Row {
+	var rows []Table2Row
+	for _, app := range b.Apps {
+		m := b.ByApp[app][mapping.Original]
+		rows = append(rows, Table2Row{
+			App: app,
+			L1:  m.MissRateL(1) * 100,
+			L2:  m.MissRateL(2) * 100,
+			L3:  m.MissRateL(3) * 100,
+		})
+	}
+	return rows
+}
+
+// Figure10Row is one application's normalized miss rates (original = 1).
+type Figure10Row struct {
+	App                       string
+	IntraL1, IntraL2, IntraL3 float64
+	InterL1, InterL2, InterL3 float64
+}
+
+// Figure10 reports normalized L1/L2/L3 miss rates for the intra- and
+// inter-processor schemes.
+func (b *Baseline) Figure10() []Figure10Row {
+	var rows []Figure10Row
+	for _, app := range b.Apps {
+		orig := b.ByApp[app][mapping.Original]
+		intra := b.ByApp[app][mapping.IntraProcessor]
+		inter := b.ByApp[app][mapping.InterProcessor]
+		rows = append(rows, Figure10Row{
+			App:     app,
+			IntraL1: ratio(intra.MissRateL(1), orig.MissRateL(1)),
+			IntraL2: ratio(intra.MissRateL(2), orig.MissRateL(2)),
+			IntraL3: ratio(intra.MissRateL(3), orig.MissRateL(3)),
+			InterL1: ratio(inter.MissRateL(1), orig.MissRateL(1)),
+			InterL2: ratio(inter.MissRateL(2), orig.MissRateL(2)),
+			InterL3: ratio(inter.MissRateL(3), orig.MissRateL(3)),
+		})
+	}
+	return rows
+}
+
+// Figure11Row is one application's normalized I/O latency and execution
+// time (original = 1).
+type Figure11Row struct {
+	App                  string
+	IntraIO, InterIO     float64
+	IntraExec, InterExec float64
+}
+
+// Figure11 reports normalized I/O latency and total execution time.
+func (b *Baseline) Figure11() []Figure11Row {
+	var rows []Figure11Row
+	for _, app := range b.Apps {
+		orig := b.ByApp[app][mapping.Original]
+		intra := b.ByApp[app][mapping.IntraProcessor]
+		inter := b.ByApp[app][mapping.InterProcessor]
+		rows = append(rows, Figure11Row{
+			App:       app,
+			IntraIO:   ratio(intra.IOLatencyMS(), orig.IOLatencyMS()),
+			InterIO:   ratio(inter.IOLatencyMS(), orig.IOLatencyMS()),
+			IntraExec: ratio(intra.ExecTimeMS(), orig.ExecTimeMS()),
+			InterExec: ratio(inter.ExecTimeMS(), orig.ExecTimeMS()),
+		})
+	}
+	return rows
+}
+
+// Figure18Row reports the scheduling enhancement (inter-sched) normalized
+// against the original version.
+type Figure18Row struct {
+	App              string
+	L1Miss, IO, Exec float64 // inter-sched, normalized
+	InterL1          float64 // plain inter for reference
+}
+
+// Figure18 reports the Figure 15 scheduler's effect.
+func (b *Baseline) Figure18() []Figure18Row {
+	var rows []Figure18Row
+	for _, app := range b.Apps {
+		orig := b.ByApp[app][mapping.Original]
+		inter := b.ByApp[app][mapping.InterProcessor]
+		sched := b.ByApp[app][mapping.InterProcessorSched]
+		rows = append(rows, Figure18Row{
+			App:     app,
+			L1Miss:  ratio(sched.MissRateL(1), orig.MissRateL(1)),
+			IO:      ratio(sched.IOLatencyMS(), orig.IOLatencyMS()),
+			Exec:    ratio(sched.ExecTimeMS(), orig.ExecTimeMS()),
+			InterL1: ratio(inter.MissRateL(1), orig.MissRateL(1)),
+		})
+	}
+	return rows
+}
+
+// Topology is a (clients, I/O nodes, storage nodes) triple.
+type Topology struct{ W, X, Y int }
+
+func (t Topology) String() string { return fmt.Sprintf("(%d,%d,%d)", t.W, t.X, t.Y) }
+
+// Figure12Topologies are the sensitivity points of Figure 12.
+func Figure12Topologies() []Topology {
+	return []Topology{
+		{64, 32, 16}, // default
+		{64, 16, 16},
+		{64, 16, 8},
+		{128, 32, 16},
+	}
+}
+
+// SweepRow is one (configuration, application) cell of a sensitivity
+// figure: the inter-processor scheme normalized against the original
+// version under the same configuration.
+type SweepRow struct {
+	Label    string
+	App      string
+	IO, Exec float64
+}
+
+// Figure12 sweeps node-count topologies.
+func Figure12(base Config, topos []Topology) ([]SweepRow, error) {
+	var rows []SweepRow
+	for _, topo := range topos {
+		cfg := base
+		cfg.Clients, cfg.IONodes, cfg.StorageNodes = topo.W, topo.X, topo.Y
+		sub, err := sweepPoint(cfg, topo.String())
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, sub...)
+	}
+	return rows, nil
+}
+
+// Capacities is a (client, I/O, storage) per-node cache capacity triple in
+// chunks.
+type Capacities struct{ W, X, Y int }
+
+func (c Capacities) String() string { return fmt.Sprintf("(%d,%d,%d)", c.W, c.X, c.Y) }
+
+// Figure13Capacities are the sensitivity points of Figure 13: the paper's
+// halved / default / doubled / shared-boosted per-node capacities, scaled
+// to the default (4,8,16)-chunk configuration.
+func Figure13Capacities() []Capacities {
+	return []Capacities{
+		{2, 4, 8},   // half the default (paper: 1GB,1GB,1GB)
+		{4, 8, 16},  // default (2GB,2GB,2GB)
+		{8, 16, 32}, // double (4GB,4GB,4GB)
+		{4, 16, 32}, // bigger shared caches only (2GB,4GB,4GB)
+	}
+}
+
+// Figure13 sweeps cache capacities.
+func Figure13(base Config, caps []Capacities) ([]SweepRow, error) {
+	var rows []SweepRow
+	for _, cp := range caps {
+		cfg := base
+		cfg.CacheL1, cfg.CacheL2, cfg.CacheL3 = cp.W, cp.X, cp.Y
+		sub, err := sweepPoint(cfg, cp.String())
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, sub...)
+	}
+	return rows, nil
+}
+
+// Figure14Sizes are the data chunk sizes of Figure 14, scaled 1:16 from
+// the paper's 16/32/64/128 KB.
+func Figure14Sizes() []int64 { return []int64{1024, 2048, 4096, 8192} }
+
+// Figure14 sweeps the data chunk size. Cache capacities are held constant
+// in bytes (the paper varies only the chunk size), so the per-node chunk
+// count scales inversely.
+func Figure14(base Config, sizes []int64) ([]SweepRow, error) {
+	var rows []SweepRow
+	baseBytes := int64(base.CacheL1) * base.ChunkBytes
+	for _, size := range sizes {
+		cfg := base
+		cfg.ChunkBytes = size
+		scale := func(chunks int) int {
+			v := int(int64(chunks) * base.ChunkBytes / size)
+			if v < 1 {
+				v = 1
+			}
+			return v
+		}
+		cfg.CacheL1 = scale(base.CacheL1)
+		cfg.CacheL2 = scale(base.CacheL2)
+		cfg.CacheL3 = scale(base.CacheL3)
+		_ = baseBytes
+		label := fmt.Sprintf("%dKB", size*16/1024) // report paper-scale sizes
+		sub, err := sweepPoint(cfg, label)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, sub...)
+	}
+	return rows, nil
+}
+
+// sweepPoint runs original vs inter for every app under one configuration.
+func sweepPoint(cfg Config, label string) ([]SweepRow, error) {
+	apps, err := cfg.Apps()
+	if err != nil {
+		return nil, err
+	}
+	var rows []SweepRow
+	for _, w := range apps {
+		orig, err := cfg.Run(w, mapping.Original)
+		if err != nil {
+			return nil, err
+		}
+		inter, err := cfg.Run(w, mapping.InterProcessor)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, SweepRow{
+			Label: label,
+			App:   w.Name,
+			IO:    ratio(inter.IOLatencyMS(), orig.IOLatencyMS()),
+			Exec:  ratio(inter.ExecTimeMS(), orig.ExecTimeMS()),
+		})
+	}
+	return rows, nil
+}
+
+// AlphaBetaRow is one (α, β) point of the Section 5.4 weight study.
+type AlphaBetaRow struct {
+	Alpha, Beta float64
+	MeanIO      float64 // normalized vs original, averaged over apps
+	MeanL1      float64
+}
+
+// AlphaBetaSweep studies the scheduler weights (the paper finds α=β=0.5
+// best: too-large β misses shared-cache locality, too-large α hurts L1).
+func AlphaBetaSweep(base Config, weights [][2]float64) ([]AlphaBetaRow, error) {
+	apps, err := base.Apps()
+	if err != nil {
+		return nil, err
+	}
+	var rows []AlphaBetaRow
+	for _, wgt := range weights {
+		cfg := base
+		cfg.Alpha, cfg.Beta = wgt[0], wgt[1]
+		var ioSum, l1Sum float64
+		for _, w := range apps {
+			orig, err := cfg.Run(w, mapping.Original)
+			if err != nil {
+				return nil, err
+			}
+			sched, err := cfg.Run(w, mapping.InterProcessorSched)
+			if err != nil {
+				return nil, err
+			}
+			ioSum += ratio(sched.IOLatencyMS(), orig.IOLatencyMS())
+			l1Sum += ratio(sched.MissRateL(1), orig.MissRateL(1))
+		}
+		rows = append(rows, AlphaBetaRow{
+			Alpha:  wgt[0],
+			Beta:   wgt[1],
+			MeanIO: ioSum / float64(len(apps)),
+			MeanL1: l1Sum / float64(len(apps)),
+		})
+	}
+	return rows, nil
+}
+
+// DependenceRow compares the two Section 5.4 dependence strategies on a
+// synthetic dependent nest.
+type DependenceRow struct {
+	Mode      string
+	IO, Exec  float64 // normalized vs original
+	SyncEdges int
+}
+
+// DependenceStudy builds a loop nest with a genuine cross-iteration,
+// cross-chunk dependence and evaluates DepMerge vs DepSync.
+func DependenceStudy(cfg Config) ([]DependenceRow, error) {
+	n := int64(4096 / cfg.Scale)
+	lag := int64(64)
+	data := chunking.NewDataSpace(cfg.ChunkBytes,
+		chunking.Array{Name: "A", Dims: []int64{n}, ElemSize: 512},
+		chunking.Array{Name: "B", Dims: []int64{n}, ElemSize: 512},
+	)
+	prog := iosim.Program{
+		Nest: polyhedral.NewNest("wavefront", []int64{lag, 0}, []int64{n - 1, 3}),
+		Refs: []polyhedral.Ref{
+			polyhedral.SimpleRef(0, 2, []int{0}, []int64{0}, polyhedral.Write),
+			polyhedral.SimpleRef(0, 2, []int{0}, []int64{-lag}, polyhedral.Read),
+			polyhedral.SimpleRef(1, 2, []int{0}, []int64{0}, polyhedral.Read),
+		},
+		Data: data,
+	}
+	tree := cfg.Tree()
+	mcfg := cfg.mappingConfig(tree)
+	origRes, err := mapping.Map(mapping.Original, prog, mcfg)
+	if err != nil {
+		return nil, err
+	}
+	orig, err := iosim.Run(tree, prog, origRes.Assignment, cfg.Params)
+	if err != nil {
+		return nil, err
+	}
+	var rows []DependenceRow
+	for _, mode := range []struct {
+		name string
+		mode mapping.DepMode
+	}{{"merge", mapping.DepMerge}, {"sync", mapping.DepSync}} {
+		mc := mcfg
+		mc.DepMode = mode.mode
+		res, err := mapping.Map(mapping.InterProcessor, prog, mc)
+		if err != nil {
+			return nil, err
+		}
+		m, err := iosim.Run(cfg.Tree(), prog, res.Assignment, cfg.Params)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, DependenceRow{
+			Mode:      mode.name,
+			IO:        ratio(m.IOLatencyMS(), orig.IOLatencyMS()),
+			Exec:      ratio(m.ExecTimeMS(), orig.ExecTimeMS()),
+			SyncEdges: res.SyncEdges,
+		})
+	}
+	return rows, nil
+}
+
+// MultiNestRow compares per-nest mapping against combined multi-nest
+// mapping (Section 5.4: most reuse is intra-nest; combining nests buys
+// only a few percent more cache hits).
+type MultiNestRow struct {
+	Mode    string
+	HitRate float64 // aggregate cache hit rate over all levels
+	IO      float64 // normalized vs separate mapping
+}
+
+// MultiNestStudy runs two nests sharing a data space, mapped separately
+// and together.
+func MultiNestStudy(cfg Config) ([]MultiNestRow, error) {
+	n := int64(2048 / cfg.Scale)
+	data := chunking.NewDataSpace(cfg.ChunkBytes,
+		chunking.Array{Name: "A", Dims: []int64{n}, ElemSize: 512},
+		chunking.Array{Name: "B", Dims: []int64{n}, ElemSize: 512},
+	)
+	mk := func(name string, array int, passes int64) iosim.Program {
+		return iosim.Program{
+			Nest: polyhedral.NewNest(name, []int64{0, 0}, []int64{passes - 1, n - 1}),
+			Refs: []polyhedral.Ref{
+				polyhedral.SimpleRef(array, 2, []int{1}, []int64{0}, polyhedral.Read),
+				polyhedral.SimpleRef(1-array, 2, []int{1}, []int64{0}, polyhedral.Write),
+			},
+			Data: data,
+		}
+	}
+	progs := []iosim.Program{mk("nest0", 0, 3), mk("nest1", 1, 3)}
+	tree := cfg.Tree()
+	mcfg := cfg.mappingConfig(tree)
+
+	hitRate := func(m *iosim.Metrics) float64 {
+		var acc, hit int64
+		for _, st := range m.LevelStats {
+			acc += st.Accesses
+			hit += st.Hits
+		}
+		if acc == 0 {
+			return 0
+		}
+		return float64(hit) / float64(acc)
+	}
+
+	// Separate: each nest mapped in isolation.
+	var sepAsgs []iosim.Assignment
+	for _, p := range progs {
+		res, err := mapping.Map(mapping.InterProcessor, p, mcfg)
+		if err != nil {
+			return nil, err
+		}
+		sepAsgs = append(sepAsgs, res.Assignment)
+	}
+	mSep, err := iosim.RunSequence(cfg.Tree(), progs, sepAsgs, cfg.Params)
+	if err != nil {
+		return nil, err
+	}
+	// Combined multi-nest mapping.
+	comAsgs, err := mapping.MapMulti(mapping.InterProcessor, progs, mcfg)
+	if err != nil {
+		return nil, err
+	}
+	mCom, err := iosim.RunSequence(cfg.Tree(), progs, comAsgs, cfg.Params)
+	if err != nil {
+		return nil, err
+	}
+	return []MultiNestRow{
+		{Mode: "separate", HitRate: hitRate(mSep), IO: 1},
+		{Mode: "combined", HitRate: hitRate(mCom),
+			IO: ratio(mCom.IOLatencyMS(), mSep.IOLatencyMS())},
+	}, nil
+}
+
+// PolicyRow is one cache-policy ablation point (beyond the paper, which
+// notes the approach works with any policy).
+type PolicyRow struct {
+	Policy string
+	MeanIO float64 // inter normalized vs original under the same policy
+}
+
+// PolicyAblation re-runs the headline comparison under different cache
+// replacement policies.
+func PolicyAblation(base Config, policies []cache.PolicyKind) ([]PolicyRow, error) {
+	apps, err := base.Apps()
+	if err != nil {
+		return nil, err
+	}
+	var rows []PolicyRow
+	for _, p := range policies {
+		cfg := base
+		cfg.Params.Policy = p
+		var ioSum float64
+		for _, w := range apps {
+			orig, err := cfg.Run(w, mapping.Original)
+			if err != nil {
+				return nil, err
+			}
+			inter, err := cfg.Run(w, mapping.InterProcessor)
+			if err != nil {
+				return nil, err
+			}
+			ioSum += ratio(inter.IOLatencyMS(), orig.IOLatencyMS())
+		}
+		rows = append(rows, PolicyRow{Policy: p.String(), MeanIO: ioSum / float64(len(apps))})
+	}
+	return rows, nil
+}
+
+// ThresholdRow is one balance-threshold ablation point.
+type ThresholdRow struct {
+	Threshold float64
+	MeanIO    float64
+	MaxImbal  float64 // worst per-client iteration imbalance fraction
+}
+
+// ThresholdSweep studies the load-balance threshold of the distribution
+// algorithm.
+func ThresholdSweep(base Config, thresholds []float64) ([]ThresholdRow, error) {
+	apps, err := base.Apps()
+	if err != nil {
+		return nil, err
+	}
+	var rows []ThresholdRow
+	for _, th := range thresholds {
+		cfg := base
+		cfg.BalanceThreshold = th
+		var ioSum, worst float64
+		for _, w := range apps {
+			orig, err := cfg.Run(w, mapping.Original)
+			if err != nil {
+				return nil, err
+			}
+			tree := cfg.Tree()
+			res, err := mapping.Map(mapping.InterProcessor, w.Prog, cfg.mappingConfig(tree))
+			if err != nil {
+				return nil, err
+			}
+			m, err := iosim.Run(tree, w.Prog, res.Assignment, cfg.Params)
+			if err != nil {
+				return nil, err
+			}
+			ioSum += ratio(m.IOLatencyMS(), orig.IOLatencyMS())
+			total := res.Assignment.TotalIterations()
+			ideal := float64(total) / float64(cfg.Clients)
+			for _, blocks := range res.Assignment {
+				var n int64
+				for _, b := range blocks {
+					n += b.Count()
+				}
+				dev := (float64(n) - ideal) / ideal
+				if dev < 0 {
+					dev = -dev
+				}
+				if dev > worst {
+					worst = dev
+				}
+			}
+		}
+		rows = append(rows, ThresholdRow{Threshold: th, MeanIO: ioSum / float64(len(apps)), MaxImbal: worst})
+	}
+	return rows, nil
+}

@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"repro/internal/mapping"
+	"repro/internal/workloads"
+)
+
+// IrregularRow is one scheme's result on the irregular-mesh workload.
+type IrregularRow struct {
+	Scheme string
+	IOMS   float64
+	Norm   float64 // vs original
+	L1Miss float64
+}
+
+// IrregularStudy exercises the future-work extension: mapping a loop with
+// indirection-based (unstructured mesh) accesses. Because the index tables
+// feed the tag computation directly, the inter-processor schemes cluster
+// the true chunk footprint and should beat the original block mapping.
+func IrregularStudy(base Config) ([]IrregularRow, error) {
+	w := workloads.Irregular(base.Scale, 7)
+	var rows []IrregularRow
+	var origIO float64
+	for _, s := range mapping.Schemes() {
+		m, err := base.Run(w, s)
+		if err != nil {
+			return nil, err
+		}
+		if s == mapping.Original {
+			origIO = m.IOLatencyMS()
+		}
+		rows = append(rows, IrregularRow{
+			Scheme: string(s),
+			IOMS:   m.IOLatencyMS(),
+			Norm:   ratio(m.IOLatencyMS(), origIO),
+			L1Miss: m.MissRateL(1),
+		})
+	}
+	return rows, nil
+}

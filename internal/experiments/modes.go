@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"repro/internal/iosim"
+	"repro/internal/mapping"
+)
+
+// ModeRow is one cache-management-mode ablation point: the hierarchy mode
+// applied to both the original and the inter-processor mapping.
+type ModeRow struct {
+	Mode       string
+	OrigIOMS   float64 // mean over apps, absolute
+	InterIOMS  float64
+	Norm       float64 // mean normalized inter I/O (vs original, same mode)
+	Prefetches int64
+}
+
+// CacheModeStudy evaluates the inclusive/exclusive caching modes and
+// server-side sequential prefetching from the paper's related work (Wong &
+// Wilkes exclusive caching; AMP/TaP-style readahead): the mapping's benefit
+// should persist under every mode — it shapes which clients share data,
+// which is orthogonal to how the caches manage it.
+func CacheModeStudy(base Config) ([]ModeRow, error) {
+	modes := []struct {
+		name   string
+		mutate func(*iosim.Params)
+	}{
+		{"inclusive", func(p *iosim.Params) {}},
+		{"exclusive", func(p *iosim.Params) { p.Exclusive = true }},
+		{"cooperative", func(p *iosim.Params) { p.Cooperative = true }},
+		{"prefetch(4)", func(p *iosim.Params) { p.PrefetchDepth = 4 }},
+		{"exclusive+prefetch", func(p *iosim.Params) { p.Exclusive = true; p.PrefetchDepth = 4 }},
+	}
+	apps, err := base.Apps()
+	if err != nil {
+		return nil, err
+	}
+	var rows []ModeRow
+	for _, mode := range modes {
+		cfg := base
+		mode.mutate(&cfg.Params)
+		var origSum, interSum, normSum float64
+		var prefetches int64
+		for _, w := range apps {
+			orig, err := cfg.Run(w, mapping.Original)
+			if err != nil {
+				return nil, err
+			}
+			inter, err := cfg.Run(w, mapping.InterProcessor)
+			if err != nil {
+				return nil, err
+			}
+			origSum += orig.IOLatencyMS()
+			interSum += inter.IOLatencyMS()
+			normSum += ratio(inter.IOLatencyMS(), orig.IOLatencyMS())
+			prefetches += orig.Prefetches + inter.Prefetches
+		}
+		n := float64(len(apps))
+		rows = append(rows, ModeRow{
+			Mode:       mode.name,
+			OrigIOMS:   origSum / n,
+			InterIOMS:  interSum / n,
+			Norm:       normSum / n,
+			Prefetches: prefetches,
+		})
+	}
+	return rows, nil
+}

@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/mapping"
+)
+
+// Claim is one verifiable shape statement from the paper's evaluation: not
+// an absolute number, but an ordering or direction that must survive the
+// change of platform. EXPERIMENTS.md documents each; ShapeChecks verifies
+// them mechanically so reproduction fidelity is itself tested.
+type Claim struct {
+	ID          string
+	Description string
+	Holds       bool
+	Detail      string
+}
+
+// ShapeChecks runs the evaluation and verifies the paper's headline shape
+// claims.
+func ShapeChecks(cfg Config) ([]Claim, error) {
+	base, err := RunBaseline(cfg)
+	if err != nil {
+		return nil, err
+	}
+	f10 := base.Figure10()
+	f11 := base.Figure11()
+	f18 := base.Figure18()
+
+	mean := func(pick func(i int) float64) float64 {
+		var s float64
+		for i := range f11 {
+			s += pick(i)
+		}
+		return s / float64(len(f11))
+	}
+	interIO := mean(func(i int) float64 { return f11[i].InterIO })
+	intraIO := mean(func(i int) float64 { return f11[i].IntraIO })
+	interExec := mean(func(i int) float64 { return f11[i].InterExec })
+	intraExec := mean(func(i int) float64 { return f11[i].IntraExec })
+	schedIO := mean(func(i int) float64 { return f18[i].IO })
+	schedL1 := mean(func(i int) float64 { return f18[i].L1Miss })
+	interL1 := mean(func(i int) float64 { return f18[i].InterL1 })
+	intraL1 := mean(func(i int) float64 { return f10[i].IntraL1 })
+	intraL2 := mean(func(i int) float64 { return f10[i].IntraL2 })
+	intraL3 := mean(func(i int) float64 { return f10[i].IntraL3 })
+
+	var claims []Claim
+	add := func(id, desc string, holds bool, detail string) {
+		claims = append(claims, Claim{ID: id, Description: desc, Holds: holds, Detail: detail})
+	}
+
+	add("fig11-io-order",
+		"inter-processor beats intra-processor beats nothing on mean I/O latency",
+		interIO < intraIO && intraIO <= 1.001,
+		fmt.Sprintf("inter %.2f < intra %.2f <= 1", interIO, intraIO))
+	add("fig11-exec-order",
+		"the same ordering holds for execution time",
+		interExec < intraExec && intraExec <= 1.001,
+		fmt.Sprintf("inter %.2f < intra %.2f <= 1", interExec, intraExec))
+	add("fig11-exec-discount",
+		"execution-time gains are smaller than I/O gains (compute is unaffected)",
+		interExec >= interIO-0.001,
+		fmt.Sprintf("exec %.2f >= I/O %.2f", interExec, interIO))
+	add("fig10-intra-local-only",
+		"the intra-processor scheme improves only client-local (L1) behaviour",
+		intraL1 <= intraL2+0.05 && intraL1 <= intraL3+0.05,
+		fmt.Sprintf("intra L1 %.2f vs L2 %.2f, L3 %.2f", intraL1, intraL2, intraL3))
+	add("fig18-sched-io",
+		"the scheduling enhancement improves mean I/O over plain inter",
+		schedIO <= interIO+0.001,
+		fmt.Sprintf("sched %.2f <= inter %.2f", schedIO, interIO))
+	add("fig18-sched-l1",
+		"the scheduling enhancement does not lose L1 locality vs plain inter",
+		schedL1 <= interL1+0.02,
+		fmt.Sprintf("sched L1 %.2f <= inter L1 %.2f", schedL1, interL1))
+
+	// α/β: equal weights no worse than either extreme.
+	ab, err := AlphaBetaSweep(cfg, [][2]float64{{0, 1}, {0.5, 0.5}, {1, 0}})
+	if err != nil {
+		return nil, err
+	}
+	add("alphabeta-equal-best",
+		"equal scheduler weights perform at least as well as either extreme",
+		ab[1].MeanIO <= ab[0].MeanIO+0.01 && ab[1].MeanIO <= ab[2].MeanIO+0.01,
+		fmt.Sprintf("(0.5,0.5) %.3f vs (0,1) %.3f, (1,0) %.3f", ab[1].MeanIO, ab[0].MeanIO, ab[2].MeanIO))
+
+	// Policy robustness: the mapping helps under every policy.
+	pol, err := PolicyAblation(cfg, []cache.PolicyKind{cache.LRU, cache.FIFO, cache.CLOCK, cache.MQ})
+	if err != nil {
+		return nil, err
+	}
+	holds := true
+	detail := ""
+	for _, r := range pol {
+		if r.MeanIO >= 1 {
+			holds = false
+		}
+		detail += fmt.Sprintf("%s %.2f ", r.Policy, r.MeanIO)
+	}
+	add("policy-robust", "the mapping improves mean I/O under every cache policy", holds, detail)
+
+	// Dependence strategies.
+	dep, err := DependenceStudy(cfg)
+	if err != nil {
+		return nil, err
+	}
+	add("dep-merge-no-sync",
+		"the merge strategy needs no inter-processor synchronization",
+		dep[0].SyncEdges == 0, fmt.Sprintf("merge edges = %d", dep[0].SyncEdges))
+	add("dep-sync-parallel",
+		"the sync strategy keeps parallelism at the cost of sync edges",
+		dep[1].SyncEdges > 0 && dep[1].Exec < 1,
+		fmt.Sprintf("sync edges = %d, exec %.2f", dep[1].SyncEdges, dep[1].Exec))
+
+	// Irregular extension.
+	irr, err := IrregularStudy(cfg)
+	if err != nil {
+		return nil, err
+	}
+	var irrInter float64
+	for _, r := range irr {
+		if r.Scheme == string(mapping.InterProcessor) {
+			irrInter = r.Norm
+		}
+	}
+	add("irregular-improves",
+		"the mapping improves irregular (indirection-based) loops too",
+		irrInter < 1, fmt.Sprintf("inter norm %.2f", irrInter))
+
+	return claims, nil
+}

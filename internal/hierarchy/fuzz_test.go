@@ -1,0 +1,32 @@
+package hierarchy
+
+import "testing"
+
+// FuzzParse ensures the topology parser never panics and that accepted
+// specs yield structurally valid trees.
+func FuzzParse(f *testing.F) {
+	f.Add("16/32/64@16,8,4")
+	f.Add("1/2/4")
+	f.Add("1/1/1/1@0,0,0,0")
+	f.Add("@")
+	f.Add("64")
+	f.Add("2/4/8@1,2")
+	f.Fuzz(func(t *testing.T, spec string) {
+		if len(spec) > 128 {
+			t.Skip()
+		}
+		tr, err := Parse(spec)
+		if err != nil {
+			return
+		}
+		if tr == nil {
+			t.Fatal("nil tree without error")
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("accepted spec %q produced invalid tree: %v", spec, err)
+		}
+		if tr.NumClients() < 1 {
+			t.Fatalf("accepted spec %q has no clients", spec)
+		}
+	})
+}

@@ -1,0 +1,262 @@
+package hierarchy
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// figure7 builds the paper's Figure 7 example: 1 storage node, 2 I/O nodes,
+// 4 client nodes.
+func figure7() *Tree {
+	return NewLayered(
+		LayerSpec{Count: 1, CacheChunks: 100, Label: "SN"},
+		LayerSpec{Count: 2, CacheChunks: 100, Label: "IO"},
+		LayerSpec{Count: 4, CacheChunks: 100, Label: "CN"},
+	)
+}
+
+func TestFigure7Shape(t *testing.T) {
+	tr := figure7()
+	if tr.NumClients() != 4 {
+		t.Fatalf("NumClients = %d", tr.NumClients())
+	}
+	if tr.Height() != 2 {
+		t.Fatalf("Height = %d", tr.Height())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Root.Children) != 2 {
+		t.Fatalf("root degree = %d", len(tr.Root.Children))
+	}
+	for _, io := range tr.Root.Children {
+		if len(io.Children) != 2 {
+			t.Fatalf("I/O node degree = %d", len(io.Children))
+		}
+	}
+}
+
+func TestFigure7Affinity(t *testing.T) {
+	tr := figure7()
+	// Clients 0,1 share IO0 (level 1); clients 0,2 share only the root.
+	if !tr.HaveAffinityAt(0, 1, 1) {
+		t.Fatal("clients 0,1 should share an I/O cache")
+	}
+	if tr.HaveAffinityAt(0, 2, 1) {
+		t.Fatal("clients 0,2 should not share an I/O cache")
+	}
+	if !tr.HaveAffinityAt(0, 2, 0) {
+		t.Fatal("all clients share the storage cache")
+	}
+	if got := tr.SharedCacheLevel(0, 1); got != 1 {
+		t.Fatalf("SharedCacheLevel(0,1) = %d", got)
+	}
+	if got := tr.SharedCacheLevel(1, 2); got != 0 {
+		t.Fatalf("SharedCacheLevel(1,2) = %d", got)
+	}
+}
+
+func TestDummyRootInserted(t *testing.T) {
+	tr := NewLayered(
+		LayerSpec{Count: 2, CacheChunks: 50, Label: "SN"},
+		LayerSpec{Count: 4, CacheChunks: 50, Label: "IO"},
+		LayerSpec{Count: 8, CacheChunks: 50, Label: "CN"},
+	)
+	if tr.Root.CacheChunks != 0 {
+		t.Fatal("dummy root should be cache-less")
+	}
+	if len(tr.Root.Children) != 2 {
+		t.Fatalf("root degree = %d", len(tr.Root.Children))
+	}
+	if tr.Height() != 3 {
+		t.Fatalf("Height = %d", tr.Height())
+	}
+	// Clients under different storage nodes share only the dummy root,
+	// which holds no cache.
+	if got := tr.SharedCacheLevel(0, 7); got != -1 {
+		t.Fatalf("SharedCacheLevel across storage nodes = %d, want -1", got)
+	}
+}
+
+func TestPaperDefaultTopology(t *testing.T) {
+	tr := NewPaperDefault(1000, 1000, 1000)
+	if tr.NumClients() != 64 {
+		t.Fatalf("NumClients = %d", tr.NumClients())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// 16 storage nodes under dummy root, 2 I/O each, 2 clients per I/O.
+	if len(tr.Root.Children) != 16 {
+		t.Fatalf("storage nodes = %d", len(tr.Root.Children))
+	}
+	sn := tr.Root.Children[0]
+	if len(sn.Children) != 2 {
+		t.Fatalf("I/O per storage = %d", len(sn.Children))
+	}
+	if len(sn.Children[0].Children) != 2 {
+		t.Fatalf("clients per I/O = %d", len(sn.Children[0].Children))
+	}
+}
+
+func TestLeavesUnderAndPath(t *testing.T) {
+	tr := figure7()
+	io0 := tr.Root.Children[0]
+	got := tr.LeavesUnder(io0)
+	if len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("LeavesUnder(IO0) = %v", got)
+	}
+	all := tr.LeavesUnder(tr.Root)
+	if len(all) != 4 {
+		t.Fatalf("LeavesUnder(root) = %v", all)
+	}
+	path := tr.PathToRoot(3)
+	if len(path) != 3 || path[0] != tr.Client(3) || path[2] != tr.Root {
+		t.Fatalf("PathToRoot(3) = %v", path)
+	}
+}
+
+func TestAncestorAtAndLCA(t *testing.T) {
+	tr := figure7()
+	c0 := tr.Client(0)
+	if AncestorAt(c0, 2) != c0 {
+		t.Fatal("AncestorAt(leaf level) should be the leaf itself")
+	}
+	if AncestorAt(c0, 0) != tr.Root {
+		t.Fatal("AncestorAt(0) should be the root")
+	}
+	if AncestorAt(tr.Root, 2) != nil {
+		t.Fatal("AncestorAt below a node should be nil")
+	}
+	if LCA(tr.Client(0), tr.Client(1)).Label != "IO0" {
+		t.Fatalf("LCA(0,1) = %s", LCA(tr.Client(0), tr.Client(1)).Label)
+	}
+	if LCA(tr.Client(0), tr.Client(3)) != tr.Root {
+		t.Fatal("LCA(0,3) should be root")
+	}
+	if LCA(c0, c0) != c0 {
+		t.Fatal("LCA(x,x) should be x")
+	}
+}
+
+func TestUnevenDistribution(t *testing.T) {
+	// 3 I/O nodes over 2 storage nodes: 2+1 split, order preserved.
+	tr := NewLayered(
+		LayerSpec{Count: 2, CacheChunks: 10, Label: "SN"},
+		LayerSpec{Count: 3, CacheChunks: 10, Label: "IO"},
+		LayerSpec{Count: 6, CacheChunks: 10, Label: "CN"},
+	)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Root.Children[0].Children) != 2 || len(tr.Root.Children[1].Children) != 1 {
+		t.Fatal("uneven split wrong")
+	}
+	if tr.NumClients() != 6 {
+		t.Fatalf("NumClients = %d", tr.NumClients())
+	}
+}
+
+func TestNewLayeredValidation(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"empty":  func() { NewLayered() },
+		"zero":   func() { NewLayered(LayerSpec{Count: 0}) },
+		"shrink": func() { NewLayered(LayerSpec{Count: 4}, LayerSpec{Count: 2}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestClientOutOfRangePanics(t *testing.T) {
+	tr := figure7()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Client(99) did not panic")
+		}
+	}()
+	tr.Client(99)
+}
+
+func TestCustomTreeBuild(t *testing.T) {
+	// A non-uniform hand-built tree: root with one cached child holding 3
+	// clients and one holding 1 client.
+	left := &Node{Label: "L", CacheChunks: 10, Children: []*Node{
+		{Label: "c0", CacheChunks: 5}, {Label: "c1", CacheChunks: 5}, {Label: "c2", CacheChunks: 5},
+	}}
+	right := &Node{Label: "R", CacheChunks: 10, Children: []*Node{
+		{Label: "c3", CacheChunks: 5},
+	}}
+	tr := Build(&Node{Label: "root", CacheChunks: 20, Children: []*Node{left, right}})
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumClients() != 4 {
+		t.Fatalf("NumClients = %d", tr.NumClients())
+	}
+	if !tr.HaveAffinityAt(0, 2, 1) || tr.HaveAffinityAt(2, 3, 1) {
+		t.Fatal("custom tree affinity wrong")
+	}
+}
+
+func TestStringOutline(t *testing.T) {
+	s := figure7().String()
+	if !strings.Contains(s, "SN0") || !strings.Contains(s, "CN3") {
+		t.Fatalf("String output missing nodes:\n%s", s)
+	}
+}
+
+func TestValidateCatchesNegativeCapacity(t *testing.T) {
+	tr := Build(&Node{Label: "r", Children: []*Node{{Label: "c", CacheChunks: -1}}})
+	if err := tr.Validate(); err == nil {
+		t.Fatal("negative capacity not caught")
+	}
+}
+
+// Property: for random layered trees, every pair of clients has a unique
+// LCA whose leaf set contains both, and SharedCacheLevel is symmetric and
+// no deeper than the levels of both clients.
+func TestPropertyAffinityConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := 1 + r.Intn(3)
+		io := s * (1 + r.Intn(3))
+		cn := io * (1 + r.Intn(3))
+		tr := NewLayered(
+			LayerSpec{Count: s, CacheChunks: 1 + r.Intn(10), Label: "SN"},
+			LayerSpec{Count: io, CacheChunks: 1 + r.Intn(10), Label: "IO"},
+			LayerSpec{Count: cn, CacheChunks: 1 + r.Intn(10), Label: "CN"},
+		)
+		if tr.Validate() != nil {
+			return false
+		}
+		for trial := 0; trial < 10; trial++ {
+			a, b := r.Intn(cn), r.Intn(cn)
+			if tr.SharedCacheLevel(a, b) != tr.SharedCacheLevel(b, a) {
+				return false
+			}
+			l := LCA(tr.Client(a), tr.Client(b))
+			under := tr.LeavesUnder(l)
+			foundA, foundB := false, false
+			for _, c := range under {
+				foundA = foundA || c == a
+				foundB = foundB || c == b
+			}
+			if !foundA || !foundB {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,88 @@
+package hierarchy
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse builds a layered hierarchy from a compact textual spec:
+//
+//	"16/32/64"              three layers top-down, default cache capacities
+//	"16/32/64@16,8,4"       per-layer cache capacities in chunks
+//	"1/4/4/16@32,16,8,4"    arbitrarily deep layerings
+//
+// Node counts read top (storage) to bottom (clients); capacities follow in
+// the same order. When capacities are omitted every node gets
+// DefaultCacheChunks.
+func Parse(spec string) (*Tree, error) {
+	const DefaultCacheChunks = 8
+	countsPart := spec
+	capsPart := ""
+	if at := strings.IndexByte(spec, '@'); at >= 0 {
+		countsPart, capsPart = spec[:at], spec[at+1:]
+	}
+	countFields := strings.Split(countsPart, "/")
+	if len(countFields) < 2 {
+		return nil, fmt.Errorf("hierarchy: spec %q needs at least two layers", spec)
+	}
+	const maxLayerNodes = 1 << 20
+	counts := make([]int, len(countFields))
+	for i, f := range countFields {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("hierarchy: bad layer count %q in %q", f, spec)
+		}
+		if v > maxLayerNodes {
+			return nil, fmt.Errorf("hierarchy: layer count %d exceeds limit %d", v, maxLayerNodes)
+		}
+		counts[i] = v
+	}
+	caps := make([]int, len(counts))
+	for i := range caps {
+		caps[i] = DefaultCacheChunks
+	}
+	if capsPart != "" {
+		capFields := strings.Split(capsPart, ",")
+		if len(capFields) != len(counts) {
+			return nil, fmt.Errorf("hierarchy: %d capacities for %d layers in %q",
+				len(capFields), len(counts), spec)
+		}
+		for i, f := range capFields {
+			v, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || v < 0 {
+				return nil, fmt.Errorf("hierarchy: bad capacity %q in %q", f, spec)
+			}
+			caps[i] = v
+		}
+	}
+	labels := layerLabels(len(counts))
+	layers := make([]LayerSpec, len(counts))
+	for i := range counts {
+		if i > 0 && counts[i] < counts[i-1] {
+			return nil, fmt.Errorf("hierarchy: layer %d shrinks from %d to %d nodes in %q",
+				i, counts[i-1], counts[i], spec)
+		}
+		layers[i] = LayerSpec{Count: counts[i], CacheChunks: caps[i], Label: labels[i]}
+	}
+	return NewLayered(layers...), nil
+}
+
+// layerLabels names layers conventionally: the bottom layer is CN, the one
+// above IO, the top SN; any extra middle layers become M1, M2, …
+func layerLabels(n int) []string {
+	labels := make([]string, n)
+	labels[n-1] = "CN"
+	if n >= 2 {
+		labels[n-2] = "IO"
+	}
+	if n >= 3 {
+		labels[0] = "SN"
+	}
+	m := 1
+	for i := 1; i < n-2; i++ {
+		labels[i] = fmt.Sprintf("M%d", m)
+		m++
+	}
+	return labels
+}

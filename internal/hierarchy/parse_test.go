@@ -1,0 +1,80 @@
+package hierarchy
+
+import "testing"
+
+func TestParseBasic(t *testing.T) {
+	tr, err := Parse("1/2/4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumClients() != 4 {
+		t.Fatalf("NumClients = %d", tr.NumClients())
+	}
+	if tr.Root.Label != "SN0" {
+		t.Fatalf("root label = %q", tr.Root.Label)
+	}
+	if tr.Client(0).CacheChunks != 8 {
+		t.Fatalf("default capacity = %d", tr.Client(0).CacheChunks)
+	}
+}
+
+func TestParseWithCapacities(t *testing.T) {
+	tr, err := Parse("16/32/64@16,8,4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumClients() != 64 {
+		t.Fatalf("NumClients = %d", tr.NumClients())
+	}
+	if tr.Client(0).CacheChunks != 4 {
+		t.Fatalf("client capacity = %d", tr.Client(0).CacheChunks)
+	}
+	if tr.Client(0).Parent.CacheChunks != 8 {
+		t.Fatalf("I/O capacity = %d", tr.Client(0).Parent.CacheChunks)
+	}
+	// 16 storage nodes -> dummy root.
+	if tr.Root.CacheChunks != 0 {
+		t.Fatal("dummy root should be cache-less")
+	}
+}
+
+func TestParseDeepLayers(t *testing.T) {
+	tr, err := Parse("1/2/4/8@32,16,8,4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Height() != 3 {
+		t.Fatalf("Height = %d", tr.Height())
+	}
+	// Middle layer label.
+	if tr.Root.Children[0].Label != "M10" && tr.Root.Children[0].Label[:2] != "M1" {
+		t.Fatalf("middle label = %q", tr.Root.Children[0].Label)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, spec := range []string{
+		"",
+		"64",
+		"a/b",
+		"0/2",
+		"4/2",          // shrinking
+		"1/2/4@1,2",    // capacity arity
+		"1/2/4@1,2,x",  // bad capacity
+		"1/2/4@1,2,-3", // negative capacity
+	} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) accepted", spec)
+		}
+	}
+}
+
+func TestParsedTreeMapsEndToEnd(t *testing.T) {
+	tr, err := Parse("2/4/8@16,8,4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

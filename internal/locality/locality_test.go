@@ -1,0 +1,193 @@
+package locality
+
+import (
+	"testing"
+
+	"repro/internal/chunking"
+	"repro/internal/polyhedral"
+)
+
+func matrixSetup(n int64) (*polyhedral.Nest, *chunking.DataSpace) {
+	nest := polyhedral.NewNest("mm", []int64{0, 0}, []int64{n - 1, n - 1})
+	data := chunking.NewDataSpace(64, chunking.Array{Name: "A", Dims: []int64{n, n}, ElemSize: 8})
+	return nest, data
+}
+
+func TestStrideOf(t *testing.T) {
+	_, data := matrixSetup(16)
+	a := data.Arrays[0]
+	rowRef := polyhedral.SimpleRef(0, 2, []int{0, 1}, []int64{0, 0}, polyhedral.Read) // A[i,j]
+	if s := strideOf(rowRef, a, 1); s != 1 {
+		t.Fatalf("inner stride of A[i,j] in j = %d, want 1", s)
+	}
+	if s := strideOf(rowRef, a, 0); s != 16 {
+		t.Fatalf("stride of A[i,j] in i = %d, want 16", s)
+	}
+	colRef := polyhedral.SimpleRef(0, 2, []int{1, 0}, []int64{0, 0}, polyhedral.Read) // A[j,i]
+	if s := strideOf(colRef, a, 1); s != 16 {
+		t.Fatalf("stride of A[j,i] in j = %d, want 16", s)
+	}
+}
+
+func TestBestPermutationFixesColumnMajorWalk(t *testing.T) {
+	// Loop (i,j) reading A[j,i]: walking j innermost strides by N; the
+	// optimizer should swap the loops.
+	nest, data := matrixSetup(16)
+	refs := []polyhedral.Ref{polyhedral.SimpleRef(0, 2, []int{1, 0}, []int64{0, 0}, polyhedral.Read)}
+	perm := BestPermutation(nest, refs, data, nil)
+	if perm[0] != 1 || perm[1] != 0 {
+		t.Fatalf("perm = %v, want [1 0]", perm)
+	}
+}
+
+func TestBestPermutationKeepsGoodOrder(t *testing.T) {
+	nest, data := matrixSetup(16)
+	refs := []polyhedral.Ref{polyhedral.SimpleRef(0, 2, []int{0, 1}, []int64{0, 0}, polyhedral.Read)}
+	perm := BestPermutation(nest, refs, data, nil)
+	if perm[0] != 0 || perm[1] != 1 {
+		t.Fatalf("perm = %v, want identity", perm)
+	}
+}
+
+func TestBestPermutationRespectsDependences(t *testing.T) {
+	// A[j,i] would prefer swapping, but a (1,-1) dependence forbids it.
+	nest, data := matrixSetup(16)
+	refs := []polyhedral.Ref{polyhedral.SimpleRef(0, 2, []int{1, 0}, []int64{0, 0}, polyhedral.Read)}
+	dep := polyhedral.Dependence{Distance: []int64{1, -1}, Known: []bool{true, true}}
+	perm := BestPermutation(nest, refs, data, []polyhedral.Dependence{dep})
+	if perm[0] != 0 || perm[1] != 1 {
+		t.Fatalf("perm = %v, want identity (swap illegal)", perm)
+	}
+}
+
+func TestBestPermutationSingleLoop(t *testing.T) {
+	nest := polyhedral.NewNest("s", []int64{0}, []int64{9})
+	data := chunking.NewDataSpace(64, chunking.Array{Name: "A", Dims: []int64{10}, ElemSize: 8})
+	refs := []polyhedral.Ref{polyhedral.SimpleRef(0, 1, []int{0}, []int64{0}, polyhedral.Read)}
+	if perm := BestPermutation(nest, refs, data, nil); len(perm) != 1 || perm[0] != 0 {
+		t.Fatalf("perm = %v", perm)
+	}
+}
+
+func TestTileSizesFootprint(t *testing.T) {
+	nest, data := matrixSetup(64)
+	refs := []polyhedral.Ref{
+		polyhedral.SimpleRef(0, 2, []int{0, 1}, []int64{0, 0}, polyhedral.Read),
+		polyhedral.SimpleRef(0, 2, []int{1, 0}, []int64{0, 0}, polyhedral.Read),
+	}
+	tiles := TileSizes(nest, refs, data, 16) // 16 chunks × 64 B = 1024 B budget
+	// Footprint per iteration = 16 B; 1024/16 = 64 points per tile -> side 8.
+	if tiles[0] != 8 || tiles[1] != 8 {
+		t.Fatalf("tiles = %v, want [8 8]", tiles)
+	}
+}
+
+func TestTileSizesClampedToDim(t *testing.T) {
+	nest, data := matrixSetup(4)
+	refs := []polyhedral.Ref{polyhedral.SimpleRef(0, 2, []int{0, 1}, []int64{0, 0}, polyhedral.Read)}
+	tiles := TileSizes(nest, refs, data, 1000000)
+	if tiles[0] > 4 || tiles[1] > 4 {
+		t.Fatalf("tiles %v exceed dimension size", tiles)
+	}
+}
+
+func TestTileSizesDisabled(t *testing.T) {
+	nest, data := matrixSetup(8)
+	refs := []polyhedral.Ref{polyhedral.SimpleRef(0, 2, []int{0, 1}, []int64{0, 0}, polyhedral.Read)}
+	tiles := TileSizes(nest, refs, data, 0)
+	if tiles[0] != 0 || tiles[1] != 0 {
+		t.Fatalf("tiles = %v, want untiled", tiles)
+	}
+}
+
+func TestTileSizesSkipsUnwalkedDims(t *testing.T) {
+	// Reference only walks dim 1; dim 0 stays untiled.
+	nest, data := matrixSetup(16)
+	refs := []polyhedral.Ref{{
+		Array: 0,
+		Exprs: []polyhedral.RefExpr{
+			{Coeffs: []int64{0, 0}, Offset: 3},
+			{Coeffs: []int64{0, 1}},
+		},
+	}}
+	tiles := TileSizes(nest, refs, data, 4)
+	if tiles[0] != 0 {
+		t.Fatalf("unwalked dim tiled: %v", tiles)
+	}
+	if tiles[1] == 0 {
+		t.Fatalf("walked dim untiled: %v", tiles)
+	}
+}
+
+func TestOptimizeProducesValidOrder(t *testing.T) {
+	nest, data := matrixSetup(16)
+	refs := []polyhedral.Ref{polyhedral.SimpleRef(0, 2, []int{1, 0}, []int64{0, 0}, polyhedral.Read)}
+	order := Optimize(nest, refs, data, nil, 8)
+	if err := order.Validate(nest); err != nil {
+		t.Fatal(err)
+	}
+	// The order must be a bijection on iterations.
+	if got := int64(len(order.Indices(nest))); got != nest.Size() {
+		t.Fatalf("order enumerates %d of %d iterations", got, nest.Size())
+	}
+}
+
+func TestCandidateOrders(t *testing.T) {
+	nest, data := matrixSetup(16)
+	refs := []polyhedral.Ref{polyhedral.SimpleRef(0, 2, []int{0, 1}, []int64{0, 0}, polyhedral.Read)}
+	cands := CandidateOrders(nest, refs, data, nil, 8, 4, 32)
+	if len(cands) != 3 {
+		t.Fatalf("got %d candidates", len(cands))
+	}
+	for i, o := range cands {
+		if err := o.Validate(nest); err != nil {
+			t.Fatalf("candidate %d invalid: %v", i, err)
+		}
+	}
+	// Uniform size 32 clamps to the 16-wide dims.
+	if cands[2].Tiles[0] != 16 {
+		t.Fatalf("tile not clamped: %v", cands[2].Tiles)
+	}
+}
+
+func TestPermutationsCount(t *testing.T) {
+	if n := len(permutations(3)); n != 6 {
+		t.Fatalf("permutations(3) = %d", n)
+	}
+	if n := len(permutations(4)); n != 24 {
+		t.Fatalf("permutations(4) = %d", n)
+	}
+}
+
+func TestTileable(t *testing.T) {
+	mk := func(dist []int64, known []bool) polyhedral.Dependence {
+		return polyhedral.Dependence{Distance: dist, Known: known}
+	}
+	if !Tileable(nil) {
+		t.Fatal("no dependences should be tileable")
+	}
+	// All-nonnegative known distances: fully permutable, tileable.
+	if !Tileable([]polyhedral.Dependence{mk([]int64{1, 0}, []bool{true, true})}) {
+		t.Fatal("(1,0) should be tileable")
+	}
+	// A negative component forbids rectangular tiling.
+	if Tileable([]polyhedral.Dependence{mk([]int64{1, -1}, []bool{true, true})}) {
+		t.Fatal("(1,-1) should not be tileable")
+	}
+	// Unknown components are conservative.
+	if Tileable([]polyhedral.Dependence{mk([]int64{0, 0}, []bool{true, false})}) {
+		t.Fatal("unknown distance should not be tileable")
+	}
+}
+
+func TestOptimizeSkipsTilingWhenIllegal(t *testing.T) {
+	nest, data := matrixSetup(16)
+	refs := []polyhedral.Ref{polyhedral.SimpleRef(0, 2, []int{0, 1}, []int64{0, 0}, polyhedral.Read)}
+	dep := polyhedral.Dependence{Distance: []int64{1, -1}, Known: []bool{true, true}}
+	order := Optimize(nest, refs, data, []polyhedral.Dependence{dep}, 8)
+	for _, tile := range order.Tiles {
+		if tile != 0 {
+			t.Fatalf("illegal nest tiled: %v", order.Tiles)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package mapping
+
+import (
+	"testing"
+
+	"repro/internal/chunking"
+	"repro/internal/iosim"
+	"repro/internal/polyhedral"
+)
+
+// tileableProgram has no dependences, so the intra baseline may tile it.
+func tileableProgram(n int64) iosim.Program {
+	nest := polyhedral.NewNest("t", []int64{0, 0}, []int64{n - 1, n - 1})
+	data := chunking.NewDataSpace(256,
+		chunking.Array{Name: "A", Dims: []int64{n, n}, ElemSize: 64},
+		chunking.Array{Name: "B", Dims: []int64{n, n, n}, ElemSize: 1}, // never written
+	)
+	return iosim.Program{
+		Nest: nest,
+		Refs: []polyhedral.Ref{
+			polyhedral.SimpleRef(0, 2, []int{0, 1}, []int64{0, 0}, polyhedral.Read),
+			polyhedral.SimpleRef(0, 2, []int{1, 0}, []int64{0, 0}, polyhedral.Read),
+		},
+		Data: data,
+	}
+}
+
+func TestMapIntraCandidatesCount(t *testing.T) {
+	prog := tileableProgram(16)
+	cands, err := MapIntraCandidates(prog, Config{Tree: testTree()}, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Heuristic + 2 uniform sizes + untiled = 4.
+	if len(cands) != 4 {
+		t.Fatalf("candidates = %d, want 4", len(cands))
+	}
+	for i, res := range cands {
+		if got := res.Assignment.TotalIterations(); got != prog.Nest.Size() {
+			t.Fatalf("candidate %d maps %d of %d iterations", i, got, prog.Nest.Size())
+		}
+	}
+}
+
+func TestMapIntraCandidatesNonTileable(t *testing.T) {
+	// An in-place update with a spatial offset defeats tiling; only the
+	// permuted order should be produced (plus the redundant untiled copy).
+	n := int64(16)
+	nest := polyhedral.NewNest("ip", []int64{0, 1}, []int64{3, n - 1})
+	data := chunking.NewDataSpace(256, chunking.Array{Name: "A", Dims: []int64{n}, ElemSize: 64})
+	prog := iosim.Program{
+		Nest: nest,
+		Refs: []polyhedral.Ref{
+			polyhedral.SimpleRef(0, 2, []int{1}, []int64{0}, polyhedral.Write),
+			polyhedral.SimpleRef(0, 2, []int{1}, []int64{-1}, polyhedral.Read),
+		},
+		Data: data,
+	}
+	cands, err := MapIntraCandidates(prog, Config{Tree: testTree()}, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) != 2 {
+		t.Fatalf("non-tileable candidates = %d, want 2 (permuted + untiled)", len(cands))
+	}
+}
+
+func TestMapIntraCandidatesValidation(t *testing.T) {
+	prog := tileableProgram(8)
+	if _, err := MapIntraCandidates(prog, Config{}); err == nil {
+		t.Error("nil tree accepted")
+	}
+	bad := prog
+	bad.Refs = nil
+	if _, err := MapIntraCandidates(bad, Config{Tree: testTree()}); err == nil {
+		t.Error("invalid program accepted")
+	}
+}
+
+func TestIntraCandidatesEnumerateSameIterations(t *testing.T) {
+	prog := tileableProgram(12)
+	cands, err := MapIntraCandidates(prog, Config{Tree: testTree()}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ci, res := range cands {
+		seen := map[int64]bool{}
+		for _, blocks := range res.Assignment {
+			for _, b := range blocks {
+				for _, idx := range b.Explicit {
+					if seen[idx] {
+						t.Fatalf("candidate %d repeats iteration %d", ci, idx)
+					}
+					seen[idx] = true
+				}
+			}
+		}
+		if int64(len(seen)) != prog.Nest.Size() {
+			t.Fatalf("candidate %d covers %d of %d", ci, len(seen), prog.Nest.Size())
+		}
+	}
+}

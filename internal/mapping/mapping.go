@@ -1,0 +1,304 @@
+// Package mapping produces the three iteration-to-processor mappings the
+// paper evaluates (Section 5.1):
+//
+//   - Original: iterations in lexicographic order, divided into k
+//     contiguous clusters, one per client — the default mapping of a
+//     parallelized loop.
+//   - IntraProcessor: the state-of-the-art locality baseline — loop
+//     permutation plus iteration-space tiling optimize each client's own
+//     stream, then the transformed order is divided into k contiguous
+//     clusters. Storage cache hierarchy agnostic by construction.
+//   - InterProcessor: the paper's scheme — iteration chunks distributed by
+//     the Figure 5 hierarchical clustering algorithm.
+//   - InterProcessorSched: InterProcessor followed by the Figure 15 local
+//     scheduling enhancement (Section 5.4).
+//
+// All schemes map exactly the same iteration set; only the
+// iteration-to-client assignment (and per-client order) differs, matching
+// the paper's experimental protocol.
+package mapping
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/hierarchy"
+	"repro/internal/iosim"
+	"repro/internal/itset"
+	"repro/internal/locality"
+	"repro/internal/polyhedral"
+	"repro/internal/tags"
+)
+
+// Scheme selects a mapping strategy.
+type Scheme string
+
+const (
+	Original            Scheme = "original"
+	IntraProcessor      Scheme = "intra"
+	InterProcessor      Scheme = "inter"
+	InterProcessorSched Scheme = "inter-sched"
+)
+
+// Schemes lists all mapping strategies in evaluation order.
+func Schemes() []Scheme {
+	return []Scheme{Original, IntraProcessor, InterProcessor, InterProcessorSched}
+}
+
+// ParseScheme validates a scheme name.
+func ParseScheme(s string) (Scheme, error) {
+	switch Scheme(s) {
+	case Original, IntraProcessor, InterProcessor, InterProcessorSched:
+		return Scheme(s), nil
+	}
+	return "", fmt.Errorf("mapping: unknown scheme %q", s)
+}
+
+// DepMode selects how loops with cross-iteration dependences are handled
+// (Section 5.4).
+type DepMode int
+
+const (
+	// DepIgnore assumes the parallelized iterations are dependence-free
+	// (the paper's main experiments).
+	DepIgnore DepMode = iota
+	// DepMerge pre-clusters dependent iteration chunks into one super-chunk
+	// (infinite edge weight): no synchronization needed, less parallelism.
+	DepMerge
+	// DepSync distributes normally, treating dependences as ordinary data
+	// sharing, and reports the number of cross-client dependence edges that
+	// need runtime synchronization (the paper's implemented alternative).
+	DepSync
+)
+
+// Config parameterizes Map.
+type Config struct {
+	Tree *hierarchy.Tree
+	// Distribution options (inter schemes). Zero value = paper defaults.
+	Options core.Options
+	// Scheduling weights (InterProcessorSched). Zero value = α=β=0.5.
+	Schedule core.ScheduleOptions
+	// TileCacheChunks sizes intra-processor tiles; 0 uses the client-node
+	// cache capacity from the tree.
+	TileCacheChunks int
+	// DepMode controls dependence handling for inter schemes.
+	DepMode DepMode
+}
+
+func (c *Config) normalize() error {
+	if c.Tree == nil {
+		return fmt.Errorf("mapping: nil tree")
+	}
+	if c.Options.BalanceThreshold == 0 {
+		c.Options = core.DefaultOptions()
+	}
+	if c.Schedule.Alpha == 0 && c.Schedule.Beta == 0 {
+		c.Schedule = core.DefaultScheduleOptions()
+	}
+	if c.TileCacheChunks == 0 {
+		c.TileCacheChunks = c.Tree.Client(0).CacheChunks
+	}
+	return nil
+}
+
+// Result is a computed mapping.
+type Result struct {
+	Scheme     Scheme
+	Assignment iosim.Assignment
+	// PerClient holds the iteration chunks per client for inter schemes
+	// (nil for original/intra).
+	PerClient [][]*tags.IterationChunk
+	// Chunks is the full iteration chunk list fed to the distributor.
+	Chunks []*tags.IterationChunk
+	// SyncEdges counts cross-client dependent chunk pairs under DepSync.
+	SyncEdges int
+}
+
+// Map computes the iteration-to-processor mapping of prog under the given
+// scheme.
+func Map(scheme Scheme, prog iosim.Program, cfg Config) (*Result, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	switch scheme {
+	case Original:
+		return mapOriginal(prog, cfg)
+	case IntraProcessor:
+		return mapIntra(prog, cfg)
+	case InterProcessor, InterProcessorSched:
+		return mapInter(scheme, prog, cfg)
+	}
+	return nil, fmt.Errorf("mapping: unknown scheme %q", scheme)
+}
+
+// validIndexSet collects the executing iterations of the nest as a
+// run-length set of box indices.
+func validIndexSet(nest *polyhedral.Nest) itset.Set {
+	if len(nest.Guards) == 0 {
+		return itset.Interval(0, nest.BoxSize())
+	}
+	var s itset.Set
+	nest.ForEach(func(it []int64) bool {
+		idx := nest.IterToIndex(it)
+		s.Append(idx, idx+1)
+		return true
+	})
+	return s
+}
+
+// mapOriginal splits the lexicographic iteration order into k contiguous
+// clusters.
+func mapOriginal(prog iosim.Program, cfg Config) (*Result, error) {
+	k := cfg.Tree.NumClients()
+	all := validIndexSet(prog.Nest)
+	total := all.Count()
+	asg := make(iosim.Assignment, k)
+	rest := all
+	for c := 0; c < k; c++ {
+		share := total / int64(k)
+		if int64(c) < total%int64(k) {
+			share++
+		}
+		var part itset.Set
+		part, rest = rest.SplitAt(share)
+		if !part.IsEmpty() {
+			asg[c] = []iosim.Block{{Set: part}}
+		}
+	}
+	return &Result{Scheme: Original, Assignment: asg}, nil
+}
+
+// mapIntra applies locality transformations (permutation + tiling), then
+// splits the transformed order contiguously.
+func mapIntra(prog iosim.Program, cfg Config) (*Result, error) {
+	deps := polyhedral.Analyze(prog.Nest, prog.Refs)
+	order := locality.Optimize(prog.Nest, prog.Refs, prog.Data, deps, cfg.TileCacheChunks)
+	return mapIntraOrder(prog, cfg, order)
+}
+
+// MapIntraCandidates returns one intra-processor mapping per candidate
+// execution order (the footprint-heuristic tiling plus each uniform tile
+// size in sizes, plus the untiled permutation). The paper selected its tile
+// size by trying several and keeping the best-performing one; callers
+// evaluate each candidate and keep the winner.
+func MapIntraCandidates(prog iosim.Program, cfg Config, sizes ...int64) ([]*Result, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	deps := polyhedral.Analyze(prog.Nest, prog.Refs)
+	orders := locality.CandidateOrders(prog.Nest, prog.Refs, prog.Data, deps, cfg.TileCacheChunks, sizes...)
+	// Always include the untiled (permutation-only) order.
+	orders = append(orders, polyhedral.Order{Perm: append([]int(nil), orders[0].Perm...)})
+	out := make([]*Result, 0, len(orders))
+	for _, o := range orders {
+		res, err := mapIntraOrder(prog, cfg, o)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+func mapIntraOrder(prog iosim.Program, cfg Config, order polyhedral.Order) (*Result, error) {
+	indices := order.Indices(prog.Nest)
+	k := cfg.Tree.NumClients()
+	asg := make(iosim.Assignment, k)
+	total := int64(len(indices))
+	var lo int64
+	for c := 0; c < k; c++ {
+		share := total / int64(k)
+		if int64(c) < total%int64(k) {
+			share++
+		}
+		hi := lo + share
+		if hi > lo {
+			asg[c] = []iosim.Block{{Explicit: indices[lo:hi]}}
+		}
+		lo = hi
+	}
+	return &Result{Scheme: IntraProcessor, Assignment: asg}, nil
+}
+
+// chunkOrderKey orders iteration chunks by nest, then first iteration.
+func chunkOrderKey(c *tags.IterationChunk) int64 {
+	if c.Iters.IsEmpty() {
+		return int64(c.Nest) << 40
+	}
+	return int64(c.Nest)<<40 + c.Iters.Min()
+}
+
+// mapInter runs the paper's Figure 5 distribution (and optionally the
+// Figure 15 schedule).
+func mapInter(scheme Scheme, prog iosim.Program, cfg Config) (*Result, error) {
+	chunks := tags.Compute(prog.Nest, prog.Refs, prog.Data)
+	res := &Result{Scheme: scheme, Chunks: chunks}
+
+	var pairs [][2]int
+	if cfg.DepMode != DepIgnore {
+		deps := polyhedral.Analyze(prog.Nest, prog.Refs)
+		pairs = core.DependentPairs(chunks, prog.Nest, deps)
+	}
+	distChunks := chunks
+	if cfg.DepMode == DepMerge {
+		distChunks = core.PreMergeDependent(chunks, pairs)
+	}
+
+	perClient, err := core.Distribute(distChunks, cfg.Tree, cfg.Options)
+	if err != nil {
+		return nil, err
+	}
+	if scheme == InterProcessorSched {
+		perClient, err = core.Schedule(perClient, cfg.Tree, cfg.Schedule)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		// The paper's plain inter-processor scheme executes a client's
+		// chunks in no particular order; we use lexicographic order of
+		// first iteration as the deterministic neutral choice.
+		for _, cl := range perClient {
+			sort.Slice(cl, func(i, j int) bool {
+				return chunkOrderKey(cl[i]) < chunkOrderKey(cl[j])
+			})
+		}
+	}
+	res.PerClient = perClient
+
+	if cfg.DepMode == DepSync {
+		owner := make([]int, len(distChunks))
+		for i := range owner {
+			owner[i] = -1
+		}
+		pos := make(map[*tags.IterationChunk]int, len(distChunks))
+		for i, c := range distChunks {
+			pos[c] = i
+		}
+		for ci, cl := range perClient {
+			for _, c := range cl {
+				if i, ok := pos[c]; ok {
+					owner[i] = ci
+				}
+			}
+		}
+		res.SyncEdges = core.CrossClientDependences(pairs, owner)
+	}
+
+	asg := make(iosim.Assignment, len(perClient))
+	for ci, cl := range perClient {
+		for _, c := range cl {
+			if !c.Iters.IsEmpty() {
+				asg[ci] = append(asg[ci], iosim.Block{Set: c.Iters})
+			}
+		}
+	}
+	res.Assignment = asg
+	return res, nil
+}

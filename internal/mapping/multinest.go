@@ -1,0 +1,81 @@
+package mapping
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/iosim"
+	"repro/internal/tags"
+)
+
+// MapMulti maps several loop nests that share one data space. For the
+// inter-processor schemes this implements the Section 5.4 multi-nest
+// extension: the iteration sets of all nests are combined into a single G
+// set (one chunk list with per-chunk nest identity) and distributed
+// together, so inter-nest data sharing influences clustering. For the
+// original and intra-processor schemes each nest is mapped independently
+// (they have no notion of cross-nest affinity).
+//
+// The result has one Assignment per input program, suitable for
+// iosim.RunSequence.
+func MapMulti(scheme Scheme, progs []iosim.Program, cfg Config) ([]iosim.Assignment, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	if len(progs) == 0 {
+		return nil, fmt.Errorf("mapping: no programs")
+	}
+	for i, p := range progs {
+		if err := p.Validate(); err != nil {
+			return nil, fmt.Errorf("mapping: program %d: %w", i, err)
+		}
+		if p.Data != progs[0].Data {
+			return nil, fmt.Errorf("mapping: program %d uses a different data space", i)
+		}
+	}
+
+	if scheme == Original || scheme == IntraProcessor {
+		out := make([]iosim.Assignment, len(progs))
+		for i, p := range progs {
+			res, err := Map(scheme, p, cfg)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = res.Assignment
+		}
+		return out, nil
+	}
+
+	// Inter schemes: combine all nests' chunks into one distribution.
+	var all []*tags.IterationChunk
+	for ni, p := range progs {
+		chunks := tags.Compute(p.Nest, p.Refs, p.Data)
+		for _, c := range chunks {
+			c.Nest = ni
+		}
+		all = append(all, chunks...)
+	}
+	perClient, err := core.Distribute(all, cfg.Tree, cfg.Options)
+	if err != nil {
+		return nil, err
+	}
+	if scheme == InterProcessorSched {
+		perClient, err = core.Schedule(perClient, cfg.Tree, cfg.Schedule)
+		if err != nil {
+			return nil, err
+		}
+	}
+	out := make([]iosim.Assignment, len(progs))
+	for ni := range progs {
+		out[ni] = make(iosim.Assignment, len(perClient))
+	}
+	for ci, cl := range perClient {
+		for _, c := range cl {
+			if c.Iters.IsEmpty() {
+				continue
+			}
+			out[c.Nest][ci] = append(out[c.Nest][ci], iosim.Block{Set: c.Iters})
+		}
+	}
+	return out, nil
+}

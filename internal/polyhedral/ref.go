@@ -1,0 +1,147 @@
+package polyhedral
+
+import "fmt"
+
+// RefExpr is one subscript expression of an array reference:
+//
+//	value = Σ Coeffs[k]·i_k + Offset             (Mod == 0, Table == nil)
+//	value = (Σ Coeffs[k]·i_k + Offset) mod Mod   (Mod  > 0, Table == nil)
+//	value = Table[linear value mod len(Table)]   (Table != nil)
+//
+// The modular form covers the paper's Figure 6 example (x = i % d); the
+// table form covers irregular (indirection-based) subscripts such as the
+// unstructured-mesh gather A[idx[i]] — the extension the paper names as
+// future work. The index table is part of the program description, so
+// tags, clustering and simulation all see the true chunk access pattern
+// with no changes: the mapping becomes "inspector/executor" style, where
+// the compiler-time inspector is the tag computation itself.
+type RefExpr struct {
+	Coeffs []int64
+	Offset int64
+	Mod    int64
+	Table  []int64
+}
+
+// Eval computes the subscript value at iteration it.
+func (e RefExpr) Eval(it []int64) int64 {
+	v := e.Offset
+	for k, c := range e.Coeffs {
+		if c != 0 {
+			v += c * it[k]
+		}
+	}
+	if e.Mod > 0 {
+		v %= e.Mod
+		if v < 0 {
+			v += e.Mod
+		}
+	}
+	if len(e.Table) > 0 {
+		v %= int64(len(e.Table))
+		if v < 0 {
+			v += int64(len(e.Table))
+		}
+		return e.Table[v]
+	}
+	return v
+}
+
+// IsAffine reports whether the expression has no modular wrap and no
+// indirection table.
+func (e RefExpr) IsAffine() bool { return e.Mod == 0 && len(e.Table) == 0 }
+
+// IndirectRef builds an irregular reference A[table[linear(i⃗)]]: the
+// subscript of the 1-D array is looked up through the given index table at
+// the affine position Σ coeffs·i⃗ + offset.
+func IndirectRef(array int, coeffs []int64, offset int64, table []int64, kind AccessKind) Ref {
+	if len(table) == 0 {
+		panic("polyhedral: IndirectRef with empty table")
+	}
+	return Ref{
+		Array: array,
+		Exprs: []RefExpr{{Coeffs: append([]int64(nil), coeffs...), Offset: offset, Table: table}},
+		Kind:  kind,
+	}
+}
+
+// AccessKind distinguishes reads from writes; checkpointing-style workloads
+// issue both.
+type AccessKind uint8
+
+const (
+	Read AccessKind = iota
+	Write
+)
+
+func (k AccessKind) String() string {
+	if k == Write {
+		return "write"
+	}
+	return "read"
+}
+
+// Ref is an array reference R(i⃗) = Q·i⃗ + q⃗ inside a loop body: Exprs holds
+// one RefExpr per array dimension (the rows of the access matrix Q together
+// with the offset vector q⃗). Array indexes into the workload's array table.
+type Ref struct {
+	Array int
+	Exprs []RefExpr
+	Kind  AccessKind
+}
+
+// Eval computes the subscript vector at iteration it, writing into dst
+// (allocated if nil) and returning it.
+func (r Ref) Eval(it []int64, dst []int64) []int64 {
+	if dst == nil {
+		dst = make([]int64, len(r.Exprs))
+	}
+	for d, e := range r.Exprs {
+		dst[d] = e.Eval(it)
+	}
+	return dst
+}
+
+// IsAffine reports whether all subscripts are strictly affine.
+func (r Ref) IsAffine() bool {
+	for _, e := range r.Exprs {
+		if !e.IsAffine() {
+			return false
+		}
+	}
+	return true
+}
+
+// AffineRef builds a reference from an access matrix Q (rows = array
+// dimensions, columns = loop dimensions) and offset vector q, reproducing
+// the paper's R(i⃗) = Q·i⃗ + q⃗ notation directly.
+func AffineRef(array int, q [][]int64, offset []int64, kind AccessKind) Ref {
+	if len(q) != len(offset) {
+		panic(fmt.Sprintf("polyhedral: Q has %d rows but offset has %d entries", len(q), len(offset)))
+	}
+	exprs := make([]RefExpr, len(q))
+	for d := range q {
+		exprs[d] = RefExpr{Coeffs: append([]int64(nil), q[d]...), Offset: offset[d]}
+	}
+	return Ref{Array: array, Exprs: exprs, Kind: kind}
+}
+
+// SimpleRef builds a common single-loop-variable-per-subscript reference:
+// subscript d is loops[d]-th iterator (coefficient 1) plus offsets[d].
+// A loops entry of −1 yields a constant subscript equal to offsets[d].
+func SimpleRef(array int, depth int, loops []int, offsets []int64, kind AccessKind) Ref {
+	if len(loops) != len(offsets) {
+		panic("polyhedral: loops/offsets length mismatch")
+	}
+	exprs := make([]RefExpr, len(loops))
+	for d, l := range loops {
+		e := RefExpr{Coeffs: make([]int64, depth), Offset: offsets[d]}
+		if l >= 0 {
+			if l >= depth {
+				panic(fmt.Sprintf("polyhedral: loop index %d out of depth %d", l, depth))
+			}
+			e.Coeffs[l] = 1
+		}
+		exprs[d] = e
+	}
+	return Ref{Array: array, Exprs: exprs, Kind: kind}
+}

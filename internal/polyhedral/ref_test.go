@@ -1,0 +1,100 @@
+package polyhedral
+
+import "testing"
+
+func TestRefExprEval(t *testing.T) {
+	e := RefExpr{Coeffs: []int64{2, -1}, Offset: 3}
+	if v := e.Eval([]int64{4, 1}); v != 10 {
+		t.Fatalf("Eval = %d, want 10", v)
+	}
+	if !e.IsAffine() {
+		t.Fatal("affine expr reported non-affine")
+	}
+}
+
+func TestRefExprMod(t *testing.T) {
+	// x = i % d with d = 5, including the negative-operand wrap.
+	e := RefExpr{Coeffs: []int64{1}, Mod: 5}
+	if v := e.Eval([]int64{12}); v != 2 {
+		t.Fatalf("12 %% 5 = %d, want 2", v)
+	}
+	if v := e.Eval([]int64{-3}); v != 2 {
+		t.Fatalf("-3 mod 5 = %d, want 2", v)
+	}
+	if e.IsAffine() {
+		t.Fatal("modular expr reported affine")
+	}
+}
+
+func TestAffineRefPaperExample(t *testing.T) {
+	// Paper Section 2: A[i1+3, i2−1] has Q = identity, q = (3, −1).
+	r := AffineRef(0, [][]int64{{1, 0}, {0, 1}}, []int64{3, -1}, Read)
+	got := r.Eval([]int64{10, 20}, nil)
+	if got[0] != 13 || got[1] != 19 {
+		t.Fatalf("Eval = %v, want [13 19]", got)
+	}
+	if !r.IsAffine() {
+		t.Fatal("affine ref reported non-affine")
+	}
+}
+
+func TestAffineRefFigure3(t *testing.T) {
+	// Figure 3: A[i1−1, i2, i3+1].
+	r := AffineRef(0, [][]int64{{1, 0, 0}, {0, 1, 0}, {0, 0, 1}}, []int64{-1, 0, 1}, Read)
+	got := r.Eval([]int64{2, 5, 7}, nil)
+	if got[0] != 1 || got[1] != 5 || got[2] != 8 {
+		t.Fatalf("Eval = %v", got)
+	}
+}
+
+func TestAffineRefShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched Q/offset did not panic")
+		}
+	}()
+	AffineRef(0, [][]int64{{1}}, []int64{0, 1}, Read)
+}
+
+func TestSimpleRef(t *testing.T) {
+	// B[i2+1, 7] in a 3-deep nest.
+	r := SimpleRef(1, 3, []int{1, -1}, []int64{1, 7}, Write)
+	got := r.Eval([]int64{9, 4, 2}, nil)
+	if got[0] != 5 || got[1] != 7 {
+		t.Fatalf("Eval = %v, want [5 7]", got)
+	}
+	if r.Kind != Write || r.Array != 1 {
+		t.Fatal("metadata wrong")
+	}
+}
+
+func TestSimpleRefValidation(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"len":   func() { SimpleRef(0, 2, []int{0}, []int64{1, 2}, Read) },
+		"depth": func() { SimpleRef(0, 2, []int{5}, []int64{0}, Read) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestEvalReusesDst(t *testing.T) {
+	r := SimpleRef(0, 1, []int{0}, []int64{0}, Read)
+	dst := make([]int64, 1)
+	out := r.Eval([]int64{42}, dst)
+	if &out[0] != &dst[0] || out[0] != 42 {
+		t.Fatal("dst not reused")
+	}
+}
+
+func TestAccessKindString(t *testing.T) {
+	if Read.String() != "read" || Write.String() != "write" {
+		t.Fatal("AccessKind.String wrong")
+	}
+}

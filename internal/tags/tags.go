@@ -1,0 +1,167 @@
+// Package tags implements Section 4.2 of the paper: per-iteration data
+// chunk tags and their grouping into iteration chunks.
+//
+// An iteration σ gets an r-bit tag Λ with bit k set iff σ accesses data
+// chunk π_k through any reference in the loop body. An iteration chunk γ^Λ
+// is the set of iterations carrying the same tag; all of them have the same
+// chunk-level access pattern, so they execute back to back and are the unit
+// the distribution algorithm (package core) clusters.
+package tags
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bitvec"
+	"repro/internal/chunking"
+	"repro/internal/itset"
+	"repro/internal/polyhedral"
+)
+
+// IterationChunk is γ^Λ: the iterations (as lexicographic box indices of
+// the nest) sharing tag Λ. Nest identifies which loop nest the indices
+// refer to when several nests are distributed together (Section 5.4's
+// multi-nest extension); single-nest users leave it zero.
+type IterationChunk struct {
+	Tag   bitvec.Vector
+	Iters itset.Set
+	Nest  int
+}
+
+// Count returns the number of iterations in the chunk.
+func (ic *IterationChunk) Count() int64 { return ic.Iters.Count() }
+
+// Split divides the chunk into two chunks with the same tag, the first
+// holding the first n iterations. Used by load balancing when no whole
+// chunk fits the balance threshold.
+func (ic *IterationChunk) Split(n int64) (*IterationChunk, *IterationChunk) {
+	a, b := ic.Iters.SplitAt(n)
+	return &IterationChunk{Tag: ic.Tag, Iters: a, Nest: ic.Nest},
+		&IterationChunk{Tag: ic.Tag, Iters: b, Nest: ic.Nest}
+}
+
+// String renders the chunk compactly.
+func (ic *IterationChunk) String() string {
+	return fmt.Sprintf("γ{%s|%d iters}", ic.Tag.String(), ic.Count())
+}
+
+// Compute groups the executing iterations of a nest into iteration chunks.
+// Iterations are identified by their lexicographic box index; only
+// guard-satisfying iterations are tagged. The result is ordered by first
+// iteration index (deterministic).
+func Compute(nest *polyhedral.Nest, refs []polyhedral.Ref, data *chunking.DataSpace) []*IterationChunk {
+	if nest == nil || data == nil || len(refs) == 0 {
+		panic("tags: nil nest/data or empty refs")
+	}
+	r := data.NumChunks()
+	type group struct {
+		chunks []int // sorted distinct data chunk ids (the tag's set bits)
+		iters  itset.Set
+	}
+	groups := make(map[string]*group)
+	var order []string // first-seen order of signatures
+
+	maxSubs := 0
+	for _, ref := range refs {
+		if len(ref.Exprs) > maxSubs {
+			maxSubs = len(ref.Exprs)
+		}
+	}
+	subs := make([]int64, maxSubs)
+	sig := make([]byte, 0, 64)
+	cur := make([]int, 0, len(refs))
+	nest.ForEach(func(it []int64) bool {
+		idx := nest.IterToIndex(it)
+		cur = cur[:0]
+		for _, ref := range refs {
+			s := ref.Eval(it, subs[:len(ref.Exprs)])
+			cur = append(cur, data.ChunkOf(ref.Array, s))
+		}
+		sort.Ints(cur)
+		// Deduplicate in place.
+		w := 0
+		for i, c := range cur {
+			if i == 0 || c != cur[w-1] {
+				cur[w] = c
+				w++
+			}
+		}
+		cur = cur[:w]
+		sig = sig[:0]
+		for _, c := range cur {
+			sig = append(sig, byte(c), byte(c>>8), byte(c>>16), byte(c>>24))
+		}
+		key := string(sig)
+		g, ok := groups[key]
+		if !ok {
+			g = &group{chunks: append([]int(nil), cur...)}
+			groups[key] = g
+			order = append(order, key)
+		}
+		g.iters.Append(idx, idx+1)
+		return true
+	})
+
+	out := make([]*IterationChunk, 0, len(order))
+	for _, key := range order {
+		g := groups[key]
+		tag := bitvec.New(r)
+		for _, c := range g.chunks {
+			tag.Set(c)
+		}
+		out = append(out, &IterationChunk{Tag: tag, Iters: g.iters})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Iters.Min() < out[j].Iters.Min() })
+	return out
+}
+
+// TotalIterations sums the iteration counts of a chunk list.
+func TotalIterations(chunks []*IterationChunk) int64 {
+	var total int64
+	for _, c := range chunks {
+		total += c.Count()
+	}
+	return total
+}
+
+// Graph is the similarity graph of the initialization step: nodes are
+// iteration chunks, the weight of edge (i,j) is the number of common "1"
+// bits in Λi ∧ Λj. Weights are computed on demand from the tags; Matrix
+// materializes them for inspection.
+type Graph struct {
+	Chunks []*IterationChunk
+}
+
+// BuildGraph wraps a chunk list as a similarity graph.
+func BuildGraph(chunks []*IterationChunk) *Graph { return &Graph{Chunks: chunks} }
+
+// Weight returns ω(γi, γj) = popcount(Λi ∧ Λj).
+func (g *Graph) Weight(i, j int) int {
+	return g.Chunks[i].Tag.AndPopCount(g.Chunks[j].Tag)
+}
+
+// Matrix materializes the full weight matrix (diagonal = popcount of the
+// tag itself).
+func (g *Graph) Matrix() [][]int {
+	n := len(g.Chunks)
+	m := make([][]int, n)
+	for i := range m {
+		m[i] = make([]int, n)
+		for j := range m[i] {
+			m[i][j] = g.Weight(i, j)
+		}
+	}
+	return m
+}
+
+// Degree returns the number of chunks sharing at least one data chunk with
+// chunk i.
+func (g *Graph) Degree(i int) int {
+	d := 0
+	for j := range g.Chunks {
+		if j != i && g.Weight(i, j) > 0 {
+			d++
+		}
+	}
+	return d
+}

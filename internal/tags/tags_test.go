@@ -1,0 +1,230 @@
+package tags
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitvec"
+	"repro/internal/chunking"
+	"repro/internal/polyhedral"
+)
+
+// figure6Program reproduces the paper's Figure 6 code fragment with chunk
+// size d (in elements, 1-byte elements): array A[12d], loop i = 0..8d−1,
+// body A[i] = A[i%d] + A[i+4d] + A[i+2d].
+func figure6Program(d int64) (*polyhedral.Nest, []polyhedral.Ref, *chunking.DataSpace) {
+	m := 12 * d
+	nest := polyhedral.NewNest("fig6", []int64{0}, []int64{8*d - 1})
+	data := chunking.NewDataSpace(d, chunking.Array{Name: "A", Dims: []int64{m}, ElemSize: 1})
+	refs := []polyhedral.Ref{
+		polyhedral.SimpleRef(0, 1, []int{0}, []int64{0}, polyhedral.Write),    // A[i]
+		{Array: 0, Exprs: []polyhedral.RefExpr{{Coeffs: []int64{1}, Mod: d}}}, // A[i % d]
+		polyhedral.SimpleRef(0, 1, []int{0}, []int64{4 * d}, polyhedral.Read), // A[i+4d]
+		polyhedral.SimpleRef(0, 1, []int{0}, []int64{2 * d}, polyhedral.Read), // A[i+2d]
+	}
+	return nest, refs, data
+}
+
+// Figure 8's expected tags for the Figure 6 fragment.
+var figure8Tags = []string{
+	"101010000000",
+	"110101000000",
+	"101010100000",
+	"100101010000",
+	"100010101000",
+	"100001010100",
+	"100000101010",
+	"100000010101",
+}
+
+func TestFigure6IterationChunks(t *testing.T) {
+	const d = 8
+	nest, refs, data := figure6Program(d)
+	if data.NumChunks() != 12 {
+		t.Fatalf("NumChunks = %d, want 12", data.NumChunks())
+	}
+	chunks := Compute(nest, refs, data)
+	if len(chunks) != 8 {
+		t.Fatalf("got %d iteration chunks, want 8", len(chunks))
+	}
+	for i, want := range figure8Tags {
+		if got := chunks[i].Tag.String(); got != want {
+			t.Errorf("γ%d tag = %s, want %s", i+1, got, want)
+		}
+		if chunks[i].Count() != d {
+			t.Errorf("γ%d count = %d, want %d", i+1, chunks[i].Count(), d)
+		}
+		// γ_{i+1} covers iterations [i·d, (i+1)·d).
+		if chunks[i].Iters.Min() != int64(i)*d || chunks[i].Iters.Max() != int64(i+1)*d-1 {
+			t.Errorf("γ%d iteration range = %s", i+1, chunks[i].Iters)
+		}
+	}
+}
+
+func TestFigure8GraphWeights(t *testing.T) {
+	nest, refs, data := figure6Program(8)
+	g := BuildGraph(Compute(nest, refs, data))
+	// Figure 8 shows ω(γ1,γ3)=3, ω(γ3,γ5)=3, ω(γ5,γ7)=3, ω(γ1,γ5)=2,
+	// ω(γ3,γ7)=2 (0-indexed: 0,2,4,6).
+	cases := []struct{ i, j, w int }{
+		{0, 2, 3}, {2, 4, 3}, {4, 6, 3}, {0, 4, 2}, {2, 6, 2},
+		{1, 3, 3}, {3, 5, 3}, {5, 7, 3}, {1, 5, 2}, {3, 7, 2},
+		// Odd/even chunks share only data chunk 0 (via A[i%d]).
+		{0, 1, 1}, {0, 7, 1},
+	}
+	for _, c := range cases {
+		if got := g.Weight(c.i, c.j); got != c.w {
+			t.Errorf("ω(γ%d,γ%d) = %d, want %d", c.i+1, c.j+1, got, c.w)
+		}
+		if g.Weight(c.j, c.i) != g.Weight(c.i, c.j) {
+			t.Errorf("graph weight not symmetric at (%d,%d)", c.i, c.j)
+		}
+	}
+}
+
+func TestGraphMatrixAndDegree(t *testing.T) {
+	nest, refs, data := figure6Program(8)
+	g := BuildGraph(Compute(nest, refs, data))
+	m := g.Matrix()
+	if len(m) != 8 {
+		t.Fatalf("matrix size %d", len(m))
+	}
+	if m[0][0] != 3 { // γ1 accesses 3 data chunks
+		t.Fatalf("diagonal = %d, want popcount 3", m[0][0])
+	}
+	// Every chunk shares chunk 0, so the graph is complete: degree 7.
+	if g.Degree(0) != 7 {
+		t.Fatalf("Degree(0) = %d, want 7", g.Degree(0))
+	}
+}
+
+func TestComputeCoversAllIterations(t *testing.T) {
+	nest, refs, data := figure6Program(8)
+	chunks := Compute(nest, refs, data)
+	if TotalIterations(chunks) != nest.Size() {
+		t.Fatalf("chunks cover %d of %d iterations", TotalIterations(chunks), nest.Size())
+	}
+	// Chunks must be pairwise disjoint.
+	for i := range chunks {
+		for j := i + 1; j < len(chunks); j++ {
+			if !chunks[i].Iters.Intersect(chunks[j].Iters).IsEmpty() {
+				t.Fatalf("chunks %d and %d overlap", i, j)
+			}
+		}
+	}
+}
+
+func TestComputeRespectsGuards(t *testing.T) {
+	// Triangular 2-D nest: guarded-out iterations get no tag.
+	nest := polyhedral.NewNest("tri", []int64{0, 0}, []int64{7, 7}).
+		AddGuard([]int64{1, -1}, 0) // j <= i
+	data := chunking.NewDataSpace(16, chunking.Array{Name: "A", Dims: []int64{8, 8}, ElemSize: 4})
+	refs := []polyhedral.Ref{polyhedral.SimpleRef(0, 2, []int{0, 1}, []int64{0, 0}, polyhedral.Read)}
+	chunks := Compute(nest, refs, data)
+	if TotalIterations(chunks) != nest.Size() {
+		t.Fatalf("cover %d, want %d", TotalIterations(chunks), nest.Size())
+	}
+}
+
+func TestComputeMultiArray(t *testing.T) {
+	// Two arrays; reference to B must set bits in B's chunk range only.
+	nest := polyhedral.NewNest("two", []int64{0}, []int64{15})
+	data := chunking.NewDataSpace(32,
+		chunking.Array{Name: "A", Dims: []int64{16}, ElemSize: 8}, // chunks 0-3
+		chunking.Array{Name: "B", Dims: []int64{16}, ElemSize: 8}, // chunks 4-7
+	)
+	refs := []polyhedral.Ref{
+		polyhedral.SimpleRef(0, 1, []int{0}, []int64{0}, polyhedral.Read),
+		polyhedral.SimpleRef(1, 1, []int{0}, []int64{0}, polyhedral.Read),
+	}
+	chunks := Compute(nest, refs, data)
+	if len(chunks) != 4 {
+		t.Fatalf("got %d chunks, want 4", len(chunks))
+	}
+	want0 := bitvec.FromIndices(8, 0, 4)
+	if !chunks[0].Tag.Equal(want0) {
+		t.Fatalf("chunk 0 tag = %s", chunks[0].Tag)
+	}
+}
+
+func TestComputeDuplicateRefsDedup(t *testing.T) {
+	// Two references to the same chunk yield a single tag bit.
+	nest := polyhedral.NewNest("dup", []int64{0}, []int64{3})
+	data := chunking.NewDataSpace(64, chunking.Array{Name: "A", Dims: []int64{4}, ElemSize: 8})
+	refs := []polyhedral.Ref{
+		polyhedral.SimpleRef(0, 1, []int{0}, []int64{0}, polyhedral.Read),
+		polyhedral.SimpleRef(0, 1, []int{0}, []int64{1}, polyhedral.Read),
+	}
+	chunks := Compute(nest, refs, data)
+	if len(chunks) != 1 {
+		t.Fatalf("got %d chunks", len(chunks))
+	}
+	if chunks[0].Tag.PopCount() != 1 {
+		t.Fatalf("tag popcount = %d, want 1", chunks[0].Tag.PopCount())
+	}
+}
+
+func TestSplitPreservesTagAndCount(t *testing.T) {
+	nest, refs, data := figure6Program(8)
+	chunks := Compute(nest, refs, data)
+	a, b := chunks[0].Split(3)
+	if a.Count() != 3 || b.Count() != 5 {
+		t.Fatalf("split counts %d/%d", a.Count(), b.Count())
+	}
+	if !a.Tag.Equal(chunks[0].Tag) || !b.Tag.Equal(chunks[0].Tag) {
+		t.Fatal("split changed tags")
+	}
+}
+
+func TestComputePanicsOnBadInput(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil nest did not panic")
+		}
+	}()
+	Compute(nil, nil, nil)
+}
+
+// Property: for random strided scans, chunks partition the iteration space
+// exactly, every tag is non-empty, and tags are pairwise distinct.
+func TestPropertyChunksPartition(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := int64(16 + r.Intn(200))
+		stride := int64(1 + r.Intn(4))
+		off := int64(r.Intn(10))
+		nest := polyhedral.NewNest("p", []int64{0}, []int64{n - 1})
+		data := chunking.NewDataSpace(int64(8+8*r.Intn(8)),
+			chunking.Array{Name: "A", Dims: []int64{n*stride + off + 1}, ElemSize: 4})
+		refs := []polyhedral.Ref{
+			{Array: 0, Exprs: []polyhedral.RefExpr{{Coeffs: []int64{stride}, Offset: off}}},
+		}
+		chunks := Compute(nest, refs, data)
+		if TotalIterations(chunks) != n {
+			return false
+		}
+		seen := map[string]bool{}
+		for _, c := range chunks {
+			if c.Tag.IsZero() {
+				return false
+			}
+			k := c.Tag.Key()
+			if seen[k] {
+				return false
+			}
+			seen[k] = true
+		}
+		for i := range chunks {
+			for j := i + 1; j < len(chunks); j++ {
+				if !chunks[i].Iters.Intersect(chunks[j].Iters).IsEmpty() {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

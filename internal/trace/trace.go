@@ -1,0 +1,217 @@
+// Package trace collects and analyzes chunk-level access traces from the
+// simulator: per-chunk access counts, client sharing degrees, and Mattson
+// stack (reuse) distance histograms. These are the diagnostics used to
+// understand *why* a mapping behaves as it does — e.g. the paper's claim
+// that the original mapping turns shared-cache reuse into long-distance
+// reuse is directly visible as mass moving to larger stack distances.
+package trace
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+)
+
+// Event is one chunk access.
+type Event struct {
+	Client int
+	Chunk  int
+	Write  bool
+	// HitLevel is the paper-style cache level that served the access
+	// (1 = client cache, 2 = I/O node, …); 0 means disk.
+	HitLevel int
+	TimeMS   float64
+}
+
+// Collector accumulates events. The zero value is ready to use.
+type Collector struct {
+	Events []Event
+}
+
+// Record appends an event (implements the iosim trace hook).
+func (c *Collector) Record(ev Event) { c.Events = append(c.Events, ev) }
+
+// Len returns the number of recorded events.
+func (c *Collector) Len() int { return len(c.Events) }
+
+// ChunkCounts returns access counts per chunk.
+func (c *Collector) ChunkCounts() map[int]int {
+	out := make(map[int]int)
+	for _, ev := range c.Events {
+		out[ev.Chunk]++
+	}
+	return out
+}
+
+// SharingDegrees returns, for each chunk, how many distinct clients touch
+// it.
+func (c *Collector) SharingDegrees() map[int]int {
+	clients := make(map[int]map[int]bool)
+	for _, ev := range c.Events {
+		if clients[ev.Chunk] == nil {
+			clients[ev.Chunk] = make(map[int]bool)
+		}
+		clients[ev.Chunk][ev.Client] = true
+	}
+	out := make(map[int]int, len(clients))
+	for chunk, set := range clients {
+		out[chunk] = len(set)
+	}
+	return out
+}
+
+// SharingHistogram buckets chunks by how many clients touch them:
+// result[k] = number of chunks shared by exactly k clients.
+func (c *Collector) SharingHistogram() map[int]int {
+	out := make(map[int]int)
+	for _, deg := range c.SharingDegrees() {
+		out[deg]++
+	}
+	return out
+}
+
+// HitLevelCounts returns how many accesses were served per level
+// (0 = disk).
+func (c *Collector) HitLevelCounts() map[int]int64 {
+	out := make(map[int]int64)
+	for _, ev := range c.Events {
+		out[ev.HitLevel]++
+	}
+	return out
+}
+
+// Histogram is a stack distance histogram: exact per-distance counts plus
+// power-of-two display buckets. Bucket[i] counts accesses with distance in
+// [2^(i−1), 2^i); Bucket[0] counts distance 0 (immediate re-reference).
+// Cold counts first touches.
+type Histogram struct {
+	Buckets []int64
+	Cold    int64
+	Total   int64
+	exact   map[int]int64
+}
+
+// bucketOf maps a stack distance to its bucket index.
+func bucketOf(d int) int {
+	if d <= 0 {
+		return 0
+	}
+	return bits.Len(uint(d))
+}
+
+// Add records one distance.
+func (h *Histogram) Add(d int) {
+	b := bucketOf(d)
+	for len(h.Buckets) <= b {
+		h.Buckets = append(h.Buckets, 0)
+	}
+	h.Buckets[b]++
+	if h.exact == nil {
+		h.exact = make(map[int]int64)
+	}
+	h.exact[d]++
+	h.Total++
+}
+
+// AddCold records a first touch.
+func (h *Histogram) AddCold() {
+	h.Cold++
+	h.Total++
+}
+
+// HitRateAt returns the fraction of accesses with stack distance < cap —
+// exactly the hit rate a fully-associative LRU cache of that capacity
+// would see on this stream (Mattson's inclusion property).
+func (h *Histogram) HitRateAt(capacity int) float64 {
+	if h.Total == 0 {
+		return 0
+	}
+	var hits int64
+	for d, n := range h.exact {
+		if d < capacity {
+			hits += n
+		}
+	}
+	return float64(hits) / float64(h.Total)
+}
+
+// String renders the histogram.
+func (h *Histogram) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "cold %d / total %d\n", h.Cold, h.Total)
+	for b, n := range h.Buckets {
+		if n == 0 {
+			continue
+		}
+		lo := 0
+		if b > 0 {
+			lo = 1 << (b - 1)
+		}
+		fmt.Fprintf(&sb, "  dist [%d,%d): %d\n", lo, 1<<b, n)
+	}
+	return sb.String()
+}
+
+// StackDistances computes the global LRU stack distance histogram of the
+// trace (distance = number of distinct chunks touched since the previous
+// access to the same chunk).
+func (c *Collector) StackDistances() *Histogram {
+	return stackDistances(c.Events, func(Event) bool { return true })
+}
+
+// ClientStackDistances computes the stack distance histogram of one
+// client's stream — the distances its private cache experiences.
+func (c *Collector) ClientStackDistances(client int) *Histogram {
+	return stackDistances(c.Events, func(ev Event) bool { return ev.Client == client })
+}
+
+// stackDistances runs Mattson's algorithm with an LRU stack (O(n·u) in
+// events × distinct chunks — ample for simulator-scale traces).
+func stackDistances(events []Event, keep func(Event) bool) *Histogram {
+	h := &Histogram{}
+	var stack []int // front = MRU
+	pos := make(map[int]int)
+	for _, ev := range events {
+		if !keep(ev) {
+			continue
+		}
+		if idx, seen := pos[ev.Chunk]; seen {
+			h.Add(idx)
+			copy(stack[1:idx+1], stack[:idx])
+			stack[0] = ev.Chunk
+			for i := 0; i <= idx; i++ {
+				pos[stack[i]] = i
+			}
+		} else {
+			h.AddCold()
+			stack = append(stack, 0)
+			copy(stack[1:], stack[:len(stack)-1])
+			stack[0] = ev.Chunk
+			for i := range stack {
+				pos[stack[i]] = i
+			}
+		}
+	}
+	return h
+}
+
+// TopShared returns the n most widely shared chunks (chunk, degree),
+// sorted by degree descending then chunk ascending.
+func (c *Collector) TopShared(n int) [][2]int {
+	deg := c.SharingDegrees()
+	out := make([][2]int, 0, len(deg))
+	for chunk, d := range deg {
+		out = append(out, [2]int{chunk, d})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][1] != out[j][1] {
+			return out[i][1] > out[j][1]
+		}
+		return out[i][0] < out[j][0]
+	})
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}

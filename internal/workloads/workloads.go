@@ -1,0 +1,297 @@
+// Package workloads models the paper's eight I/O-intensive applications
+// (Table 2) as parameterized out-of-core loop nests over disk-resident
+// arrays.
+//
+// The originals are proprietary or site-specific codes; what the mapping
+// algorithm and the evaluation actually depend on is each code's
+// chunk-level access-pattern class — how iterations share disk-resident
+// data chunks within and across passes. Each model below reproduces its
+// application's class (multi-pass scan, overlapping windows, 2-D/3-D
+// stencil, strided gather, hot-table reuse, block-transpose, 4-D lattice)
+// at a scale where the simulated platform's cache-to-dataset ratios match
+// the paper's (Table 1), as documented in DESIGN.md.
+//
+// Arrays hold coarse records (out-of-core panel granularity); the data
+// chunk size models the paper's 64 KB stripe at 1:16 scale (4 KB).
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/chunking"
+	"repro/internal/iosim"
+	"repro/internal/polyhedral"
+)
+
+// DefaultChunkBytes models the paper's 64 KB data chunks at 1:16 scale.
+const DefaultChunkBytes = 4096
+
+// Workload is one application model.
+type Workload struct {
+	Name string
+	Desc string
+	Prog iosim.Program
+}
+
+// WithChunkBytes returns the workload with its data space re-partitioned
+// into chunks of b bytes (the Figure 14 sensitivity knob).
+func (w Workload) WithChunkBytes(b int64) Workload {
+	w.Prog.Data = w.Prog.Data.Rescale(b)
+	return w
+}
+
+// Names lists the applications in the paper's Table 2 order.
+func Names() []string {
+	return []string{"hf", "sar", "contour", "astro", "e_elem", "apsi", "madbench2", "wupwise"}
+}
+
+// Get builds one application model. scale >= 1 shrinks every extent by the
+// given factor (scale 1 is the evaluation size; larger scales make quick
+// test/bench variants).
+func Get(name string, scale int) (Workload, error) {
+	if scale < 1 {
+		return Workload{}, fmt.Errorf("workloads: scale %d < 1", scale)
+	}
+	switch name {
+	case "hf":
+		return hf(scale), nil
+	case "sar":
+		return sar(scale), nil
+	case "contour":
+		return contour(scale), nil
+	case "astro":
+		return astro(scale), nil
+	case "e_elem":
+		return eElem(scale), nil
+	case "apsi":
+		return apsi(scale), nil
+	case "madbench2":
+		return madbench2(scale), nil
+	case "wupwise":
+		return wupwise(scale), nil
+	}
+	return Workload{}, fmt.Errorf("workloads: unknown application %q", name)
+}
+
+// All builds every application at the given scale.
+func All(scale int) ([]Workload, error) {
+	names := Names()
+	out := make([]Workload, 0, len(names))
+	for _, n := range names {
+		w, err := Get(n, scale)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, w)
+	}
+	return out, nil
+}
+
+func div(n int64, scale int) int64 {
+	v := n / int64(scale)
+	if v < 2 {
+		v = 2
+	}
+	return v
+}
+
+// hf models the Hartree-Fock method: repeated sweeps over the Fock and
+// density matrices (panelized), a strided integral file, and a small hot
+// basis table that is reused heavily.
+func hf(scale int) Workload {
+	T := int64(5)
+	N := div(768, scale)
+	hot := div(32, scale)
+	data := chunking.NewDataSpace(DefaultChunkBytes,
+		chunking.Array{Name: "F", Dims: []int64{N}, ElemSize: 512},
+		chunking.Array{Name: "D", Dims: []int64{N}, ElemSize: 512},
+		chunking.Array{Name: "G", Dims: []int64{N + 8*T}, ElemSize: 512},
+		chunking.Array{Name: "V", Dims: []int64{hot}, ElemSize: 512},
+	)
+	nest := polyhedral.NewNest("hf", []int64{0, 0}, []int64{T - 1, N - 1})
+	refs := []polyhedral.Ref{
+		polyhedral.SimpleRef(0, 2, []int{1}, []int64{0}, polyhedral.Write),         // F[i]
+		polyhedral.SimpleRef(1, 2, []int{1}, []int64{0}, polyhedral.Read),          // D[i]
+		{Array: 2, Exprs: []polyhedral.RefExpr{{Coeffs: []int64{8, 1}}}},           // G[i+8t] (sweep drift)
+		{Array: 3, Exprs: []polyhedral.RefExpr{{Coeffs: []int64{0, 1}, Mod: hot}}}, // V[i mod hot]
+	}
+	return Workload{
+		Name: "hf",
+		Desc: "Hartree-Fock method: multi-sweep Fock/density panels, strided integrals, hot basis table",
+		Prog: iosim.Program{Nest: nest, Refs: refs, Data: data},
+	}
+}
+
+// sar models a synthetic aperture radar kernel: sequential pulses with
+// overlapping range windows, highly sequential (lowest miss rates at L1/L2
+// in Table 2).
+func sar(scale int) Workload {
+	T := int64(4)
+	N := div(1024, scale)
+	W := int64(8)
+	data := chunking.NewDataSpace(DefaultChunkBytes,
+		chunking.Array{Name: "R", Dims: []int64{2 * N}, ElemSize: 512},
+		chunking.Array{Name: "I", Dims: []int64{T, N}, ElemSize: 512},
+	)
+	nest := polyhedral.NewNest("sar", []int64{0, 0}, []int64{T - 1, N - 1})
+	refs := []polyhedral.Ref{
+		{Array: 0, Exprs: []polyhedral.RefExpr{{Coeffs: []int64{0, 1}}}},                // R[i] (range gate)
+		{Array: 0, Exprs: []polyhedral.RefExpr{{Coeffs: []int64{0, 1}, Offset: W}}},     // R[i+W]
+		{Array: 0, Exprs: []polyhedral.RefExpr{{Coeffs: []int64{0, 1}, Offset: 40}}},    // R[i+40] (swath overlap)
+		{Array: 0, Exprs: []polyhedral.RefExpr{{Coeffs: []int64{0, 1}, Offset: N / 2}}}, // R[i+N/2] (folded azimuth reference)
+		polyhedral.SimpleRef(1, 2, []int{0, 1}, []int64{0, 0}, polyhedral.Write),        // I[t,i]
+	}
+	return Workload{
+		Name: "sar",
+		Desc: "Synthetic aperture radar kernel: sequential pulses over overlapping range windows",
+		Prog: iosim.Program{Nest: nest, Refs: refs, Data: data},
+	}
+}
+
+// contour models contour displaying: repeated 2-D neighbourhood sweeps over
+// a panelized grid, with row and column neighbours (strong boundary
+// sharing, heavy L3 pressure in Table 2).
+func contour(scale int) Workload {
+	T := int64(3)
+	B := div(24, scale)
+	data := chunking.NewDataSpace(DefaultChunkBytes,
+		chunking.Array{Name: "A", Dims: []int64{B, B}, ElemSize: 1024},
+		chunking.Array{Name: "W", Dims: []int64{B, B}, ElemSize: 1024},
+		chunking.Array{Name: "K", Dims: []int64{B}, ElemSize: 1024},
+	)
+	nest := polyhedral.NewNest("contour", []int64{0, 0, 0}, []int64{T - 1, B - 2, B - 2})
+	refs := []polyhedral.Ref{
+		polyhedral.SimpleRef(0, 3, []int{1, 2}, []int64{0, 0}, polyhedral.Read),  // A[i,j]
+		polyhedral.SimpleRef(0, 3, []int{1, 2}, []int64{1, 0}, polyhedral.Read),  // A[i+1,j]
+		polyhedral.SimpleRef(0, 3, []int{1, 2}, []int64{0, 1}, polyhedral.Read),  // A[i,j+1]
+		polyhedral.SimpleRef(1, 3, []int{1, 2}, []int64{0, 0}, polyhedral.Write), // W[i,j]
+		polyhedral.SimpleRef(2, 3, []int{2}, []int64{0}, polyhedral.Read),        // K[j] (level table)
+	}
+	return Workload{
+		Name: "contour",
+		Desc: "Contour displaying: repeated 2-D neighbourhood sweeps over a panelized grid",
+		Prog: iosim.Program{Nest: nest, Refs: refs, Data: data},
+	}
+}
+
+// astro models analysis of astronomical data: wide strided gathers over a
+// large survey file with little spatial locality (the worst miss rates in
+// Table 2).
+func astro(scale int) Workload {
+	T := int64(3)
+	N := div(512, scale)
+	data := chunking.NewDataSpace(DefaultChunkBytes,
+		chunking.Array{Name: "X", Dims: []int64{N + 64}, ElemSize: 512},
+		chunking.Array{Name: "Y", Dims: []int64{2*N + 32*T}, ElemSize: 512},
+		chunking.Array{Name: "Z", Dims: []int64{N}, ElemSize: 512},
+	)
+	nest := polyhedral.NewNest("astro", []int64{0, 0}, []int64{T - 1, N - 1})
+	refs := []polyhedral.Ref{
+		polyhedral.SimpleRef(0, 2, []int{1}, []int64{0}, polyhedral.Read),           // X[i]
+		{Array: 1, Exprs: []polyhedral.RefExpr{{Coeffs: []int64{0, 2}}}},            // Y[2i] (catalogue gather)
+		{Array: 1, Exprs: []polyhedral.RefExpr{{Coeffs: []int64{0, 2}, Offset: 1}}}, // Y[2i+1]
+		polyhedral.SimpleRef(2, 2, []int{1}, []int64{0}, polyhedral.Write),          // Z[i]
+	}
+	return Workload{
+		Name: "astro",
+		Desc: "Astronomical data analysis: strided gathers over a large survey file",
+		Prog: iosim.Program{Nest: nest, Refs: refs, Data: data},
+	}
+}
+
+// eElem models finite element electromagnetic modelling: element sweeps
+// with a hot coefficient table (the lowest L1 miss rate in Table 2 — 8.3%).
+func eElem(scale int) Workload {
+	T := int64(4)
+	E := div(1024, scale)
+	hot := div(64, scale)
+	data := chunking.NewDataSpace(DefaultChunkBytes,
+		chunking.Array{Name: "M", Dims: []int64{hot}, ElemSize: 512},
+		chunking.Array{Name: "X", Dims: []int64{E + 8*T}, ElemSize: 512},
+		chunking.Array{Name: "Y", Dims: []int64{T, E}, ElemSize: 512},
+	)
+	nest := polyhedral.NewNest("e_elem", []int64{0, 0}, []int64{T - 1, E - 1})
+	refs := []polyhedral.Ref{
+		{Array: 0, Exprs: []polyhedral.RefExpr{{Coeffs: []int64{0, 1}, Mod: hot}}}, // M[e mod hot]
+		{Array: 1, Exprs: []polyhedral.RefExpr{{Coeffs: []int64{8, 1}}}},           // X[e+8t] (field update drift)
+		polyhedral.SimpleRef(2, 2, []int{0, 1}, []int64{0, 0}, polyhedral.Write),   // Y[t,e]
+	}
+	return Workload{
+		Name: "e_elem",
+		Desc: "Finite element electromagnetic modelling: element sweeps with a hot coefficient table",
+		Prog: iosim.Program{Nest: nest, Refs: refs, Data: data},
+	}
+}
+
+// apsi models pollutant distribution: a 3-D plane-by-plane stencil with
+// vertical coupling (the best-behaved miss profile in Table 2).
+func apsi(scale int) Workload {
+	T := int64(3)
+	P := div(16, scale)
+	C := div(64, scale)
+	data := chunking.NewDataSpace(DefaultChunkBytes,
+		chunking.Array{Name: "A", Dims: []int64{P, C}, ElemSize: 512},
+		chunking.Array{Name: "B", Dims: []int64{P, C}, ElemSize: 512},
+		chunking.Array{Name: "K", Dims: []int64{C}, ElemSize: 512},
+	)
+	nest := polyhedral.NewNest("apsi", []int64{0, 1, 0}, []int64{T - 1, P - 1, C - 1})
+	refs := []polyhedral.Ref{
+		polyhedral.SimpleRef(0, 3, []int{1, 2}, []int64{0, 0}, polyhedral.Read),  // A[p,c]
+		polyhedral.SimpleRef(0, 3, []int{1, 2}, []int64{-1, 0}, polyhedral.Read), // A[p-1,c]
+		polyhedral.SimpleRef(1, 3, []int{1, 2}, []int64{0, 0}, polyhedral.Write), // B[p,c]
+		polyhedral.SimpleRef(2, 3, []int{2}, []int64{0}, polyhedral.Read),        // K[c] (chemistry table)
+	}
+	return Workload{
+		Name: "apsi",
+		Desc: "Pollutant distribution modelling: 3-D plane-by-plane stencil with vertical coupling",
+		Prog: iosim.Program{Nest: nest, Refs: refs, Data: data},
+	}
+}
+
+// madbench2 models cosmic microwave background analysis: out-of-core block
+// matrix operations including a block transpose (dense cross-row sharing).
+func madbench2(scale int) Workload {
+	T := int64(4)
+	B := div(16, scale)
+	data := chunking.NewDataSpace(DefaultChunkBytes,
+		chunking.Array{Name: "L", Dims: []int64{B, B}, ElemSize: 512},
+		chunking.Array{Name: "W", Dims: []int64{B, B}, ElemSize: 512},
+	)
+	nest := polyhedral.NewNest("madbench2", []int64{0, 0, 0}, []int64{T - 1, B - 1, B - 1})
+	refs := []polyhedral.Ref{
+		polyhedral.SimpleRef(0, 3, []int{1, 2}, []int64{0, 0}, polyhedral.Read),  // L[i,j]
+		polyhedral.SimpleRef(0, 3, []int{2, 1}, []int64{0, 0}, polyhedral.Read),  // L[j,i] (block transpose)
+		polyhedral.SimpleRef(1, 3, []int{1, 2}, []int64{0, 0}, polyhedral.Write), // W[i,j]
+	}
+	return Workload{
+		Name: "madbench2",
+		Desc: "CMB radiation calculation: out-of-core block matrix ops with block transpose",
+		Prog: iosim.Program{Nest: nest, Refs: refs, Data: data},
+	}
+}
+
+// wupwise models quantum chromodynamics: sweeps over a 4-D lattice with
+// nearest-neighbour coupling in the slowest dimension.
+func wupwise(scale int) Workload {
+	T := int64(3)
+	Z := div(4, scale)
+	Y := div(8, scale)
+	X := div(16, scale)
+	data := chunking.NewDataSpace(DefaultChunkBytes,
+		chunking.Array{Name: "U", Dims: []int64{Z, Y, X}, ElemSize: 512},
+		chunking.Array{Name: "PSI", Dims: []int64{Z, Y, X}, ElemSize: 512},
+		chunking.Array{Name: "K", Dims: []int64{X}, ElemSize: 512},
+	)
+	nest := polyhedral.NewNest("wupwise", []int64{0, 1, 0, 0}, []int64{T - 1, Z - 1, Y - 1, X - 1})
+	refs := []polyhedral.Ref{
+		polyhedral.SimpleRef(0, 4, []int{1, 2, 3}, []int64{0, 0, 0}, polyhedral.Read),  // U[z,y,x]
+		polyhedral.SimpleRef(0, 4, []int{1, 2, 3}, []int64{-1, 0, 0}, polyhedral.Read), // U[z-1,y,x]
+		polyhedral.SimpleRef(1, 4, []int{1, 2, 3}, []int64{0, 0, 0}, polyhedral.Write), // PSI[z,y,x]
+		polyhedral.SimpleRef(2, 4, []int{3}, []int64{0}, polyhedral.Read),              // K[x] (gauge table)
+	}
+	return Workload{
+		Name: "wupwise",
+		Desc: "Quantum chromodynamics: 4-D lattice sweeps with nearest-neighbour coupling",
+		Prog: iosim.Program{Nest: nest, Refs: refs, Data: data},
+	}
+}

@@ -1,0 +1,151 @@
+package workloads
+
+import (
+	"testing"
+
+	"repro/internal/hierarchy"
+	"repro/internal/iosim"
+	"repro/internal/mapping"
+	"repro/internal/tags"
+)
+
+func TestNamesMatchTable2(t *testing.T) {
+	want := []string{"hf", "sar", "contour", "astro", "e_elem", "apsi", "madbench2", "wupwise"}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("Names() = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Names()[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestAllBuildValidPrograms(t *testing.T) {
+	ws, err := All(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 8 {
+		t.Fatalf("All(1) returned %d workloads", len(ws))
+	}
+	for _, w := range ws {
+		if err := w.Prog.Validate(); err != nil {
+			t.Errorf("%s: invalid program: %v", w.Name, err)
+		}
+		if w.Desc == "" {
+			t.Errorf("%s: missing description", w.Name)
+		}
+		if w.Prog.Nest.Size() < 1000 {
+			t.Errorf("%s: only %d iterations", w.Name, w.Prog.Nest.Size())
+		}
+		if w.Prog.Data.NumChunks() < 64 {
+			t.Errorf("%s: only %d data chunks", w.Name, w.Prog.Data.NumChunks())
+		}
+	}
+}
+
+func TestGetUnknownAndBadScale(t *testing.T) {
+	if _, err := Get("nope", 1); err == nil {
+		t.Error("unknown name accepted")
+	}
+	if _, err := Get("hf", 0); err == nil {
+		t.Error("scale 0 accepted")
+	}
+}
+
+func TestScaleShrinks(t *testing.T) {
+	full, _ := Get("hf", 1)
+	half, _ := Get("hf", 2)
+	if half.Prog.Nest.Size() >= full.Prog.Nest.Size() {
+		t.Fatal("scale 2 did not shrink iterations")
+	}
+	if half.Prog.Data.NumChunks() >= full.Prog.Data.NumChunks() {
+		t.Fatal("scale 2 did not shrink data")
+	}
+}
+
+func TestWithChunkBytes(t *testing.T) {
+	w, _ := Get("sar", 2)
+	small := w.WithChunkBytes(DefaultChunkBytes / 2)
+	if small.Prog.Data.NumChunks() <= w.Prog.Data.NumChunks() {
+		t.Fatal("smaller chunks did not increase chunk count")
+	}
+	if w.Prog.Data.ChunkBytes != DefaultChunkBytes {
+		t.Fatal("WithChunkBytes mutated the original")
+	}
+}
+
+func TestIterationChunkCountsTractable(t *testing.T) {
+	// The clustering step is O(n²) in iteration chunks; keep every app's n
+	// within the budget the experiments assume.
+	ws, _ := All(1)
+	for _, w := range ws {
+		chunks := tags.Compute(w.Prog.Nest, w.Prog.Refs, w.Prog.Data)
+		n := len(chunks)
+		if n < 32 {
+			t.Errorf("%s: only %d iteration chunks (too coarse for clustering)", w.Name, n)
+		}
+		if n > 1600 {
+			t.Errorf("%s: %d iteration chunks (clustering would be too slow)", w.Name, n)
+		}
+		if got := tags.TotalIterations(chunks); got != w.Prog.Nest.Size() {
+			t.Errorf("%s: chunks cover %d of %d iterations", w.Name, got, w.Prog.Nest.Size())
+		}
+	}
+}
+
+func TestWorkloadsHaveReuse(t *testing.T) {
+	// Every app is a multi-pass code: iterations exceed distinct data
+	// chunks by a healthy factor, so caching matters.
+	ws, _ := All(1)
+	for _, w := range ws {
+		iters := w.Prog.Nest.Size()
+		chunks := int64(w.Prog.Data.NumChunks())
+		if iters < 4*chunks {
+			t.Errorf("%s: %d iterations over %d chunks — not enough reuse", w.Name, iters, chunks)
+		}
+	}
+}
+
+func TestWorkloadsRunEndToEnd(t *testing.T) {
+	// Small scale, small tree: all apps × all schemes must map and run.
+	tree := hierarchy.NewLayered(
+		hierarchy.LayerSpec{Count: 2, CacheChunks: 16, Label: "SN"},
+		hierarchy.LayerSpec{Count: 4, CacheChunks: 16, Label: "IO"},
+		hierarchy.LayerSpec{Count: 8, CacheChunks: 16, Label: "CN"},
+	)
+	ws, _ := All(4)
+	for _, w := range ws {
+		for _, scheme := range mapping.Schemes() {
+			res, err := mapping.Map(scheme, w.Prog, mapping.Config{Tree: tree})
+			if err != nil {
+				t.Fatalf("%s/%s: map: %v", w.Name, scheme, err)
+			}
+			m, err := iosim.Run(tree, w.Prog, res.Assignment, iosim.DefaultParams())
+			if err != nil {
+				t.Fatalf("%s/%s: run: %v", w.Name, scheme, err)
+			}
+			if m.Iterations != w.Prog.Nest.Size() {
+				t.Fatalf("%s/%s: executed %d of %d iterations",
+					w.Name, scheme, m.Iterations, w.Prog.Nest.Size())
+			}
+		}
+	}
+}
+
+func TestWorkloadsIncludeWrites(t *testing.T) {
+	ws, _ := All(1)
+	for _, w := range ws {
+		hasWrite := false
+		for _, r := range w.Prog.Refs {
+			if r.Kind != 0 { // polyhedral.Write
+				hasWrite = true
+			}
+		}
+		if !hasWrite {
+			t.Errorf("%s: no write reference (checkpoint behaviour untested)", w.Name)
+		}
+	}
+}
