@@ -1,0 +1,23 @@
+# Tier-1 verification in one command: `make ci` (or ./ci.sh).
+GO ?= go
+
+.PHONY: build vet test bench ci clean
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test -race ./...
+
+# One pass over every benchmark (the full suite regenerates the paper's
+# tables and figures; -benchtime=1x keeps it bounded).
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+ci: build vet test
+
+clean:
+	$(GO) clean ./...

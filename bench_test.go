@@ -11,6 +11,7 @@ package cachemap
 // better, and "impr%" metrics are mean improvement percentages.
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/bitvec"
@@ -450,4 +451,53 @@ func BenchmarkThresholdSweep(b *testing.B) {
 		_ = r
 	}
 	b.ReportMetric(rows[1].MeanIO, "IOnorm@10%")
+}
+
+// BenchmarkPlanCache measures the serving subsystem's memoization win.
+// "cold" computes a fresh plan through the full clustering pipeline on
+// every iteration (each request content-hashes to a new key); "hit" serves
+// the identical spec from the content-addressed plan cache. The acceptance
+// bar for cachemapd is hit ≥ 100× faster than cold.
+func BenchmarkPlanCache(b *testing.B) {
+	req := func(name string) MapRequest {
+		return MapRequest{
+			Workload: WorkloadSpec{Synth: &SynthSpec{
+				Name:    name,
+				Passes:  4,
+				Extent:  2048,
+				Streams: []StreamSpec{{Stride: 1}, {Stride: 1, Offset: 32}},
+			}},
+			Topology: "4/8/16@16,8,4",
+			Scheme:   "inter",
+		}
+	}
+	b.Run("cold", func(b *testing.B) {
+		svc := NewService(ServiceConfig{})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			mr, err := svc.ComputePlan(req(fmt.Sprintf("cold%d", i)))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if mr.Cached {
+				b.Fatal("cold request unexpectedly hit the cache")
+			}
+		}
+	})
+	b.Run("hit", func(b *testing.B) {
+		svc := NewService(ServiceConfig{})
+		if _, err := svc.ComputePlan(req("hot")); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			mr, err := svc.ComputePlan(req("hot"))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !mr.Cached {
+				b.Fatal("hot request missed the cache")
+			}
+		}
+	})
 }

@@ -1,0 +1,14 @@
+#!/bin/sh
+# Lightweight CI: build, vet, race-enabled tests — the tier-1 gate.
+set -eu
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "==> ci ok"

@@ -1,0 +1,83 @@
+// Command cachemapd serves hierarchy-aware computation mappings over HTTP:
+// the paper's mapper as a long-running daemon with a content-addressed plan
+// cache, a bounded worker pool and Prometheus metrics.
+//
+// Usage:
+//
+//	cachemapd                          # listen on :8642
+//	cachemapd -addr :9000 -workers 8 -cache 1024 -timeout 10s
+//
+// Endpoints:
+//
+//	POST /v1/map       {"workload":{"app":"apsi"},"topology":"16/32/64@16,8,4","scheme":"inter"}
+//	POST /v1/simulate  same body plus optional simulator knobs (policy, prefetch_depth, …)
+//	GET  /healthz      liveness probe
+//	GET  /metrics      Prometheus text exposition
+//
+// The daemon drains gracefully: on SIGTERM/SIGINT it stops accepting
+// connections, lets in-flight requests finish (up to -drain), then exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8642", "listen address")
+	workers := flag.Int("workers", 0, "max concurrent mapping jobs (0 = GOMAXPROCS)")
+	cacheSize := flag.Int("cache", 512, "plan cache capacity (plans)")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request deadline (queueing + computation)")
+	drain := flag.Duration("drain", 15*time.Second, "shutdown drain budget for in-flight requests")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "cachemapd: ", log.LstdFlags)
+
+	srv := server.New(server.Config{
+		Workers:        *workers,
+		PlanCacheSize:  *cacheSize,
+		RequestTimeout: *timeout,
+	})
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.ListenAndServe() }()
+	logger.Printf("listening on %s (workers=%d cache=%d timeout=%s)",
+		*addr, *workers, *cacheSize, *timeout)
+
+	select {
+	case err := <-errCh:
+		logger.Fatalf("serve: %v", err)
+	case <-ctx.Done():
+	}
+	stop() // restore default signal behaviour: a second signal kills us
+
+	logger.Printf("signal received, draining in-flight requests (budget %s)", *drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil {
+		logger.Printf("drain incomplete: %v", err)
+		os.Exit(1)
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logger.Printf("serve: %v", err)
+		os.Exit(1)
+	}
+	logger.Printf("drained, exiting")
+}

@@ -1,0 +1,203 @@
+// Command loadgen exercises a running cachemapd with concurrent streams of
+// mixed mapping (and optionally simulation) requests and reports
+// throughput, latency percentiles and plan-cache effectiveness.
+//
+// Usage:
+//
+//	cachemapd &
+//	loadgen                                  # 512 requests, 64 concurrent
+//	loadgen -n 2000 -c 128 -simulate 0.25    # quarter of the stream simulates
+//	loadgen -base http://host:8642 -specs 16
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/workloads"
+)
+
+func main() {
+	base := flag.String("base", "http://127.0.0.1:8642", "cachemapd base URL")
+	n := flag.Int("n", 512, "total requests to send")
+	c := flag.Int("c", 64, "concurrent request streams")
+	specs := flag.Int("specs", 8, "distinct workload specs in the mix (cache hot set)")
+	simulate := flag.Float64("simulate", 0, "fraction of requests sent to /v1/simulate instead of /v1/map")
+	timeout := flag.Duration("timeout", 60*time.Second, "per-request client timeout")
+	flag.Parse()
+
+	if *n < 1 || *c < 1 || *specs < 1 || *simulate < 0 || *simulate > 1 {
+		fmt.Fprintln(os.Stderr, "loadgen: bad flags")
+		os.Exit(2)
+	}
+
+	client := &http.Client{
+		Timeout: *timeout,
+		Transport: &http.Transport{
+			MaxIdleConns:        *c,
+			MaxIdleConnsPerHost: *c,
+		},
+	}
+
+	// Probe liveness before opening the floodgates.
+	resp, err := client.Get(*base + "/healthz")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: daemon unreachable: %v\n", err)
+		os.Exit(1)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	reqs := buildMix(*specs)
+	var (
+		next      atomic.Int64
+		errCount  atomic.Int64
+		hitCount  atomic.Int64
+		mu        sync.Mutex
+		latencies []time.Duration
+		firstErrs []string
+	)
+	simEvery := 0
+	if *simulate > 0 {
+		simEvery = int(math.Round(1 / *simulate))
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < *c; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= *n {
+					return
+				}
+				req := reqs[i%len(reqs)]
+				path := "/v1/map"
+				var body any = req
+				if simEvery > 0 && i%simEvery == 0 {
+					path = "/v1/simulate"
+					body = server.SimRequest{MapRequest: req}
+				}
+				t0 := time.Now()
+				cached, err := post(client, *base+path, body)
+				d := time.Since(t0)
+				mu.Lock()
+				latencies = append(latencies, d)
+				mu.Unlock()
+				if err != nil {
+					errCount.Add(1)
+					mu.Lock()
+					if len(firstErrs) < 5 {
+						firstErrs = append(firstErrs, err.Error())
+					}
+					mu.Unlock()
+					continue
+				}
+				if cached {
+					hitCount.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	fmt.Printf("requests:    %d (%d errors)\n", *n, errCount.Load())
+	fmt.Printf("concurrency: %d streams, %d distinct specs\n", *c, len(reqs))
+	fmt.Printf("wall time:   %.2fs  (%.0f req/s)\n", elapsed.Seconds(), float64(*n)/elapsed.Seconds())
+	fmt.Printf("cache hits:  %d/%d (%.0f%%)\n", hitCount.Load(), *n, 100*float64(hitCount.Load())/float64(*n))
+	fmt.Printf("latency:     p50 %s  p90 %s  p99 %s  max %s\n",
+		pct(latencies, 0.50), pct(latencies, 0.90), pct(latencies, 0.99), pct(latencies, 1.0))
+	for _, e := range firstErrs {
+		fmt.Printf("error: %s\n", e)
+	}
+	if errCount.Load() > 0 {
+		os.Exit(1)
+	}
+}
+
+// buildMix produces k distinct mapping requests spanning schemes,
+// topologies and workload shapes, so the stream exercises both cold plans
+// and the cache's hot set.
+func buildMix(k int) []server.MapRequest {
+	schemes := []string{"inter", "inter-sched", "original", "intra"}
+	topos := []string{"1/2/4@16,8,4", "2/4/8@16,8,4", "4/8/16@16,8,4"}
+	out := make([]server.MapRequest, 0, k)
+	for i := 0; i < k; i++ {
+		out = append(out, server.MapRequest{
+			Workload: server.WorkloadSpec{Synth: &workloads.SynthSpec{
+				Name:    fmt.Sprintf("lg%d", i),
+				Passes:  2 + int64(i%3),
+				Extent:  256 * int64(1+i%4),
+				Streams: []workloads.StreamSpec{{Stride: 1}, {Stride: 1, Offset: 8 * int64(1+i%4)}},
+			}},
+			Topology: topos[i%len(topos)],
+			Scheme:   schemes[i%len(schemes)],
+		})
+	}
+	return out
+}
+
+// post sends one JSON request and reports whether the response says the
+// plan came from cache.
+func post(client *http.Client, url string, body any) (cached bool, err error) {
+	b, err := json.Marshal(body)
+	if err != nil {
+		return false, err
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		return false, err
+	}
+	out, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return false, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return false, fmt.Errorf("%s: status %d: %s", url, resp.StatusCode, truncate(out, 200))
+	}
+	var envelope struct {
+		Cached bool `json:"cached"`
+	}
+	if err := json.Unmarshal(out, &envelope); err != nil {
+		return false, fmt.Errorf("%s: bad response: %v", url, err)
+	}
+	return envelope.Cached, nil
+}
+
+func truncate(b []byte, n int) string {
+	if len(b) <= n {
+		return string(b)
+	}
+	return string(b[:n]) + "…"
+}
+
+// pct returns the p-quantile by nearest rank of the sorted durations.
+func pct(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i].Round(10 * time.Microsecond)
+}

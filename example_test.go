@@ -1,7 +1,11 @@
 package cachemap_test
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
 
 	cachemap "repro"
 )
@@ -64,4 +68,53 @@ func Example_simulate() {
 	// original: 72 disk reads
 	// inter:    36 disk reads
 	// inter reads less: true
+}
+
+// Example_service runs the mapping service in process and walks the
+// client-side flow of cmd/cachemapd's API: build a request spec, POST it
+// to the daemon handler, decode the versioned plan, and turn it back into
+// an executable assignment. Repeating the identical spec hits the
+// content-addressed plan cache.
+func Example_service() {
+	svc := cachemap.NewService(cachemap.ServiceConfig{})
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	req := cachemap.MapRequest{
+		Workload: cachemap.WorkloadSpec{Synth: &cachemap.SynthSpec{
+			Name:    "svc-demo",
+			Passes:  2,
+			Extent:  256,
+			Streams: []cachemap.StreamSpec{{Stride: 1}, {Stride: 1, Offset: 16}},
+		}},
+		Topology: "1/2/4@16,8,4", // 1 storage node, 2 I/O nodes, 4 clients
+		Scheme:   "inter",
+	}
+	post := func() cachemap.MapResponse {
+		body, _ := json.Marshal(req)
+		resp, err := http.Post(ts.URL+"/v1/map", "application/json", bytes.NewReader(body))
+		if err != nil {
+			panic(err)
+		}
+		defer resp.Body.Close()
+		var mr cachemap.MapResponse
+		if err := json.NewDecoder(resp.Body).Decode(&mr); err != nil {
+			panic(err)
+		}
+		return mr
+	}
+
+	mr := post()
+	fmt.Printf("plan schema v%d: %d iterations over %d clients\n",
+		mr.Plan.Schema, mr.Plan.TotalIterations, mr.Plan.Clients)
+
+	asg, _ := cachemap.DecodeAssignment(mr.Plan)
+	fmt.Printf("client 0 executes %d iterations\n", asg.TotalIterations()/int64(len(asg)))
+
+	again := post()
+	fmt.Printf("first cached: %v, repeat cached: %v\n", mr.Cached, again.Cached)
+	// Output:
+	// plan schema v1: 512 iterations over 4 clients
+	// client 0 executes 128 iterations
+	// first cached: false, repeat cached: true
 }

@@ -21,6 +21,9 @@ func Parse(spec string) (*Tree, error) {
 	capsPart := ""
 	if at := strings.IndexByte(spec, '@'); at >= 0 {
 		countsPart, capsPart = spec[:at], spec[at+1:]
+		if strings.TrimSpace(capsPart) == "" {
+			return nil, fmt.Errorf("hierarchy: %q has '@' but no capacities", spec)
+		}
 	}
 	countFields := strings.Split(countsPart, "/")
 	if len(countFields) < 2 {

@@ -78,3 +78,112 @@ func TestParsedTreeMapsEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestParseTable is the table-driven coverage of the compact -topo spec
+// grammar shared by cmd/cachemap and the HTTP API's topology field: node
+// counts top-down, optional per-layer capacities, arbitrary depth,
+// non-uniform (indivisible) layer ratios, and whitespace tolerance.
+func TestParseTable(t *testing.T) {
+	cases := []struct {
+		spec        string
+		clients     int
+		height      int
+		clientCap   int
+		rootIsDummy bool
+	}{
+		{"1/2/4", 4, 2, 8, false},
+		{"16/32/64@16,8,4", 64, 3, 4, true},
+		{"1/4/4/16@32,16,8,4", 16, 3, 4, false},
+		{"2/4", 4, 2, 8, true},                  // two layers: IO over CN, dummy root
+		{"1/3/7", 7, 2, 8, false},               // non-uniform: 7 clients over 3 I/O nodes
+		{"3/5/11@6,4,2", 11, 3, 2, true},        // non-uniform at every layer
+		{"1/1/1", 1, 2, 8, false},               // degenerate single path
+		{" 1 / 2 / 4 @ 16 , 8 , 4 ", 4, 2, 4, false}, // whitespace tolerated
+		{"1/2/4@0,8,4", 4, 2, 4, false},         // zero capacity = cache-less layer
+	}
+	for _, tc := range cases {
+		tr, err := Parse(tc.spec)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", tc.spec, err)
+			continue
+		}
+		if err := tr.Validate(); err != nil {
+			t.Errorf("Parse(%q): invalid tree: %v", tc.spec, err)
+			continue
+		}
+		if got := tr.NumClients(); got != tc.clients {
+			t.Errorf("Parse(%q): NumClients = %d, want %d", tc.spec, got, tc.clients)
+		}
+		if got := tr.Height(); got != tc.height {
+			t.Errorf("Parse(%q): Height = %d, want %d", tc.spec, got, tc.height)
+		}
+		if got := tr.Client(0).CacheChunks; got != tc.clientCap {
+			t.Errorf("Parse(%q): client capacity = %d, want %d", tc.spec, got, tc.clientCap)
+		}
+		if gotDummy := tr.Root.CacheChunks == 0 && len(tr.Root.Children) > 1 && tr.Root.Label == "root(dummy)"; gotDummy != tc.rootIsDummy {
+			t.Errorf("Parse(%q): dummy root = %v, want %v (label %q)", tc.spec, gotDummy, tc.rootIsDummy, tr.Root.Label)
+		}
+	}
+}
+
+// TestParseNonUniformShape pins the deterministic uneven split: leftover
+// children go to the earliest parents, preserving order.
+func TestParseNonUniformShape(t *testing.T) {
+	tr, err := Parse("1/3/7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ios := tr.Root.Children
+	if len(ios) != 3 {
+		t.Fatalf("I/O nodes = %d, want 3", len(ios))
+	}
+	want := []int{3, 2, 2} // 7 = 3+2+2, extra client to the first I/O node
+	for i, io := range ios {
+		if len(io.Children) != want[i] {
+			t.Errorf("I/O node %d has %d clients, want %d", i, len(io.Children), want[i])
+		}
+	}
+	// Every client is reachable exactly once, in order.
+	seen := 0
+	for _, io := range ios {
+		for _, cn := range io.Children {
+			if cn != tr.Client(seen) {
+				t.Fatalf("client %d out of order", seen)
+			}
+			seen++
+		}
+	}
+	if seen != 7 {
+		t.Fatalf("reached %d clients, want 7", seen)
+	}
+}
+
+// TestParseErrorsTable extends the malformed-spec coverage with the exact
+// failure classes the HTTP API relies on rejecting.
+func TestParseErrorsTable(t *testing.T) {
+	cases := []struct {
+		name, spec string
+	}{
+		{"empty", ""},
+		{"single layer", "64"},
+		{"non-numeric count", "a/b"},
+		{"zero count", "0/2"},
+		{"negative count", "-1/2"},
+		{"shrinking layer", "4/2"},
+		{"shrinking deep", "1/4/2"},
+		{"capacity arity low", "1/2/4@1,2"},
+		{"capacity arity high", "1/2/4@1,2,3,4"},
+		{"bad capacity", "1/2/4@1,2,x"},
+		{"negative capacity", "1/2/4@1,2,-3"},
+		{"float count", "1/2.5/4"},
+		{"huge layer", "1/2/2097152"},
+		{"empty field", "1//4"},
+		{"trailing slash", "1/2/"},
+		{"lone at", "1/2/4@"},
+	}
+	for _, tc := range cases {
+		if _, err := Parse(tc.spec); err == nil {
+			t.Errorf("%s: Parse(%q) accepted", tc.name, tc.spec)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package mapping
+
+import (
+	"fmt"
+
+	"repro/internal/iosim"
+	"repro/internal/itset"
+)
+
+// PlanSchemaVersion is the wire-format version of Plan. It is bumped on
+// any change to the JSON encoding that existing decoders cannot read, so
+// plans cached or stored by one release stay interpretable by the next.
+const PlanSchemaVersion = 1
+
+// Plan is the serializable form of a computed mapping — the versioned wire
+// format served by cachemapd's `POST /v1/map`. It carries exactly what a
+// client needs to execute the mapping (its ordered block list) plus the
+// summary statistics of the distribution; run-length iteration sets encode
+// as [start, end) pairs, so plans stay compact even for huge nests.
+type Plan struct {
+	Schema  int    `json:"schema"`
+	Scheme  Scheme `json:"scheme"`
+	Clients int    `json:"clients"`
+	// Work[c] is client c's ordered block list; a client with no work has
+	// an empty list.
+	Work [][]PlanBlock `json:"work"`
+	// TotalIterations is the number of iterations mapped across clients.
+	TotalIterations int64 `json:"total_iterations"`
+	// IterationChunks is the number of iteration chunks fed to the
+	// distributor (inter schemes only).
+	IterationChunks int `json:"iteration_chunks,omitempty"`
+	// SyncEdges counts cross-client dependent chunk pairs (DepSync only).
+	SyncEdges int `json:"sync_edges,omitempty"`
+}
+
+// PlanBlock is one scheduled unit of work: either run-length iteration
+// runs (half-open [start, end) index pairs, executed lexicographically) or
+// an explicit index sequence (transformed orders). Exactly one field is
+// populated.
+type PlanBlock struct {
+	Runs     [][2]int64 `json:"runs,omitempty"`
+	Explicit []int64    `json:"explicit,omitempty"`
+}
+
+// Plan converts the result into its serializable wire form.
+func (r *Result) Plan() Plan {
+	p := Plan{
+		Schema:          PlanSchemaVersion,
+		Scheme:          r.Scheme,
+		Clients:         len(r.Assignment),
+		Work:            make([][]PlanBlock, len(r.Assignment)),
+		TotalIterations: r.Assignment.TotalIterations(),
+		IterationChunks: len(r.Chunks),
+		SyncEdges:       r.SyncEdges,
+	}
+	for c, blocks := range r.Assignment {
+		p.Work[c] = make([]PlanBlock, 0, len(blocks))
+		for _, b := range blocks {
+			if b.Explicit != nil {
+				p.Work[c] = append(p.Work[c], PlanBlock{Explicit: b.Explicit})
+				continue
+			}
+			var pb PlanBlock
+			b.Set.ForEachRun(func(run itset.Run) {
+				pb.Runs = append(pb.Runs, [2]int64{run.Start, run.End})
+			})
+			p.Work[c] = append(p.Work[c], pb)
+		}
+	}
+	return p
+}
+
+// Assignment reconstructs the executable per-client work lists from the
+// wire form. It rejects plans written under a different schema version.
+func (p Plan) Assignment() (iosim.Assignment, error) {
+	if p.Schema != PlanSchemaVersion {
+		return nil, fmt.Errorf("mapping: plan schema %d, this build reads %d", p.Schema, PlanSchemaVersion)
+	}
+	if p.Clients != len(p.Work) {
+		return nil, fmt.Errorf("mapping: plan declares %d clients but carries %d work lists",
+			p.Clients, len(p.Work))
+	}
+	asg := make(iosim.Assignment, len(p.Work))
+	for c, blocks := range p.Work {
+		for i, pb := range blocks {
+			if pb.Explicit != nil && pb.Runs != nil {
+				return nil, fmt.Errorf("mapping: plan client %d block %d has both runs and explicit indices", c, i)
+			}
+			if pb.Explicit != nil {
+				asg[c] = append(asg[c], iosim.Block{Explicit: pb.Explicit})
+				continue
+			}
+			runs := make([]itset.Run, 0, len(pb.Runs))
+			for _, r := range pb.Runs {
+				if r[1] <= r[0] {
+					return nil, fmt.Errorf("mapping: plan client %d block %d has empty run [%d,%d)", c, i, r[0], r[1])
+				}
+				runs = append(runs, itset.Run{Start: r[0], End: r[1]})
+			}
+			asg[c] = append(asg[c], iosim.Block{Set: itset.FromRuns(runs...)})
+		}
+	}
+	if got := asg.TotalIterations(); got != p.TotalIterations {
+		return nil, fmt.Errorf("mapping: plan declares %d iterations but blocks carry %d",
+			p.TotalIterations, got)
+	}
+	return asg, nil
+}

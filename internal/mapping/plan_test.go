@@ -1,0 +1,149 @@
+package mapping
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/chunking"
+	"repro/internal/hierarchy"
+	"repro/internal/iosim"
+	"repro/internal/polyhedral"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// figure6Program is the paper's running example (Figure 6): 8 iteration
+// chunks over 12 data chunks, the fixture the repo's examples pin.
+func figure6Program() (prog iosim.Program, tree *hierarchy.Tree) {
+	const d = 8
+	data := chunking.NewDataSpace(d, chunking.Array{Name: "A", Dims: []int64{12 * d}, ElemSize: 1})
+	nest := polyhedral.NewNest("fig6", []int64{0}, []int64{8*d - 1})
+	refs := []polyhedral.Ref{
+		polyhedral.SimpleRef(0, 1, []int{0}, []int64{0}, polyhedral.Write),
+		{Array: 0, Exprs: []polyhedral.RefExpr{{Coeffs: []int64{1}, Mod: d}}},
+		polyhedral.SimpleRef(0, 1, []int{0}, []int64{4 * d}, polyhedral.Read),
+		polyhedral.SimpleRef(0, 1, []int{0}, []int64{2 * d}, polyhedral.Read),
+	}
+	tree = hierarchy.NewLayered(
+		hierarchy.LayerSpec{Count: 1, CacheChunks: 64, Label: "SN"},
+		hierarchy.LayerSpec{Count: 2, CacheChunks: 64, Label: "IO"},
+		hierarchy.LayerSpec{Count: 4, CacheChunks: 64, Label: "CN"},
+	)
+	return iosim.Program{Nest: nest, Refs: refs, Data: data}, tree
+}
+
+func TestPlanGolden(t *testing.T) {
+	prog, tree := figure6Program()
+	res, err := Map(InterProcessor, prog, Config{Tree: tree})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := json.MarshalIndent(res.Plan(), "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+
+	golden := filepath.Join("testdata", "plan_v1.golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("plan wire encoding drifted from %s.\nIf the change is intentional, bump PlanSchemaVersion and regenerate with -update.\ngot:\n%s\nwant:\n%s",
+			golden, got, want)
+	}
+}
+
+func TestPlanRoundTrip(t *testing.T) {
+	prog, tree := figure6Program()
+	for _, scheme := range Schemes() {
+		res, err := Map(scheme, prog, Config{Tree: tree})
+		if err != nil {
+			t.Fatalf("%s: %v", scheme, err)
+		}
+		b, err := json.Marshal(res.Plan())
+		if err != nil {
+			t.Fatalf("%s: %v", scheme, err)
+		}
+		var p Plan
+		if err := json.Unmarshal(b, &p); err != nil {
+			t.Fatalf("%s: %v", scheme, err)
+		}
+		asg, err := p.Assignment()
+		if err != nil {
+			t.Fatalf("%s: %v", scheme, err)
+		}
+		if len(asg) != len(res.Assignment) {
+			t.Fatalf("%s: %d clients, want %d", scheme, len(asg), len(res.Assignment))
+		}
+		if asg.TotalIterations() != res.Assignment.TotalIterations() {
+			t.Fatalf("%s: %d iterations, want %d", scheme, asg.TotalIterations(), res.Assignment.TotalIterations())
+		}
+		for c := range asg {
+			if len(asg[c]) != len(res.Assignment[c]) {
+				t.Fatalf("%s client %d: %d blocks, want %d", scheme, c, len(asg[c]), len(res.Assignment[c]))
+			}
+			for i, b := range asg[c] {
+				orig := res.Assignment[c][i]
+				if orig.Explicit != nil {
+					if len(b.Explicit) != len(orig.Explicit) {
+						t.Fatalf("%s client %d block %d: explicit length mismatch", scheme, c, i)
+					}
+					continue
+				}
+				if !b.Set.Equal(orig.Set) {
+					t.Fatalf("%s client %d block %d: set mismatch", scheme, c, i)
+				}
+			}
+		}
+	}
+}
+
+func TestPlanRejectsBadWire(t *testing.T) {
+	prog, tree := figure6Program()
+	res, err := Map(InterProcessor, prog, Config{Tree: tree})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := res.Plan()
+
+	futur := good
+	futur.Schema = PlanSchemaVersion + 1
+	if _, err := futur.Assignment(); err == nil {
+		t.Error("future schema version accepted")
+	}
+
+	short := good
+	short.Clients = good.Clients + 1
+	if _, err := short.Assignment(); err == nil {
+		t.Error("client count mismatch accepted")
+	}
+
+	lying := good
+	lying.TotalIterations = good.TotalIterations + 1
+	if _, err := lying.Assignment(); err == nil {
+		t.Error("iteration count mismatch accepted")
+	}
+
+	b, _ := json.Marshal(good)
+	var empty Plan
+	if err := json.Unmarshal(b, &empty); err != nil {
+		t.Fatal(err)
+	}
+	empty.Work[0] = []PlanBlock{{Runs: [][2]int64{{5, 5}}}}
+	if _, err := empty.Assignment(); err == nil {
+		t.Error("empty run accepted")
+	}
+}

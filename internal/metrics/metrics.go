@@ -1,0 +1,206 @@
+// Package metrics is a dependency-free instrumentation registry for the
+// serving subsystem: monotone counters, gauges and fixed-bucket latency
+// histograms, exposed in the Prometheus text exposition format (version
+// 0.0.4) so any standard scraper can consume `GET /metrics` from
+// cmd/cachemapd.
+//
+// All instruments are safe for concurrent use; the hot paths (Inc, Add,
+// Observe) are single atomic operations and never allocate.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry holds a set of named instruments and renders them in
+// registration order.
+type Registry struct {
+	mu    sync.Mutex
+	names []string
+	insts map[string]instrument
+}
+
+type instrument interface {
+	write(w io.Writer, name, help string)
+	helpText() string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{insts: make(map[string]instrument)}
+}
+
+func (r *Registry) register(name, help string, in instrument) instrument {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if got, ok := r.insts[name]; ok {
+		return got
+	}
+	r.names = append(r.names, name)
+	r.insts[name] = in
+	return in
+}
+
+// Counter registers (or returns the existing) monotone counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	in := r.register(name, help, &Counter{help: help})
+	c, ok := in.(*Counter)
+	if !ok {
+		panic(fmt.Sprintf("metrics: %q already registered with a different type", name))
+	}
+	return c
+}
+
+// Gauge registers (or returns the existing) gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	in := r.register(name, help, &Gauge{help: help})
+	g, ok := in.(*Gauge)
+	if !ok {
+		panic(fmt.Sprintf("metrics: %q already registered with a different type", name))
+	}
+	return g
+}
+
+// Histogram registers (or returns the existing) histogram with the given
+// upper bucket bounds (ascending; +Inf is implicit).
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	in := r.register(name, help, newHistogram(help, buckets))
+	h, ok := in.(*Histogram)
+	if !ok {
+		panic(fmt.Sprintf("metrics: %q already registered with a different type", name))
+	}
+	return h
+}
+
+// WritePrometheus renders every instrument in the Prometheus text format.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.Lock()
+	names := append([]string(nil), r.names...)
+	insts := make([]instrument, len(names))
+	for i, n := range names {
+		insts[i] = r.insts[n]
+	}
+	r.mu.Unlock()
+	for i, n := range names {
+		insts[i].write(w, n, insts[i].helpText())
+	}
+}
+
+// Counter is a monotonically increasing counter.
+type Counter struct {
+	v    atomic.Int64
+	help string
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds delta (must be >= 0 to keep the counter monotone).
+func (c *Counter) Add(delta int64) { c.v.Add(delta) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+func (c *Counter) helpText() string { return c.help }
+
+func (c *Counter) write(w io.Writer, name, help string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, c.Value())
+}
+
+// Gauge is a value that can go up and down.
+type Gauge struct {
+	v    atomic.Int64
+	help string
+}
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Add adds delta.
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+func (g *Gauge) helpText() string { return g.help }
+
+func (g *Gauge) write(w io.Writer, name, help string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, g.Value())
+}
+
+// Histogram counts observations into cumulative fixed buckets and tracks
+// their sum, Prometheus-style.
+type Histogram struct {
+	bounds  []float64 // ascending upper bounds, +Inf implicit
+	counts  []atomic.Int64
+	sumBits atomic.Uint64 // float64 bits, CAS-accumulated
+	count   atomic.Int64
+	help    string
+}
+
+// DefaultLatencyBuckets spans microseconds to tens of seconds; values are
+// in seconds, the Prometheus convention for *_seconds histograms.
+func DefaultLatencyBuckets() []float64 {
+	return []float64{
+		1e-6, 1e-5, 1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 5e-2, 0.1, 0.5, 1, 5, 10, 30,
+	}
+}
+
+func newHistogram(help string, buckets []float64) *Histogram {
+	bounds := append([]float64(nil), buckets...)
+	sort.Float64s(bounds)
+	return &Histogram{
+		bounds: bounds,
+		counts: make([]atomic.Int64, len(bounds)+1),
+		help:   help,
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		new := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, new) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+func (h *Histogram) helpText() string { return h.help }
+
+func (h *Histogram) write(w io.Writer, name, help string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	var cum int64
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatBound(b), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(w, "%s_sum %s\n", name, strconv.FormatFloat(h.Sum(), 'g', -1, 64))
+	fmt.Fprintf(w, "%s_count %d\n", name, h.Count())
+}
+
+func formatBound(b float64) string { return strconv.FormatFloat(b, 'g', -1, 64) }

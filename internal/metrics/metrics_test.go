@@ -1,0 +1,104 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("requests_total", "total requests")
+	g := r.Gauge("in_flight", "in-flight requests")
+	c.Inc()
+	c.Add(4)
+	g.Inc()
+	g.Inc()
+	g.Dec()
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	if g.Value() != 1 {
+		t.Fatalf("gauge = %d, want 1", g.Value())
+	}
+	// Re-registration returns the same instrument.
+	if r.Counter("requests_total", "total requests") != c {
+		t.Fatal("re-registration created a new counter")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("latency_seconds", "request latency", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("count = %d, want 4", h.Count())
+	}
+	if got, want := h.Sum(), 5.555; got < want-1e-9 || got > want+1e-9 {
+		t.Fatalf("sum = %g, want %g", got, want)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("cachemapd_requests_total", "requests served")
+	c.Add(7)
+	g := r.Gauge("cachemapd_in_flight", "in-flight")
+	g.Set(2)
+	h := r.Histogram("cachemapd_latency_seconds", "latency", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(2)
+
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE cachemapd_requests_total counter",
+		"cachemapd_requests_total 7",
+		"# TYPE cachemapd_in_flight gauge",
+		"cachemapd_in_flight 2",
+		"# TYPE cachemapd_latency_seconds histogram",
+		`cachemapd_latency_seconds_bucket{le="0.1"} 1`,
+		`cachemapd_latency_seconds_bucket{le="1"} 2`,
+		`cachemapd_latency_seconds_bucket{le="+Inf"} 3`,
+		"cachemapd_latency_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Registration order is preserved.
+	if strings.Index(out, "requests_total") > strings.Index(out, "in_flight") {
+		t.Error("exposition not in registration order")
+	}
+}
+
+func TestConcurrentObserve(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c", "")
+	h := r.Histogram("h", "", DefaultLatencyBuckets())
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				h.Observe(0.001)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("counter = %d, want 8000", c.Value())
+	}
+	if h.Count() != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", h.Count())
+	}
+	if got, want := h.Sum(), 8.0; got < want-1e-6 || got > want+1e-6 {
+		t.Fatalf("histogram sum = %g, want %g", got, want)
+	}
+}

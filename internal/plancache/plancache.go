@@ -1,0 +1,214 @@
+// Package plancache memoizes computed mapping plans behind a
+// content-addressed LRU cache, the run-time-decomposition idea of Paulino &
+// Delgado applied to the paper's mapper: a plan is fully determined by
+// (workload spec, topology, scheme, balance threshold, α/β), so the cache
+// key is a cryptographic hash of the canonical JSON encoding of that tuple
+// and repeated requests are served from memory in microseconds instead of
+// re-running hierarchical clustering.
+//
+// The cache is safe for concurrent use and deduplicates concurrent misses
+// for the same key ("singleflight"): when n requests race on a cold key,
+// one computes and the other n−1 wait for its result.
+package plancache
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sync"
+)
+
+// Key is the content address of a plan: a SHA-256 over the canonical
+// encoding of everything the plan depends on.
+type Key [sha256.Size]byte
+
+// String returns the hexadecimal form of the key.
+func (k Key) String() string { return hex.EncodeToString(k[:]) }
+
+// KeyOf computes the content address of spec. The spec is canonicalized by
+// JSON encoding (struct fields encode in declaration order, so equal specs
+// hash equally); it must therefore be JSON-encodable.
+func KeyOf(spec any) (Key, error) {
+	b, err := json.Marshal(spec)
+	if err != nil {
+		return Key{}, fmt.Errorf("plancache: key spec not encodable: %w", err)
+	}
+	return sha256.Sum256(b), nil
+}
+
+// Cache is a bounded LRU memoization cache from Key to V.
+type Cache[V any] struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List // front = most recently used
+	entries  map[Key]*list.Element
+	inflight map[Key]*call[V]
+	hits     int64
+	misses   int64
+	// OnHit and OnMiss, when non-nil, are invoked (outside the lock) once
+	// per Get/Do resolution — the instrumentation hooks the server wires to
+	// its metrics registry.
+	OnHit  func()
+	OnMiss func()
+	// OnEvict, when non-nil, is invoked for every evicted value.
+	OnEvict func(Key, V)
+}
+
+type entry[V any] struct {
+	key Key
+	val V
+}
+
+type call[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+// New returns a cache bounded to capacity entries (capacity < 1 is raised
+// to 1).
+func New[V any](capacity int) *Cache[V] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Cache[V]{
+		capacity: capacity,
+		ll:       list.New(),
+		entries:  make(map[Key]*list.Element),
+		inflight: make(map[Key]*call[V]),
+	}
+}
+
+// Get returns the cached value for k, if present, refreshing its recency.
+func (c *Cache[V]) Get(k Key) (V, bool) {
+	c.mu.Lock()
+	el, ok := c.entries[k]
+	if !ok {
+		c.misses++
+		onMiss := c.OnMiss
+		c.mu.Unlock()
+		if onMiss != nil {
+			onMiss()
+		}
+		var zero V
+		return zero, false
+	}
+	c.ll.MoveToFront(el)
+	v := el.Value.(*entry[V]).val
+	c.hits++
+	onHit := c.OnHit
+	c.mu.Unlock()
+	if onHit != nil {
+		onHit()
+	}
+	return v, true
+}
+
+// Put inserts (or refreshes) k → v, evicting the least recently used entry
+// when over capacity.
+func (c *Cache[V]) Put(k Key, v V) {
+	c.mu.Lock()
+	evicted, cb := c.put(k, v)
+	c.mu.Unlock()
+	if cb != nil {
+		for _, e := range evicted {
+			cb(e.key, e.val)
+		}
+	}
+}
+
+// put inserts under the lock and returns any evicted entries plus the
+// eviction callback to run outside it.
+func (c *Cache[V]) put(k Key, v V) ([]*entry[V], func(Key, V)) {
+	if el, ok := c.entries[k]; ok {
+		el.Value.(*entry[V]).val = v
+		c.ll.MoveToFront(el)
+		return nil, nil
+	}
+	c.entries[k] = c.ll.PushFront(&entry[V]{key: k, val: v})
+	var evicted []*entry[V]
+	for c.ll.Len() > c.capacity {
+		el := c.ll.Back()
+		e := el.Value.(*entry[V])
+		c.ll.Remove(el)
+		delete(c.entries, e.key)
+		evicted = append(evicted, e)
+	}
+	if len(evicted) == 0 || c.OnEvict == nil {
+		return nil, nil
+	}
+	return evicted, c.OnEvict
+}
+
+// Do returns the value for k, computing it with fn on a miss. Concurrent
+// calls for the same cold key run fn once and share its result. The hit
+// return reports whether the value came from cache (or a shared in-flight
+// computation). Errors are not cached.
+func (c *Cache[V]) Do(k Key, fn func() (V, error)) (v V, hit bool, err error) {
+	c.mu.Lock()
+	if el, ok := c.entries[k]; ok {
+		c.ll.MoveToFront(el)
+		v = el.Value.(*entry[V]).val
+		c.hits++
+		onHit := c.OnHit
+		c.mu.Unlock()
+		if onHit != nil {
+			onHit()
+		}
+		return v, true, nil
+	}
+	if cl, ok := c.inflight[k]; ok {
+		// Someone is computing this key; wait for their answer. Counted as
+		// a hit: the work is shared, not repeated.
+		c.hits++
+		onHit := c.OnHit
+		c.mu.Unlock()
+		if onHit != nil {
+			onHit()
+		}
+		<-cl.done
+		return cl.val, true, cl.err
+	}
+	cl := &call[V]{done: make(chan struct{})}
+	c.inflight[k] = cl
+	c.misses++
+	onMiss := c.OnMiss
+	c.mu.Unlock()
+	if onMiss != nil {
+		onMiss()
+	}
+
+	cl.val, cl.err = fn()
+	close(cl.done)
+
+	c.mu.Lock()
+	delete(c.inflight, k)
+	var evicted []*entry[V]
+	var cb func(Key, V)
+	if cl.err == nil {
+		evicted, cb = c.put(k, cl.val)
+	}
+	c.mu.Unlock()
+	if cb != nil {
+		for _, e := range evicted {
+			cb(e.key, e.val)
+		}
+	}
+	return cl.val, false, cl.err
+}
+
+// Len returns the number of cached entries.
+func (c *Cache[V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats returns cumulative hit and miss counts.
+func (c *Cache[V]) Stats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

@@ -1,0 +1,155 @@
+package plancache
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func key(t *testing.T, v any) Key {
+	t.Helper()
+	k, err := KeyOf(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func TestKeyOfCanonical(t *testing.T) {
+	type spec struct {
+		App      string
+		Topology string
+		Alpha    float64
+	}
+	a := key(t, spec{"apsi", "1/2/4", 0.5})
+	b := key(t, spec{"apsi", "1/2/4", 0.5})
+	c := key(t, spec{"apsi", "1/2/4", 0.6})
+	if a != b {
+		t.Fatal("equal specs hash unequally")
+	}
+	if a == c {
+		t.Fatal("different specs collide")
+	}
+	if len(a.String()) != 64 {
+		t.Fatalf("hex key length = %d", len(a.String()))
+	}
+}
+
+func TestGetPutLRU(t *testing.T) {
+	c := New[int](2)
+	k1, k2, k3 := key(t, 1), key(t, 2), key(t, 3)
+	c.Put(k1, 10)
+	c.Put(k2, 20)
+	if v, ok := c.Get(k1); !ok || v != 10 {
+		t.Fatalf("Get(k1) = %d, %v", v, ok)
+	}
+	c.Put(k3, 30) // evicts k2, the least recently used
+	if _, ok := c.Get(k2); ok {
+		t.Fatal("k2 survived eviction")
+	}
+	if v, ok := c.Get(k1); !ok || v != 10 {
+		t.Fatalf("k1 lost: %d, %v", v, ok)
+	}
+	if v, ok := c.Get(k3); !ok || v != 30 {
+		t.Fatalf("k3 lost: %d, %v", v, ok)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+	hits, misses := c.Stats()
+	if hits != 3 || misses != 1 {
+		t.Fatalf("stats = %d hits, %d misses", hits, misses)
+	}
+}
+
+func TestOnEvict(t *testing.T) {
+	c := New[string](1)
+	var evicted []string
+	c.OnEvict = func(_ Key, v string) { evicted = append(evicted, v) }
+	c.Put(key(t, "a"), "A")
+	c.Put(key(t, "b"), "B")
+	c.Put(key(t, "c"), "C")
+	if len(evicted) != 2 || evicted[0] != "A" || evicted[1] != "B" {
+		t.Fatalf("evicted = %v", evicted)
+	}
+}
+
+func TestDoComputesOnceUnderContention(t *testing.T) {
+	c := New[int](8)
+	k := key(t, "hot")
+	var computed atomic.Int64
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	results := make([]int, 64)
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			v, _, err := c.Do(k, func() (int, error) {
+				computed.Add(1)
+				return 42, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results[i] = v
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	if n := computed.Load(); n != 1 {
+		t.Fatalf("computed %d times, want 1", n)
+	}
+	for i, v := range results {
+		if v != 42 {
+			t.Fatalf("results[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestDoErrorNotCached(t *testing.T) {
+	c := New[int](4)
+	k := key(t, "flaky")
+	boom := errors.New("boom")
+	if _, _, err := c.Do(k, func() (int, error) { return 0, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	v, hit, err := c.Do(k, func() (int, error) { return 7, nil })
+	if err != nil || hit || v != 7 {
+		t.Fatalf("after error: v=%d hit=%v err=%v", v, hit, err)
+	}
+	if v, hit, _ := c.Do(k, func() (int, error) { return 0, errors.New("unused") }); !hit || v != 7 {
+		t.Fatalf("success not cached: v=%d hit=%v", v, hit)
+	}
+}
+
+func TestConcurrentMixedKeys(t *testing.T) {
+	c := New[int](16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k, err := KeyOf(fmt.Sprintf("k%d", i%32))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				v, _, err := c.Do(k, func() (int, error) { return i % 32, nil })
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if v != i%32 {
+					t.Errorf("v = %d, want %d", v, i%32)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

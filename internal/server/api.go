@@ -1,0 +1,241 @@
+package server
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/hierarchy"
+	"repro/internal/iosim"
+	"repro/internal/mapping"
+	"repro/internal/workloads"
+)
+
+// WorkloadSpec names the workload a request maps: one of the paper's
+// application models (App) or a generated workload (Synth / Stencil).
+// Exactly one of App, Synth, Stencil must be set.
+type WorkloadSpec struct {
+	// App is one of the paper's eight application models (see
+	// workloads.Names); Scale >= 1 divides every extent (default 1).
+	App   string `json:"app,omitempty"`
+	Scale int    `json:"scale,omitempty"`
+	// Synth builds a workload from the parameterized synthetic generator.
+	Synth *workloads.SynthSpec `json:"synth,omitempty"`
+	// Stencil builds a 2-D stencil workload.
+	Stencil *workloads.StencilSpec `json:"stencil,omitempty"`
+	// ChunkKB re-partitions the data space into chunks of this many KB
+	// (default: the workload's own chunk size).
+	ChunkKB int64 `json:"chunk_kb,omitempty"`
+}
+
+// MapRequest is the body of `POST /v1/map`: everything a plan depends on.
+// Its canonical JSON encoding (with defaults applied) is the plan-cache
+// key.
+type MapRequest struct {
+	Workload WorkloadSpec `json:"workload"`
+	// Topology is the compact layered spec of cmd/cachemap's -topo flag,
+	// e.g. "16/32/64@16,8,4" (node counts top-down, then per-layer cache
+	// capacities in chunks).
+	Topology string `json:"topology"`
+	// Scheme is one of original, intra, inter, inter-sched (default inter).
+	Scheme string `json:"scheme,omitempty"`
+	// BalanceThreshold is the distributor's load-balance bound (default
+	// 0.10, the paper's BThres).
+	BalanceThreshold float64 `json:"balance_threshold,omitempty"`
+	// Alpha and Beta weigh the Figure 15 scheduler (default 0.5 each).
+	Alpha float64 `json:"alpha,omitempty"`
+	Beta  float64 `json:"beta,omitempty"`
+	// DepMode is one of ignore, merge, sync (default ignore).
+	DepMode string `json:"dep_mode,omitempty"`
+}
+
+// MapResponse is the body returned by `POST /v1/map`.
+type MapResponse struct {
+	// Plan is the versioned, serializable mapping (see mapping.Plan).
+	Plan mapping.Plan `json:"plan"`
+	// CacheKey is the plan's content address (hex SHA-256).
+	CacheKey string `json:"cache_key"`
+	// Cached reports whether the plan was served from the plan cache.
+	Cached bool `json:"cached"`
+	// ElapsedMS is the server-side time to produce the plan.
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// SimRequest is the body of `POST /v1/simulate`: a mapping request plus
+// optional simulator knobs. The embedded mapping request goes through the
+// plan cache exactly like `POST /v1/map`.
+type SimRequest struct {
+	MapRequest
+	// Policy selects the storage-cache replacement policy: lru (default),
+	// fifo, clock, mq.
+	Policy string `json:"policy,omitempty"`
+	// WritePolicy is one of allocate (default), fetch, through.
+	WritePolicy string `json:"write_policy,omitempty"`
+	// PrefetchDepth enables sequential readahead of this many chunks.
+	PrefetchDepth int `json:"prefetch_depth,omitempty"`
+	// Exclusive enables DEMOTE-style exclusive caching.
+	Exclusive bool `json:"exclusive,omitempty"`
+	// Cooperative enables cooperative sibling-cache probing.
+	Cooperative bool `json:"cooperative,omitempty"`
+}
+
+// SimResponse is the body returned by `POST /v1/simulate`.
+type SimResponse struct {
+	Scheme string `json:"scheme"`
+	// MissRates[k-1] is the aggregate miss rate of paper-level Lk
+	// (L1 = client caches, upward from there).
+	MissRates   []float64 `json:"miss_rates"`
+	IOLatencyMS float64   `json:"io_latency_ms"`
+	ExecTimeMS  float64   `json:"exec_time_ms"`
+	DiskReads   int64     `json:"disk_reads"`
+	Writebacks  int64     `json:"writebacks"`
+	Iterations  int64     `json:"iterations"`
+	// CacheKey / Cached describe the plan-cache interaction of the
+	// underlying mapping.
+	CacheKey  string  `json:"cache_key"`
+	Cached    bool    `json:"cached"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// errorResponse is the JSON error envelope for non-2xx statuses.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// job is a fully validated, defaulted mapping request ready to run.
+type job struct {
+	req    MapRequest // normalized: defaults applied
+	work   workloads.Workload
+	tree   *hierarchy.Tree
+	scheme mapping.Scheme
+	cfg    mapping.Config
+}
+
+// normalize applies defaults in place so that equivalent requests share
+// one canonical encoding (and therefore one cache key).
+func (r *MapRequest) normalize() {
+	if r.Scheme == "" {
+		r.Scheme = string(mapping.InterProcessor)
+	}
+	if r.Workload.App != "" && r.Workload.Scale == 0 {
+		r.Workload.Scale = 1
+	}
+	if r.BalanceThreshold == 0 {
+		r.BalanceThreshold = 0.10
+	}
+	if r.Alpha == 0 && r.Beta == 0 {
+		r.Alpha, r.Beta = 0.5, 0.5
+	}
+	if r.DepMode == "" {
+		r.DepMode = "ignore"
+	}
+}
+
+// parseDepMode maps the wire name to the mapping constant.
+func parseDepMode(s string) (mapping.DepMode, error) {
+	switch s {
+	case "ignore":
+		return mapping.DepIgnore, nil
+	case "merge":
+		return mapping.DepMerge, nil
+	case "sync":
+		return mapping.DepSync, nil
+	}
+	return 0, fmt.Errorf("unknown dep_mode %q (want ignore, merge or sync)", s)
+}
+
+// buildJob validates the request and constructs the workload, topology and
+// mapping configuration it describes.
+func buildJob(req MapRequest) (*job, error) {
+	req.normalize()
+
+	var (
+		w   workloads.Workload
+		err error
+	)
+	set := 0
+	if req.Workload.App != "" {
+		set++
+	}
+	if req.Workload.Synth != nil {
+		set++
+	}
+	if req.Workload.Stencil != nil {
+		set++
+	}
+	if set != 1 {
+		return nil, fmt.Errorf("workload: exactly one of app, synth, stencil must be set")
+	}
+	switch {
+	case req.Workload.App != "":
+		w, err = workloads.Get(req.Workload.App, req.Workload.Scale)
+	case req.Workload.Synth != nil:
+		w, err = workloads.Synthesize(*req.Workload.Synth)
+	default:
+		w, err = workloads.SynthesizeStencil(*req.Workload.Stencil)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if req.Workload.ChunkKB < 0 {
+		return nil, fmt.Errorf("workload: negative chunk_kb %d", req.Workload.ChunkKB)
+	}
+	if req.Workload.ChunkKB > 0 {
+		w = w.WithChunkBytes(req.Workload.ChunkKB * 1024)
+	}
+
+	if req.Topology == "" {
+		return nil, fmt.Errorf("topology: missing (compact spec such as \"16/32/64@16,8,4\")")
+	}
+	tree, err := hierarchy.Parse(req.Topology)
+	if err != nil {
+		return nil, err
+	}
+
+	scheme, err := mapping.ParseScheme(req.Scheme)
+	if err != nil {
+		return nil, err
+	}
+	dep, err := parseDepMode(req.DepMode)
+	if err != nil {
+		return nil, err
+	}
+	if req.BalanceThreshold < 0 || req.BalanceThreshold > 1 {
+		return nil, fmt.Errorf("balance_threshold %g outside [0, 1]", req.BalanceThreshold)
+	}
+
+	cfg := mapping.Config{Tree: tree, DepMode: dep}
+	cfg.Options.BalanceThreshold = req.BalanceThreshold
+	cfg.Schedule.Alpha = req.Alpha
+	cfg.Schedule.Beta = req.Beta
+
+	return &job{req: req, work: w, tree: tree, scheme: scheme, cfg: cfg}, nil
+}
+
+// simParams builds the simulator timing model from the request's knobs.
+func (r SimRequest) simParams() (iosim.Params, error) {
+	p := iosim.DefaultParams()
+	if r.Policy != "" {
+		k, err := cache.ParsePolicy(r.Policy)
+		if err != nil {
+			return p, err
+		}
+		p.Policy = k
+	}
+	switch r.WritePolicy {
+	case "", "allocate":
+		p.Writes = iosim.WriteAllocateNoFetch
+	case "fetch":
+		p.Writes = iosim.WriteAllocateFetch
+	case "through":
+		p.Writes = iosim.WriteThrough
+	default:
+		return p, fmt.Errorf("unknown write_policy %q (want allocate, fetch or through)", r.WritePolicy)
+	}
+	if r.PrefetchDepth < 0 {
+		return p, fmt.Errorf("negative prefetch_depth %d", r.PrefetchDepth)
+	}
+	p.PrefetchDepth = r.PrefetchDepth
+	p.Exclusive = r.Exclusive
+	p.Cooperative = r.Cooperative
+	return p, nil
+}

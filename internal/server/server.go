@@ -1,0 +1,400 @@
+// Package server turns the mapper into a long-running service: a stdlib
+// net/http JSON API that computes hierarchy-aware mappings on demand,
+// memoizes them in a content-addressed plan cache, runs the I/O simulator
+// against computed plans, and exposes its own operational metrics.
+//
+// Endpoints:
+//
+//	POST /v1/map       compute (or fetch) the plan for a workload+topology+scheme spec
+//	POST /v1/simulate  run the iosim against the plan and report per-level miss rates
+//	GET  /healthz      liveness probe
+//	GET  /metrics      Prometheus text exposition
+//
+// Concurrency model: decoding and validation run on the connection's
+// goroutine; the mapping computation itself is admitted through a bounded
+// worker pool so that a burst of expensive clustering jobs cannot
+// oversubscribe the machine. Every request carries a deadline; requests
+// that cannot be admitted before it expires fail fast with 503, admitted
+// jobs that overrun it return 504 (the worker finishes and still
+// populates the cache, so a retry is a cache hit).
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"time"
+
+	"repro/internal/iosim"
+	"repro/internal/mapping"
+	"repro/internal/metrics"
+	"repro/internal/plancache"
+)
+
+// Config parameterizes the service.
+type Config struct {
+	// Workers bounds concurrently executing mapping/simulation jobs
+	// (default: GOMAXPROCS).
+	Workers int
+	// PlanCacheSize bounds the plan cache, in plans (default 512).
+	PlanCacheSize int
+	// RequestTimeout is the per-request deadline, covering both queueing
+	// and computation (default 30s).
+	RequestTimeout time.Duration
+	// MaxBodyBytes bounds request bodies (default 1 MiB).
+	MaxBodyBytes int64
+	// Registry receives the server's instruments (default: a fresh one).
+	Registry *metrics.Registry
+}
+
+func (c *Config) applyDefaults() {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.PlanCacheSize <= 0 {
+		c.PlanCacheSize = 512
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.Registry == nil {
+		c.Registry = metrics.NewRegistry()
+	}
+}
+
+// Server is the mapping-as-a-service daemon core. Create with New; it is
+// safe for concurrent use.
+type Server struct {
+	cfg   Config
+	reg   *metrics.Registry
+	cache *plancache.Cache[mapping.Plan]
+	sem   chan struct{}
+
+	reqTotal    *metrics.Counter
+	reqMap      *metrics.Counter
+	reqSimulate *metrics.Counter
+	reqErrors   *metrics.Counter
+	inFlight    *metrics.Gauge
+	cacheHits   *metrics.Counter
+	cacheMisses *metrics.Counter
+	clusterDur  *metrics.Histogram
+	reqDur      *metrics.Histogram
+
+	// onJobStart, when non-nil, runs at the start of every admitted
+	// mapping job (test synchronization hook).
+	onJobStart func()
+}
+
+// New builds a Server from the configuration.
+func New(cfg Config) *Server {
+	cfg.applyDefaults()
+	s := &Server{
+		cfg:   cfg,
+		reg:   cfg.Registry,
+		cache: plancache.New[mapping.Plan](cfg.PlanCacheSize),
+		sem:   make(chan struct{}, cfg.Workers),
+	}
+	s.reqTotal = s.reg.Counter("cachemapd_requests_total", "API requests received")
+	s.reqMap = s.reg.Counter("cachemapd_map_requests_total", "POST /v1/map requests received")
+	s.reqSimulate = s.reg.Counter("cachemapd_simulate_requests_total", "POST /v1/simulate requests received")
+	s.reqErrors = s.reg.Counter("cachemapd_request_errors_total", "API requests answered with a non-2xx status")
+	s.inFlight = s.reg.Gauge("cachemapd_in_flight_requests", "API requests currently being served")
+	s.cacheHits = s.reg.Counter("cachemapd_plan_cache_hits_total", "plan cache hits (incl. shared in-flight computations)")
+	s.cacheMisses = s.reg.Counter("cachemapd_plan_cache_misses_total", "plan cache misses (cold plans computed)")
+	s.clusterDur = s.reg.Histogram("cachemapd_clustering_duration_seconds",
+		"wall time of cold mapping computations (hierarchical clustering)", metrics.DefaultLatencyBuckets())
+	s.reqDur = s.reg.Histogram("cachemapd_request_duration_seconds",
+		"end-to-end request latency", metrics.DefaultLatencyBuckets())
+	s.cache.OnHit = s.cacheHits.Inc
+	s.cache.OnMiss = s.cacheMisses.Inc
+	return s
+}
+
+// Registry returns the server's metrics registry.
+func (s *Server) Registry() *metrics.Registry { return s.reg }
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/map", s.handleMap)
+	mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.WritePrometheus(w)
+}
+
+// planKeySpec is what a plan's content address covers: the wire schema
+// version plus the normalized request. Bumping PlanSchemaVersion therefore
+// also invalidates cached plans of the old shape.
+type planKeySpec struct {
+	Schema  int        `json:"schema"`
+	Request MapRequest `json:"request"`
+}
+
+// computePlan resolves a validated job through the plan cache, computing
+// the mapping on a miss.
+func (s *Server) computePlan(j *job) (mapping.Plan, plancache.Key, bool, error) {
+	key, err := plancache.KeyOf(planKeySpec{Schema: mapping.PlanSchemaVersion, Request: j.req})
+	if err != nil {
+		return mapping.Plan{}, plancache.Key{}, false, err
+	}
+	plan, hit, err := s.cache.Do(key, func() (mapping.Plan, error) {
+		if s.onJobStart != nil {
+			s.onJobStart()
+		}
+		start := time.Now()
+		res, err := mapping.Map(j.scheme, j.work.Prog, j.cfg)
+		if err != nil {
+			return mapping.Plan{}, err
+		}
+		s.clusterDur.Observe(time.Since(start).Seconds())
+		return res.Plan(), nil
+	})
+	return plan, key, hit, err
+}
+
+// ComputePlan runs a mapping request in process (no HTTP), through the
+// same validation, worker pool accounting and plan cache as the API.
+func (s *Server) ComputePlan(req MapRequest) (*MapResponse, error) {
+	j, err := buildJob(req)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	s.sem <- struct{}{}
+	defer func() { <-s.sem }()
+	plan, key, hit, err := s.computePlan(j)
+	if err != nil {
+		return nil, err
+	}
+	return &MapResponse{
+		Plan:      plan,
+		CacheKey:  key.String(),
+		Cached:    hit,
+		ElapsedMS: float64(time.Since(start)) / float64(time.Millisecond),
+	}, nil
+}
+
+// admit blocks until a worker slot is free or the context expires.
+func (s *Server) admit(ctx context.Context) error {
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (s *Server) release() { <-s.sem }
+
+// runJob executes fn on a pooled worker under the request deadline. The
+// worker is detached on timeout so the computation still completes (and
+// populates the plan cache) after the 504 goes out.
+func runJob[T any](s *Server, ctx context.Context, fn func() (T, error)) (T, error) {
+	var zero T
+	if err := s.admit(ctx); err != nil {
+		return zero, errBusy
+	}
+	type outcome struct {
+		v   T
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		defer s.release()
+		v, err := fn()
+		done <- outcome{v, err}
+	}()
+	select {
+	case out := <-done:
+		return out.v, out.err
+	case <-ctx.Done():
+		return zero, errDeadline
+	}
+}
+
+var (
+	errBusy     = errors.New("server busy: no worker available before the request deadline")
+	errDeadline = errors.New("request deadline exceeded")
+)
+
+func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
+	s.reqMap.Inc()
+	s.serve(w, r, func(ctx context.Context, body []byte) (any, error) {
+		var req MapRequest
+		if err := decodeStrict(body, &req); err != nil {
+			return nil, badRequest(err)
+		}
+		j, err := buildJob(req)
+		if err != nil {
+			return nil, badRequest(err)
+		}
+		start := time.Now()
+		type planOut struct {
+			plan mapping.Plan
+			key  plancache.Key
+			hit  bool
+		}
+		out, err := runJob(s, ctx, func() (planOut, error) {
+			plan, key, hit, err := s.computePlan(j)
+			return planOut{plan, key, hit}, err
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &MapResponse{
+			Plan:      out.plan,
+			CacheKey:  out.key.String(),
+			Cached:    out.hit,
+			ElapsedMS: float64(time.Since(start)) / float64(time.Millisecond),
+		}, nil
+	})
+}
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	s.reqSimulate.Inc()
+	s.serve(w, r, func(ctx context.Context, body []byte) (any, error) {
+		var req SimRequest
+		if err := decodeStrict(body, &req); err != nil {
+			return nil, badRequest(err)
+		}
+		j, err := buildJob(req.MapRequest)
+		if err != nil {
+			return nil, badRequest(err)
+		}
+		params, err := req.simParams()
+		if err != nil {
+			return nil, badRequest(err)
+		}
+		start := time.Now()
+		return runJob(s, ctx, func() (any, error) {
+			plan, key, hit, err := s.computePlan(j)
+			if err != nil {
+				return nil, err
+			}
+			asg, err := plan.Assignment()
+			if err != nil {
+				return nil, err
+			}
+			m, err := iosim.Run(j.tree, j.work.Prog, asg, params)
+			if err != nil {
+				return nil, err
+			}
+			resp := &SimResponse{
+				Scheme:      string(j.scheme),
+				IOLatencyMS: m.IOLatencyMS(),
+				ExecTimeMS:  m.ExecTimeMS(),
+				DiskReads:   m.DiskReads,
+				Writebacks:  m.DiskWritebacks,
+				Iterations:  m.Iterations,
+				CacheKey:    key.String(),
+				Cached:      hit,
+				ElapsedMS:   float64(time.Since(start)) / float64(time.Millisecond),
+			}
+			// One entry per cache-bearing level (a dummy root carries none).
+			for k := 1; k <= len(m.LevelStats); k++ {
+				resp.MissRates = append(resp.MissRates, m.MissRateL(k))
+			}
+			return resp, nil
+		})
+	})
+}
+
+// httpError carries a status code chosen by the handler body.
+type httpError struct {
+	status int
+	err    error
+}
+
+func (e *httpError) Error() string { return e.err.Error() }
+func (e *httpError) Unwrap() error { return e.err }
+
+func badRequest(err error) error { return &httpError{status: http.StatusBadRequest, err: err} }
+
+// serve is the shared request scaffold: accounting, body limits, deadline,
+// dispatch, and JSON encoding of the result or error.
+func (s *Server) serve(w http.ResponseWriter, r *http.Request, fn func(ctx context.Context, body []byte) (any, error)) {
+	s.reqTotal.Inc()
+	s.inFlight.Inc()
+	defer s.inFlight.Dec()
+	start := time.Now()
+	defer func() { s.reqDur.Observe(time.Since(start).Seconds()) }()
+
+	body, err := readBody(w, r, s.cfg.MaxBodyBytes)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+
+	v, err := fn(ctx, body)
+	if err != nil {
+		var he *httpError
+		switch {
+		case errors.As(err, &he):
+			s.writeError(w, he.status, he.err)
+		case errors.Is(err, errBusy):
+			s.writeError(w, http.StatusServiceUnavailable, err)
+		case errors.Is(err, errDeadline):
+			s.writeError(w, http.StatusGatewayTimeout, err)
+		default:
+			s.writeError(w, http.StatusInternalServerError, err)
+		}
+		return
+	}
+	s.writeJSON(w, http.StatusOK, v)
+}
+
+func readBody(w http.ResponseWriter, r *http.Request, limit int64) ([]byte, error) {
+	defer r.Body.Close()
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, limit))
+	if err != nil {
+		return nil, fmt.Errorf("reading body: %w", err)
+	}
+	return body, nil
+}
+
+// decodeStrict unmarshals JSON, rejecting unknown fields so spec typos
+// fail loudly instead of silently mapping the wrong thing.
+func decodeStrict(body []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("decoding request: %w", err)
+	}
+	return nil
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(v); err != nil {
+		// Headers are gone; nothing sensible left to do.
+		return
+	}
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
+	s.reqErrors.Inc()
+	s.writeJSON(w, status, errorResponse{Error: err.Error()})
+}

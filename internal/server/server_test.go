@@ -1,0 +1,451 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/mapping"
+	"repro/internal/workloads"
+)
+
+func synthReq(extent int64) MapRequest {
+	return MapRequest{
+		Workload: WorkloadSpec{Synth: &workloads.SynthSpec{
+			Name:    "t",
+			Passes:  2,
+			Extent:  extent,
+			Streams: []workloads.StreamSpec{{Stride: 1}},
+		}},
+		Topology: "1/2/4@16,8,4",
+	}
+}
+
+func postJSON(t *testing.T, client *http.Client, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+func TestMapEndpoint(t *testing.T) {
+	s := New(Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, body := postJSON(t, ts.Client(), ts.URL+"/v1/map", synthReq(128))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var mr MapResponse
+	if err := json.Unmarshal(body, &mr); err != nil {
+		t.Fatal(err)
+	}
+	if mr.Plan.Schema != mapping.PlanSchemaVersion {
+		t.Fatalf("schema = %d", mr.Plan.Schema)
+	}
+	if mr.Plan.Clients != 4 {
+		t.Fatalf("clients = %d", mr.Plan.Clients)
+	}
+	if mr.Plan.TotalIterations != 2*128 {
+		t.Fatalf("iterations = %d", mr.Plan.TotalIterations)
+	}
+	if mr.Cached {
+		t.Fatal("first request reported cached")
+	}
+	if len(mr.CacheKey) != 64 {
+		t.Fatalf("cache key %q", mr.CacheKey)
+	}
+
+	// The identical spec is a cache hit, even spelled with explicit
+	// defaults (normalization canonicalizes before hashing).
+	req2 := synthReq(128)
+	req2.Scheme = "inter"
+	req2.BalanceThreshold = 0.10
+	req2.DepMode = "ignore"
+	resp, body = postJSON(t, ts.Client(), ts.URL+"/v1/map", req2)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var mr2 MapResponse
+	if err := json.Unmarshal(body, &mr2); err != nil {
+		t.Fatal(err)
+	}
+	if !mr2.Cached {
+		t.Fatal("identical spec missed the plan cache")
+	}
+	if mr2.CacheKey != mr.CacheKey {
+		t.Fatalf("cache keys differ: %s vs %s", mr2.CacheKey, mr.CacheKey)
+	}
+
+	// A different scheme is a different plan.
+	req3 := synthReq(128)
+	req3.Scheme = "original"
+	resp, body = postJSON(t, ts.Client(), ts.URL+"/v1/map", req3)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var mr3 MapResponse
+	if err := json.Unmarshal(body, &mr3); err != nil {
+		t.Fatal(err)
+	}
+	if mr3.Cached || mr3.CacheKey == mr.CacheKey {
+		t.Fatal("different scheme shared a cache entry")
+	}
+}
+
+func TestMapEndpointErrors(t *testing.T) {
+	s := New(Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	cases := []struct {
+		name string
+		body string
+		want int
+	}{
+		{"not json", `{`, http.StatusBadRequest},
+		{"unknown field", `{"workload":{"app":"apsi"},"topology":"1/2/4","shceme":"inter"}`, http.StatusBadRequest},
+		{"no workload", `{"topology":"1/2/4"}`, http.StatusBadRequest},
+		{"two workloads", `{"workload":{"app":"apsi","synth":{"Passes":1,"Extent":1,"Streams":[{"Stride":1}]}},"topology":"1/2/4"}`, http.StatusBadRequest},
+		{"unknown app", `{"workload":{"app":"nosuch"},"topology":"1/2/4"}`, http.StatusBadRequest},
+		{"bad topology", `{"workload":{"app":"apsi"},"topology":"4/2"}`, http.StatusBadRequest},
+		{"missing topology", `{"workload":{"app":"apsi"}}`, http.StatusBadRequest},
+		{"bad scheme", `{"workload":{"app":"apsi"},"topology":"1/2/4","scheme":"nosuch"}`, http.StatusBadRequest},
+		{"bad dep mode", `{"workload":{"app":"apsi"},"topology":"1/2/4","dep_mode":"nosuch"}`, http.StatusBadRequest},
+		{"bad threshold", `{"workload":{"app":"apsi"},"topology":"1/2/4","balance_threshold":2}`, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		resp, err := ts.Client().Post(ts.URL+"/v1/map", "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: status %d, want %d (%s)", tc.name, resp.StatusCode, tc.want, body)
+		}
+		var er errorResponse
+		if err := json.Unmarshal(body, &er); err != nil || er.Error == "" {
+			t.Errorf("%s: error envelope missing: %s", tc.name, body)
+		}
+	}
+
+	// Wrong method.
+	resp, err := ts.Client().Get(ts.URL + "/v1/map")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/map: status %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestSimulateEndpoint(t *testing.T) {
+	s := New(Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	req := SimRequest{MapRequest: synthReq(256)}
+	resp, body := postJSON(t, ts.Client(), ts.URL+"/v1/simulate", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var sr SimResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Scheme != "inter" {
+		t.Fatalf("scheme = %q", sr.Scheme)
+	}
+	if len(sr.MissRates) != 3 {
+		t.Fatalf("miss rates = %v, want 3 levels", sr.MissRates)
+	}
+	if sr.Iterations != 2*256 {
+		t.Fatalf("iterations = %d", sr.Iterations)
+	}
+	if sr.DiskReads <= 0 {
+		t.Fatalf("disk reads = %d", sr.DiskReads)
+	}
+	if sr.Cached {
+		t.Fatal("first simulate reported a plan cache hit")
+	}
+
+	// The simulation reuses the plan cache: a /v1/map for the same spec is
+	// served from the plan the simulation computed.
+	resp, body = postJSON(t, ts.Client(), ts.URL+"/v1/map", synthReq(256))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var mr MapResponse
+	if err := json.Unmarshal(body, &mr); err != nil {
+		t.Fatal(err)
+	}
+	if !mr.Cached {
+		t.Fatal("map after simulate missed the plan cache")
+	}
+
+	// Simulator knob validation.
+	bad := SimRequest{MapRequest: synthReq(256), Policy: "nosuch"}
+	resp, _ = postJSON(t, ts.Client(), ts.URL+"/v1/simulate", bad)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad policy: status %d", resp.StatusCode)
+	}
+}
+
+func TestHealthzAndMetrics(t *testing.T) {
+	s := New(Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || strings.TrimSpace(string(body)) != "ok" {
+		t.Fatalf("healthz: %d %q", resp.StatusCode, body)
+	}
+
+	// Drive one miss and one hit, then check the exposition.
+	postJSON(t, ts.Client(), ts.URL+"/v1/map", synthReq(64))
+	postJSON(t, ts.Client(), ts.URL+"/v1/map", synthReq(64))
+
+	resp, err = ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	out := string(body)
+	for _, want := range []string{
+		"cachemapd_requests_total 2",
+		"cachemapd_map_requests_total 2",
+		"cachemapd_in_flight_requests 0",
+		"cachemapd_plan_cache_hits_total 1",
+		"cachemapd_plan_cache_misses_total 1",
+		"# TYPE cachemapd_clustering_duration_seconds histogram",
+		"cachemapd_clustering_duration_seconds_count 1",
+		"cachemapd_request_duration_seconds_count",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestConcurrentMapRequests drives 64 concurrent mixed-spec requests — the
+// acceptance bar for the daemon — and requires zero errors.
+func TestConcurrentMapRequests(t *testing.T) {
+	s := New(Config{Workers: 4, PlanCacheSize: 64})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	ts.Client().Transport.(*http.Transport).MaxConnsPerHost = 0
+
+	const n = 64
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			req := synthReq(int64(64 + 16*(i%8))) // 8 distinct specs, hot reuse
+			if i%3 == 0 {
+				req.Scheme = "original"
+			}
+			b, _ := json.Marshal(req)
+			resp, err := ts.Client().Post(ts.URL+"/v1/map", "application/json", bytes.NewReader(b))
+			if err != nil {
+				errs <- err
+				return
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("status %d: %s", resp.StatusCode, body)
+				return
+			}
+			var mr MapResponse
+			if err := json.Unmarshal(body, &mr); err != nil {
+				errs <- err
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	hits, misses := s.cache.Stats()
+	if misses > 16 { // 8 specs × 2 schemes at most
+		t.Errorf("misses = %d, want <= 16", misses)
+	}
+	if hits+misses != n {
+		t.Errorf("hits+misses = %d, want %d", hits+misses, n)
+	}
+}
+
+// TestQueueBusy503 fills the worker pool and requires queued requests to
+// fail fast with 503 when the deadline expires before admission.
+func TestQueueBusy503(t *testing.T) {
+	block := make(chan struct{})
+	s := New(Config{Workers: 1, RequestTimeout: 200 * time.Millisecond})
+	started := make(chan struct{}, 8)
+	s.onJobStart = func() {
+		started <- struct{}{}
+		<-block
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Occupy the only worker.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		postJSON(t, ts.Client(), ts.URL+"/v1/map", synthReq(4096))
+	}()
+	<-started
+
+	// This one can never be admitted before its deadline.
+	resp, body := postJSON(t, ts.Client(), ts.URL+"/v1/map", synthReq(8192))
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503: %s", resp.StatusCode, body)
+	}
+
+	close(block)
+	wg.Wait()
+}
+
+// TestGracefulShutdownDrains starts a real http.Server, parks a request
+// mid-computation, issues Shutdown (what cachemapd does on SIGTERM), and
+// requires the in-flight request to complete successfully before Shutdown
+// returns.
+func TestGracefulShutdownDrains(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{}, 1)
+	s := New(Config{Workers: 2})
+	s.onJobStart = func() {
+		select {
+		case started <- struct{}{}:
+		default:
+		}
+		<-release
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := &http.Server{Handler: s.Handler()}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- hs.Serve(ln) }()
+
+	url := "http://" + ln.Addr().String()
+	type result struct {
+		status int
+		body   []byte
+		err    error
+	}
+	reqDone := make(chan result, 1)
+	go func() {
+		b, _ := json.Marshal(synthReq(512))
+		resp, err := http.Post(url+"/v1/map", "application/json", bytes.NewReader(b))
+		if err != nil {
+			reqDone <- result{err: err}
+			return
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		reqDone <- result{status: resp.StatusCode, body: body}
+	}()
+	<-started // the request is admitted and computing
+
+	shutDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		shutDone <- hs.Shutdown(ctx)
+	}()
+
+	// New connections are refused while draining.
+	time.Sleep(20 * time.Millisecond)
+	select {
+	case res := <-reqDone:
+		t.Fatalf("in-flight request finished before release: %+v", res)
+	case err := <-shutDone:
+		t.Fatalf("shutdown returned before drain: %v", err)
+	default:
+	}
+
+	close(release) // let the parked job finish
+
+	res := <-reqDone
+	if res.err != nil {
+		t.Fatalf("in-flight request failed: %v", res.err)
+	}
+	if res.status != http.StatusOK {
+		t.Fatalf("in-flight request status %d: %s", res.status, res.body)
+	}
+	var mr MapResponse
+	if err := json.Unmarshal(res.body, &mr); err != nil {
+		t.Fatal(err)
+	}
+	if mr.Plan.TotalIterations != 2*512 {
+		t.Fatalf("drained plan iterations = %d", mr.Plan.TotalIterations)
+	}
+	if err := <-shutDone; err != nil {
+		t.Fatalf("shutdown error: %v", err)
+	}
+	if err := <-serveDone; err != http.ErrServerClosed {
+		t.Fatalf("serve returned %v", err)
+	}
+}
+
+func TestComputePlanInProcess(t *testing.T) {
+	s := New(Config{})
+	mr, err := s.ComputePlan(synthReq(128))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mr.Plan.Clients != 4 || mr.Cached {
+		t.Fatalf("plan = %+v", mr)
+	}
+	mr2, err := s.ComputePlan(synthReq(128))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mr2.Cached {
+		t.Fatal("second in-process compute missed the cache")
+	}
+	asg, err := mr.Plan.Assignment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if asg.TotalIterations() != 256 {
+		t.Fatalf("decoded iterations = %d", asg.TotalIterations())
+	}
+}
