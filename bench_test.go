@@ -11,14 +11,18 @@ package cachemap
 // better, and "impr%" metrics are mean improvement percentages.
 
 import (
+	"context"
+
 	"fmt"
+	"runtime"
 	"testing"
+	"time"
 
 	"repro/internal/bitvec"
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/experiments"
-	"repro/internal/mapping"
+	"repro/internal/pipeline"
 	"repro/internal/tags"
 	"repro/internal/workloads"
 )
@@ -54,7 +58,7 @@ func BenchmarkTable2MissRates(b *testing.B) {
 		}
 		l1, l2, l3 = nil, nil, nil
 		for _, w := range apps {
-			m, err := cfg.Run(w, mapping.Original)
+			m, err := cfg.Run(w, pipeline.Original)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -302,7 +306,7 @@ func BenchmarkDistribute(b *testing.B) {
 	tree := cfg.Tree()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.Distribute(chunks, tree, core.DefaultOptions()); err != nil {
+		if _, err := pipeline.Distribute(context.Background(), chunks, tree, core.DefaultOptions()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -317,13 +321,13 @@ func BenchmarkSchedule(b *testing.B) {
 	}
 	chunks := tags.Compute(w.Prog.Nest, w.Prog.Refs, w.Prog.Data)
 	tree := cfg.Tree()
-	assign, err := core.Distribute(chunks, tree, core.DefaultOptions())
+	assign, err := pipeline.Distribute(context.Background(), chunks, tree, core.DefaultOptions())
 	if err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.Schedule(assign, tree, core.DefaultScheduleOptions()); err != nil {
+		if _, err := pipeline.Schedule(context.Background(), assign, tree, core.DefaultScheduleOptions()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -338,7 +342,7 @@ func BenchmarkSimulate(b *testing.B) {
 		b.Fatal(err)
 	}
 	tree := cfg.Tree()
-	res, err := mapping.Map(mapping.InterProcessor, w.Prog, mapping.Config{Tree: tree})
+	res, err := pipeline.Map(context.Background(), pipeline.InterProcessor, w.Prog, pipeline.Config{Tree: tree})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -500,4 +504,52 @@ func BenchmarkPlanCache(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkPipelineParallelism compares the parallel planner stages — tag
+// computation (sharded over iteration ranges) and similarity-graph
+// weighting (sharded over row blocks) — at 1 worker versus GOMAXPROCS
+// workers on the largest synthetic workload. Results are byte-identical at
+// any worker count; only wall time may differ, and on a single-CPU host
+// the two configurations are expected to tie.
+func BenchmarkPipelineParallelism(b *testing.B) {
+	w, err := workloads.Synthesize(workloads.SynthSpec{
+		Name:   "parbench",
+		Passes: 4,
+		Extent: 8192,
+		Streams: []workloads.StreamSpec{
+			{Stride: 1}, {Stride: 1, Offset: 64}, {Stride: 2, Drift: 8},
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tree := benchConfig().Tree()
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var tagMS, simMS float64
+			for i := 0; i < b.N; i++ {
+				t0 := time.Now()
+				chunks, err := tags.ComputeCtx(context.Background(), w.Prog.Nest, w.Prog.Refs, w.Prog.Data, workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				tagMS += float64(time.Since(t0)) / float64(time.Millisecond)
+				r := pipeline.NewRun(context.Background())
+				opts := core.DefaultOptions()
+				opts.Workers = workers
+				opts.Clock = r
+				if _, err := pipeline.Distribute(context.Background(), chunks, tree, opts); err != nil {
+					b.Fatal(err)
+				}
+				for _, st := range r.Timings() {
+					if st.Stage == pipeline.StageSimilarity {
+						simMS += st.DurationMS
+					}
+				}
+			}
+			b.ReportMetric(tagMS/float64(b.N), "tag-ms/op")
+			b.ReportMetric(simMS/float64(b.N), "similarity-ms/op")
+		})
+	}
 }

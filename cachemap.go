@@ -15,8 +15,11 @@
 //   - iteration tags and iteration chunks (internal/tags);
 //   - the paper's hierarchical distribution and scheduling algorithms
 //     (internal/core);
-//   - baseline mappings — lexicographic block and a loop permutation +
-//     tiling locality optimizer (internal/mapping, internal/locality);
+//   - a staged planner pipeline every mapping entry point routes through:
+//     context cancellation, deterministic parallel stages, per-stage
+//     timings (internal/pipeline), with baseline schemes backed by a loop
+//     permutation + tiling locality optimizer (internal/locality) and the
+//     versioned plan wire format (internal/mapping);
 //   - an event-driven multi-level storage cache / parallel I/O simulator
 //     (internal/iosim, internal/cache, internal/disk, internal/netsim);
 //   - the paper's eight application models and every evaluation experiment
@@ -34,11 +37,13 @@
 package cachemap
 
 import (
+	"context"
+
 	"repro/internal/chunking"
 	"repro/internal/core"
 	"repro/internal/hierarchy"
 	"repro/internal/iosim"
-	"repro/internal/mapping"
+	"repro/internal/pipeline"
 	"repro/internal/polyhedral"
 	"repro/internal/tags"
 	"repro/internal/workloads"
@@ -163,15 +168,17 @@ func ComputeIterationChunks(nest *Nest, refs []Ref, data *DataSpace) []*Iteratio
 }
 
 // Distribute runs the paper's hierarchical, cache-topology-aware iteration
-// distribution (Figure 5) and returns one chunk list per client.
+// distribution (Figure 5) and returns one chunk list per client. It routes
+// through the staged planner pipeline, so cancellation and per-phase
+// accounting behave exactly as in Map.
 func Distribute(chunks []*IterationChunk, tree *Hierarchy, opts DistributeOptions) ([][]*IterationChunk, error) {
-	return core.Distribute(chunks, tree, opts)
+	return pipeline.Distribute(context.Background(), chunks, tree, opts)
 }
 
 // Schedule reorders each client's chunks for chunk-level reuse
-// (Figure 15).
+// (Figure 15), routed through the staged planner pipeline.
 func Schedule(assign [][]*IterationChunk, tree *Hierarchy, opts ScheduleOptions) ([][]*IterationChunk, error) {
-	return core.Schedule(assign, tree, opts)
+	return pipeline.Schedule(context.Background(), assign, tree, opts)
 }
 
 // DefaultDistributeOptions returns the paper's settings (10% balance
@@ -184,48 +191,67 @@ func DefaultScheduleOptions() ScheduleOptions { return core.DefaultScheduleOptio
 // Mapping schemes.
 type (
 	// Scheme selects a mapping strategy.
-	Scheme = mapping.Scheme
+	Scheme = pipeline.Scheme
 	// Config parameterizes Map.
-	Config = mapping.Config
+	Config = pipeline.Config
 	// MapResult is a computed mapping.
-	MapResult = mapping.Result
+	MapResult = pipeline.Result
 	// DepMode selects dependence handling.
-	DepMode = mapping.DepMode
+	DepMode = pipeline.DepMode
+	// StageTiming is one entry of a mapping's per-stage cost breakdown.
+	StageTiming = pipeline.StageTiming
 )
 
 // The four mapping schemes of the paper's evaluation.
 const (
 	// Original divides the lexicographic iteration order into contiguous
 	// blocks.
-	Original = mapping.Original
+	Original = pipeline.Original
 	// IntraProcessor applies single-processor locality optimizations
 	// (permutation + tiling) before block division.
-	IntraProcessor = mapping.IntraProcessor
+	IntraProcessor = pipeline.IntraProcessor
 	// InterProcessor is the paper's cache-hierarchy-aware distribution.
-	InterProcessor = mapping.InterProcessor
+	InterProcessor = pipeline.InterProcessor
 	// InterProcessorSched adds the Figure 15 local scheduling enhancement.
-	InterProcessorSched = mapping.InterProcessorSched
+	InterProcessorSched = pipeline.InterProcessorSched
 )
 
 // Dependence-handling modes (Section 5.4).
 const (
-	DepIgnore = mapping.DepIgnore
-	DepMerge  = mapping.DepMerge
-	DepSync   = mapping.DepSync
+	DepIgnore = pipeline.DepIgnore
+	DepMerge  = pipeline.DepMerge
+	DepSync   = pipeline.DepSync
 )
 
 // Schemes lists all mapping schemes in evaluation order.
-func Schemes() []Scheme { return mapping.Schemes() }
+func Schemes() []Scheme { return pipeline.Schemes() }
 
-// Map computes an iteration-to-processor mapping.
+// Map computes an iteration-to-processor mapping through the staged
+// planner pipeline; MapResult.Stages carries the per-stage cost breakdown.
 func Map(scheme Scheme, prog Program, cfg Config) (*MapResult, error) {
-	return mapping.Map(scheme, prog, cfg)
+	return pipeline.Map(context.Background(), scheme, prog, cfg)
 }
+
+// MapContext is Map honoring ctx: the pipeline checks it between stages
+// and inside its long loops, so cancellation stops the computation within
+// one check interval.
+func MapContext(ctx context.Context, scheme Scheme, prog Program, cfg Config) (*MapResult, error) {
+	return pipeline.Map(ctx, scheme, prog, cfg)
+}
+
+// FailedStage extracts the name of the pipeline stage a Map error
+// originated in, or "" if the error carries no stage identity.
+func FailedStage(err error) string { return pipeline.FailedStage(err) }
 
 // MapMulti distributes several nests sharing one data space together
 // (Section 5.4's multi-nest extension).
 func MapMulti(scheme Scheme, progs []Program, cfg Config) ([]Assignment, error) {
-	return mapping.MapMulti(scheme, progs, cfg)
+	return pipeline.MapMulti(context.Background(), scheme, progs, cfg)
+}
+
+// MapMultiContext is MapMulti honoring ctx.
+func MapMultiContext(ctx context.Context, scheme Scheme, progs []Program, cfg Config) ([]Assignment, error) {
+	return pipeline.MapMulti(ctx, scheme, progs, cfg)
 }
 
 // Simulation.
@@ -263,7 +289,7 @@ func SimulateSequence(tree *Hierarchy, progs []Program, asgs []Assignment, param
 // MapAndSimulate is the one-call convenience path: map prog under scheme,
 // then simulate it.
 func MapAndSimulate(scheme Scheme, prog Program, tree *Hierarchy, params SimParams) (*Metrics, error) {
-	res, err := mapping.Map(scheme, prog, mapping.Config{Tree: tree})
+	res, err := pipeline.Map(context.Background(), scheme, prog, pipeline.Config{Tree: tree})
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,15 @@
 #!/bin/sh
-# Lightweight CI: build, vet, race-enabled tests — the tier-1 gate.
+# Lightweight CI: formatting, build, vet, race-enabled tests, and the
+# short-mode reproduction-fidelity gate — the tier-1 gate.
 set -eu
+
+echo "==> gofmt"
+fmt=$(gofmt -l .)
+if [ -n "$fmt" ]; then
+	echo "gofmt: the following files are not formatted:" >&2
+	echo "$fmt" >&2
+	exit 1
+fi
 
 echo "==> go build ./..."
 go build ./...
@@ -10,5 +19,8 @@ go vet ./...
 
 echo "==> go test -race ./..."
 go test -race ./...
+
+echo "==> go test -short -run TestShapeClaims ./internal/experiments"
+go test -short -run TestShapeClaims ./internal/experiments
 
 echo "==> ci ok"

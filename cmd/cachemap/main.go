@@ -11,6 +11,8 @@
 package main
 
 import (
+	"context"
+
 	"flag"
 	"fmt"
 	"os"
@@ -19,7 +21,7 @@ import (
 	"repro/internal/codegen"
 	"repro/internal/experiments"
 	"repro/internal/hierarchy"
-	"repro/internal/mapping"
+	"repro/internal/pipeline"
 	"repro/internal/workloads"
 )
 
@@ -37,6 +39,7 @@ func main() {
 	thresh := flag.Float64("balance", 0.10, "load balance threshold")
 	topo := flag.String("topo", "", "layered topology spec, e.g. 16/32/64@16,8,4 (overrides -clients/-io/-storage/-l*)")
 	compare := flag.Bool("compare", false, "run all four schemes and compare")
+	verbose := flag.Bool("v", false, "print the planner pipeline's per-stage timing breakdown")
 	list := flag.Bool("list", false, "list available applications")
 	emit := flag.Int("emit", -1, "emit the generated per-client loop code for this client (inter scheme)")
 	flag.Parse()
@@ -96,11 +99,11 @@ func main() {
 		w.Prog.Nest.Size(), w.Prog.Data.Rescale(cfg.ChunkBytes).NumChunks(), *chunkKB,
 		cfg.Clients, cfg.IONodes, cfg.StorageNodes, cfg.CacheL1, cfg.CacheL2, cfg.CacheL3)
 
-	schemes := []mapping.Scheme{}
+	schemes := []pipeline.Scheme{}
 	if *compare {
-		schemes = mapping.Schemes()
+		schemes = pipeline.Schemes()
 	} else {
-		s, err := mapping.ParseScheme(*schemeName)
+		s, err := pipeline.ParseScheme(*schemeName)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -110,7 +113,7 @@ func main() {
 
 	if *emit >= 0 {
 		tree := cfg.Tree()
-		res, err := mapping.Map(mapping.InterProcessor, w.Prog, mapping.Config{Tree: tree})
+		res, err := pipeline.Map(context.Background(), pipeline.InterProcessor, w.Prog, pipeline.Config{Tree: tree})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -124,17 +127,31 @@ func main() {
 		return
 	}
 
+	stageRows := make(map[pipeline.Scheme][]pipeline.StageTiming)
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "scheme\tL1 miss\tL2 miss\tL3 miss\tI/O (ms)\texec (ms)\tdisk reads\twritebacks")
 	for _, s := range schemes {
-		m, err := cfg.Run(w, s)
+		m, stages, err := cfg.RunDetailed(w, s)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+		stageRows[s] = stages
 		fmt.Fprintf(tw, "%s\t%.1f%%\t%.1f%%\t%.1f%%\t%.0f\t%.0f\t%d\t%d\n",
 			s, m.MissRateL(1)*100, m.MissRateL(2)*100, m.MissRateL(3)*100,
 			m.IOLatencyMS(), m.ExecTimeMS(), m.DiskReads, m.DiskWritebacks)
 	}
 	tw.Flush()
+
+	if *verbose {
+		fmt.Println("\nplanner pipeline stage timings:")
+		stw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(stw, "scheme\tstage\tduration (ms)\talloc (KB)")
+		for _, s := range schemes {
+			for _, st := range stageRows[s] {
+				fmt.Fprintf(stw, "%s\t%s\t%.3f\t%d\n", s, st.Stage, st.DurationMS, st.AllocBytes/1024)
+			}
+		}
+		stw.Flush()
+	}
 }

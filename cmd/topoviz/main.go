@@ -10,6 +10,8 @@
 package main
 
 import (
+	"context"
+
 	"flag"
 	"fmt"
 	"os"
@@ -18,7 +20,7 @@ import (
 
 	"repro/internal/bitvec"
 	"repro/internal/experiments"
-	"repro/internal/mapping"
+	"repro/internal/pipeline"
 	"repro/internal/workloads"
 )
 
@@ -36,13 +38,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	scheme, err := mapping.ParseScheme(*schemeName)
+	scheme, err := pipeline.ParseScheme(*schemeName)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 	tree := cfg.Tree()
-	res, err := mapping.Map(scheme, w.Prog, mapping.Config{Tree: tree})
+	res, err := pipeline.Map(context.Background(), scheme, w.Prog, pipeline.Config{Tree: tree})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

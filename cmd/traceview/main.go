@@ -10,6 +10,8 @@
 package main
 
 import (
+	"context"
+
 	"flag"
 	"fmt"
 	"os"
@@ -18,7 +20,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/iosim"
-	"repro/internal/mapping"
+	"repro/internal/pipeline"
 	"repro/internal/trace"
 	"repro/internal/workloads"
 )
@@ -41,13 +43,13 @@ func main() {
 		w.Name, w.Desc, w.Prog.Nest.Size(), w.Prog.Data.NumChunks())
 
 	for _, name := range strings.Split(*schemesFlag, ",") {
-		scheme, err := mapping.ParseScheme(strings.TrimSpace(name))
+		scheme, err := pipeline.ParseScheme(strings.TrimSpace(name))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		tree := cfg.Tree()
-		res, err := mapping.Map(scheme, w.Prog, mapping.Config{Tree: tree})
+		res, err := pipeline.Map(context.Background(), scheme, w.Prog, pipeline.Config{Tree: tree})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)

@@ -21,8 +21,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/bitvec"
 	"repro/internal/hierarchy"
@@ -35,6 +37,21 @@ type Options struct {
 	// iteration counts, as a fraction of the ideal share (the paper's
 	// BThres; its experiments use 10%).
 	BalanceThreshold float64
+	// Workers bounds the goroutines used to weight the similarity graph
+	// (the O(n²) tag dot products seeding Stage 1). 0 or 1 runs inline;
+	// the clustering result is identical at any worker count.
+	Workers int
+	// Clock, if non-nil, observes the wall time of the internal phases
+	// ("similarity", "cluster", "balance"), accumulated across the
+	// recursive hierarchy walk. Implementations must be cheap.
+	Clock PhaseClock
+}
+
+// PhaseClock receives start callbacks for named algorithm phases; the
+// returned stop function is called when the phase ends. A nil PhaseClock
+// in Options disables instrumentation.
+type PhaseClock interface {
+	StartPhase(name string) (stop func())
 }
 
 // DefaultOptions returns the paper's experimental settings.
@@ -94,6 +111,13 @@ func (c *Cluster) firstIter() int64 {
 // list per client (indexed by client number). Chunks may be split by load
 // balancing; the returned chunks partition the input iterations exactly.
 func Distribute(chunks []*tags.IterationChunk, tree *hierarchy.Tree, opts Options) ([][]*tags.IterationChunk, error) {
+	return DistributeCtx(context.Background(), chunks, tree, opts)
+}
+
+// DistributeCtx is Distribute with cooperative cancellation: the O(n²)
+// similarity weighting, the merge loop and the balancing rounds check ctx
+// periodically and return ctx.Err() when it is canceled.
+func DistributeCtx(ctx context.Context, chunks []*tags.IterationChunk, tree *hierarchy.Tree, opts Options) ([][]*tags.IterationChunk, error) {
 	if tree == nil {
 		return nil, fmt.Errorf("core: nil tree")
 	}
@@ -112,48 +136,64 @@ func Distribute(chunks []*tags.IterationChunk, tree *hierarchy.Tree, opts Option
 			}
 		}
 	}
-	d := &distributor{opts: opts, tree: tree, r: r}
+	d := &distributor{ctx: ctx, opts: opts, tree: tree, r: r}
 	out := make([][]*tags.IterationChunk, tree.NumClients())
 	clientIdx := make(map[*hierarchy.Node]int, tree.NumClients())
 	for i, leaf := range tree.Clients() {
 		clientIdx[leaf] = i
 	}
-	d.assign(tree.Root, chunks, clientIdx, out)
+	if err := d.assign(tree.Root, chunks, clientIdx, out); err != nil {
+		return nil, err
+	}
 	return out, nil
 }
 
 type distributor struct {
+	ctx  context.Context
 	opts Options
 	tree *hierarchy.Tree
 	r    int
 }
 
+// startPhase notifies the configured PhaseClock, if any.
+func (d *distributor) startPhase(name string) func() {
+	if d.opts.Clock == nil {
+		return func() {}
+	}
+	return d.opts.Clock.StartPhase(name)
+}
+
 // assign recursively splits the chunk list of a tree node among its
 // children (one hierarchy level of the Figure 5 outer loop).
 func (d *distributor) assign(node *hierarchy.Node, members []*tags.IterationChunk,
-	clientIdx map[*hierarchy.Node]int, out [][]*tags.IterationChunk) {
+	clientIdx map[*hierarchy.Node]int, out [][]*tags.IterationChunk) error {
 	if node.IsLeaf() {
 		out[clientIdx[node]] = members
-		return
+		return nil
 	}
 	if len(node.Children) == 1 {
-		d.assign(node.Children[0], members, clientIdx, out)
-		return
+		return d.assign(node.Children[0], members, clientIdx, out)
 	}
 	weights := make([]int64, len(node.Children))
 	for i, ch := range node.Children {
 		weights[i] = int64(len(d.tree.LeavesUnder(ch)))
 	}
-	clusters := d.split(members, weights)
-	for i, ch := range node.Children {
-		d.assign(ch, clusters[i].Members, clientIdx, out)
+	clusters, err := d.split(members, weights)
+	if err != nil {
+		return err
 	}
+	for i, ch := range node.Children {
+		if err := d.assign(ch, clusters[i].Members, clientIdx, out); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // split partitions chunks into len(weights) clusters whose sizes are
 // balanced proportionally to weights (all-equal weights reproduce the
 // paper exactly; unequal weights generalize to non-uniform trees).
-func (d *distributor) split(members []*tags.IterationChunk, weights []int64) []*Cluster {
+func (d *distributor) split(members []*tags.IterationChunk, weights []int64) ([]*Cluster, error) {
 	k := len(weights)
 	// Stage 0: one singleton cluster per chunk.
 	clusters := make([]*Cluster, 0, len(members))
@@ -163,11 +203,16 @@ func (d *distributor) split(members []*tags.IterationChunk, weights []int64) []*
 		clusters = append(clusters, c)
 	}
 	// Stage 1a: agglomerative merging down to k clusters.
-	clusters = mergeClusters(clusters, k)
+	clusters, err := d.mergeClusters(clusters, k)
+	if err != nil {
+		return nil, err
+	}
 	// Stage 1b: if fewer clusters than children, split until k.
 	clusters = d.splitUpTo(clusters, k)
 	// Stage 2: load balancing toward weighted targets.
-	d.balance(clusters, weights)
+	if err := d.balance(clusters, weights); err != nil {
+		return nil, err
+	}
 	// Pair clusters to children rank-wise: largest cluster to the child
 	// with the most leaves, deterministically.
 	type ranked struct {
@@ -194,23 +239,49 @@ func (d *distributor) split(members []*tags.IterationChunk, weights []int64) []*
 	for rank, rw := range byWeight {
 		result[rw.idx] = clusters[order[rank]]
 	}
-	return result
+	return result, nil
 }
+
+// ctxCheckInterval is how many merge-loop pops happen between cooperative
+// cancellation checks.
+const ctxCheckInterval = 1024
 
 // mergeClusters implements Figure 5 Stage 1: while more clusters remain
 // than needed, merge the pair with the maximal tag dot product.
-func mergeClusters(clusters []*Cluster, k int) []*Cluster {
+func (d *distributor) mergeClusters(clusters []*Cluster, k int) ([]*Cluster, error) {
 	n := len(clusters)
 	if n <= k {
-		return clusters
+		return clusters, nil
 	}
 	active := make([]bool, n)
 	version := make([]int, n)
 	for i := range active {
 		active[i] = true
 	}
-	// Max-heap of candidate merges with lazy invalidation.
-	h := &pairHeap{}
+	// Seed the heap with every pair's similarity weight, ω(γi, γj) =
+	// popcount(Λi ∧ Λj). The dot products are embarrassingly parallel, so
+	// they are precomputed over row blocks; pushes then happen
+	// sequentially in the same (i, j) order as the inline loop, keeping
+	// the heap — and therefore the merge sequence — byte-identical at any
+	// worker count.
+	stopSim := d.startPhase("similarity")
+	dots, err := d.pairDots(clusters)
+	if err != nil {
+		stopSim()
+		return nil, err
+	}
+	h := &pairHeap{items: make([]mergePair, 0, len(dots))}
+	idx := 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			h.push(mergePair{dot: dots[idx], a: i, b: j})
+			idx++
+		}
+	}
+	stopSim()
+
+	stopCluster := d.startPhase("cluster")
+	defer stopCluster()
 	push := func(a, b int) {
 		h.push(mergePair{
 			dot: int64(clusters[a].Tag.AndPopCount(clusters[b].Tag)),
@@ -218,13 +289,15 @@ func mergeClusters(clusters []*Cluster, k int) []*Cluster {
 			va: version[a], vb: version[b],
 		})
 	}
-	for i := 0; i < n; i++ {
-		for j := i + 1; j < n; j++ {
-			push(i, j)
-		}
-	}
 	remaining := n
+	var since int
 	for remaining > k {
+		if since++; since >= ctxCheckInterval {
+			since = 0
+			if err := d.ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		p, ok := h.pop()
 		if !ok {
 			break
@@ -252,7 +325,73 @@ func mergeClusters(clusters []*Cluster, k int) []*Cluster {
 			out = append(out, c)
 		}
 	}
-	return out
+	return out, nil
+}
+
+// pairDots computes the dot product of every cluster pair (i, j), i < j,
+// flattened in row-major order, sharding rows across Options.Workers
+// goroutines. Each worker checks ctx between rows.
+func (d *distributor) pairDots(clusters []*Cluster) ([]int64, error) {
+	n := len(clusters)
+	total := n * (n - 1) / 2
+	dots := make([]int64, total)
+	// rowStart[i] is the flattened offset of pair (i, i+1).
+	rowStart := make([]int, n)
+	off := 0
+	for i := 0; i < n; i++ {
+		rowStart[i] = off
+		off += n - 1 - i
+	}
+	workers := d.opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	fill := func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			if d.ctx.Err() != nil {
+				return d.ctx.Err()
+			}
+			off := rowStart[i]
+			ti := clusters[i].Tag
+			for j := i + 1; j < n; j++ {
+				dots[off] = int64(ti.AndPopCount(clusters[j].Tag))
+				off++
+			}
+		}
+		return nil
+	}
+	if workers == 1 {
+		return dots, fill(0, n)
+	}
+	// Static row-block split; later rows are shorter, but the imbalance
+	// is bounded and the assignment deterministic.
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	step := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*step, (w+1)*step
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			errs[w] = fill(lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return dots, nil
 }
 
 // splitUpTo grows the cluster list to k clusters by repeatedly breaking the
@@ -314,7 +453,9 @@ func (d *distributor) breakCluster(c *Cluster) (*Cluster, *Cluster) {
 // under-full clusters maximizing the dot product of the evicted chunk's
 // tag with the recipient cluster's tag; chunks are split when no whole
 // chunk satisfies the limits.
-func (d *distributor) balance(clusters []*Cluster, weights []int64) {
+func (d *distributor) balance(clusters []*Cluster, weights []int64) error {
+	stop := d.startPhase("balance")
+	defer stop()
 	var total, wsum int64
 	for _, c := range clusters {
 		total += c.Size
@@ -323,7 +464,7 @@ func (d *distributor) balance(clusters []*Cluster, weights []int64) {
 		wsum += w
 	}
 	if total == 0 || wsum == 0 {
-		return
+		return nil
 	}
 	k := len(clusters)
 	target := make([]int64, k)
@@ -355,6 +496,11 @@ func (d *distributor) balance(clusters []*Cluster, weights []int64) {
 	}
 	maxRounds := 4 * (nMembers + k + 4)
 	for round := 0; round < maxRounds; round++ {
+		if round%ctxCheckInterval == ctxCheckInterval-1 {
+			if err := d.ctx.Err(); err != nil {
+				return err
+			}
+		}
 		order := make([]int, k)
 		for i := range order {
 			order[i] = i
@@ -375,7 +521,7 @@ func (d *distributor) balance(clusters []*Cluster, weights []int64) {
 			}
 		}
 		if donorSlot < 0 {
-			return // balanced
+			return nil // balanced
 		}
 		donor := clusters[order[donorSlot]]
 		// Recipient: the most underfull slot relative to its lower limit.
@@ -393,13 +539,14 @@ func (d *distributor) balance(clusters []*Cluster, weights []int64) {
 			}
 		}
 		if recipSlot < 0 {
-			return
+			return nil
 		}
 		recip := clusters[order[recipSlot]]
 		if !d.evict(donor, recip, lLim[donorSlot], uLim[recipSlot], target[donorSlot], target[recipSlot]) {
-			return // no progress possible
+			return nil // no progress possible
 		}
 	}
+	return nil
 }
 
 // evict moves one (possibly split) chunk from donor to recip, choosing the

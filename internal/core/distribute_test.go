@@ -1,7 +1,9 @@
 package core
 
 import (
+	"context"
 	"math/rand"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -465,6 +467,88 @@ func TestPropertyDistributeDeterministic(t *testing.T) {
 			if !out1[ci][i].Tag.Equal(out2[ci][i].Tag) || !out1[ci][i].Iters.Equal(out2[ci][i].Iters) {
 				t.Fatalf("client %d chunk %d differs", ci, i)
 			}
+		}
+	}
+}
+
+// assignmentsEqual reports whether two per-client assignments carry the same
+// chunks (tag + iteration set) in the same order.
+func assignmentsEqual(a, b [][]*tags.IterationChunk) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for c := range a {
+		if len(a[c]) != len(b[c]) {
+			return false
+		}
+		for i := range a[c] {
+			if !a[c][i].Tag.Equal(b[c][i].Tag) || !a[c][i].Iters.Equal(b[c][i].Iters) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestDistributeDeterministicAcrossWorkers(t *testing.T) {
+	chunks := figure6Chunks(8)
+	tree := figure7Tree()
+	want, err := Distribute(chunks, tree, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 7} {
+		opts := DefaultOptions()
+		opts.Workers = workers
+		got, err := Distribute(figure6Chunks(8), tree, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !assignmentsEqual(got, want) {
+			t.Fatalf("workers=%d: assignment differs from sequential", workers)
+		}
+	}
+}
+
+func TestDistributeCtxCanceled(t *testing.T) {
+	chunks := figure6Chunks(8)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		opts := DefaultOptions()
+		opts.Workers = workers
+		if _, err := DistributeCtx(ctx, chunks, figure7Tree(), opts); err != context.Canceled {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+	}
+}
+
+// phaseRecorder counts PhaseClock callbacks.
+type phaseRecorder struct {
+	mu     sync.Mutex
+	starts map[string]int
+}
+
+func (p *phaseRecorder) StartPhase(name string) func() {
+	p.mu.Lock()
+	if p.starts == nil {
+		p.starts = make(map[string]int)
+	}
+	p.starts[name]++
+	p.mu.Unlock()
+	return func() {}
+}
+
+func TestDistributePhaseClock(t *testing.T) {
+	opts := DefaultOptions()
+	rec := &phaseRecorder{}
+	opts.Clock = rec
+	if _, err := Distribute(figure6Chunks(8), figure7Tree(), opts); err != nil {
+		t.Fatal(err)
+	}
+	for _, phase := range []string{"similarity", "cluster", "balance"} {
+		if rec.starts[phase] == 0 {
+			t.Fatalf("phase %q never started (starts=%v)", phase, rec.starts)
 		}
 	}
 }

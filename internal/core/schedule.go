@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -32,6 +33,13 @@ func DefaultScheduleOptions() ScheduleOptions { return ScheduleOptions{Alpha: 0.
 // The input lists are not modified; the result has the same chunks per
 // client in the computed execution order.
 func Schedule(assign [][]*tags.IterationChunk, tree *hierarchy.Tree, opts ScheduleOptions) ([][]*tags.IterationChunk, error) {
+	return ScheduleCtx(context.Background(), assign, tree, opts)
+}
+
+// ScheduleCtx is Schedule with cooperative cancellation: the round-robin
+// scheduling loop checks ctx between rounds and returns ctx.Err() when it
+// is canceled.
+func ScheduleCtx(ctx context.Context, assign [][]*tags.IterationChunk, tree *hierarchy.Tree, opts ScheduleOptions) ([][]*tags.IterationChunk, error) {
 	if tree == nil {
 		return nil, fmt.Errorf("core: nil tree")
 	}
@@ -44,7 +52,9 @@ func Schedule(assign [][]*tags.IterationChunk, tree *hierarchy.Tree, opts Schedu
 	}
 	out := make([][]*tags.IterationChunk, len(assign))
 	for _, group := range ioGroups(tree) {
-		scheduleGroup(assign, out, group, opts)
+		if err := scheduleGroup(ctx, assign, out, group, opts); err != nil {
+			return nil, err
+		}
 	}
 	return out, nil
 }
@@ -72,7 +82,7 @@ func ioGroups(tree *hierarchy.Tree) [][]int {
 }
 
 // scheduleGroup runs the Figure 15 inner loop for one I/O cache group.
-func scheduleGroup(assign, out [][]*tags.IterationChunk, group []int, opts ScheduleOptions) {
+func scheduleGroup(ctx context.Context, assign, out [][]*tags.IterationChunk, group []int, opts ScheduleOptions) error {
 	n := len(group)
 	remaining := make([][]*tags.IterationChunk, n)
 	for gi, c := range group {
@@ -122,7 +132,13 @@ func scheduleGroup(assign, out [][]*tags.IterationChunk, group []int, opts Sched
 		return float64(a.Tag.AndPopCount(b.Tag))
 	}
 
+	var round int
 	for pending() {
+		if round++; round%ctxCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		for gi := 0; gi < n; gi++ {
 			if len(remaining[gi]) == 0 {
 				continue
@@ -167,6 +183,7 @@ func scheduleGroup(assign, out [][]*tags.IterationChunk, group []int, opts Sched
 	for gi, c := range group {
 		out[c] = scheduled[gi]
 	}
+	return nil
 }
 
 // chunkKey orders chunks deterministically (by nest, then first iteration).

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
 
 	"repro/internal/bitvec"
+	"repro/internal/hierarchy"
 	"repro/internal/itset"
 	"repro/internal/tags"
 )
@@ -270,5 +272,123 @@ func TestPropertySchedulePermutation(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestScheduleEdgeCases table-drives the degenerate inputs the round-robin
+// balancing loop must survive: a client with no chunks, zero reuse weights,
+// a single chunk, and a tree whose I/O groups have unequal sizes.
+func TestScheduleEdgeCases(t *testing.T) {
+	mk := func(r int, bits []int, lo, hi int64) *tags.IterationChunk {
+		return &tags.IterationChunk{Tag: bitvec.FromIndices(r, bits...), Iters: itset.Interval(lo, hi)}
+	}
+	nonUniform := hierarchy.Build(&hierarchy.Node{Label: "SN", CacheChunks: 16,
+		Children: []*hierarchy.Node{
+			{Label: "IO0", CacheChunks: 8, Children: []*hierarchy.Node{
+				{Label: "c0", CacheChunks: 4},
+				{Label: "c1", CacheChunks: 4},
+				{Label: "c2", CacheChunks: 4},
+			}},
+			{Label: "IO1", CacheChunks: 8, Children: []*hierarchy.Node{
+				{Label: "c3", CacheChunks: 4},
+			}},
+		}})
+
+	cases := []struct {
+		name   string
+		tree   *hierarchy.Tree
+		assign [][]*tags.IterationChunk
+		opts   ScheduleOptions
+	}{
+		{
+			name: "empty client slot",
+			tree: figure7Tree(),
+			assign: [][]*tags.IterationChunk{
+				{mk(4, []int{0, 1}, 0, 10), mk(4, []int{1, 2}, 10, 20)},
+				nil, // this client received no chunks
+				{mk(4, []int{2, 3}, 20, 30)},
+				{mk(4, []int{0, 3}, 30, 40)},
+			},
+			opts: DefaultScheduleOptions(),
+		},
+		{
+			name: "alpha and beta zero",
+			tree: figure7Tree(),
+			assign: [][]*tags.IterationChunk{
+				{mk(4, []int{0}, 0, 5), mk(4, []int{1}, 5, 10)},
+				{mk(4, []int{2}, 10, 15)},
+				{mk(4, []int{3}, 15, 20)},
+				{mk(4, []int{0, 2}, 20, 25)},
+			},
+			opts: ScheduleOptions{Alpha: 0, Beta: 0},
+		},
+		{
+			name: "single iteration chunk",
+			tree: figure7Tree(),
+			assign: [][]*tags.IterationChunk{
+				{mk(4, []int{0, 1, 2}, 0, 100)},
+				nil, nil, nil,
+			},
+			opts: DefaultScheduleOptions(),
+		},
+		{
+			name: "non-uniform tree",
+			tree: nonUniform,
+			assign: [][]*tags.IterationChunk{
+				{mk(4, []int{0}, 0, 10), mk(4, []int{1}, 10, 20)},
+				{mk(4, []int{2}, 20, 30)},
+				{mk(4, []int{3}, 30, 40)},
+				{mk(4, []int{0, 3}, 40, 80)}, // the lone client in its group
+			},
+			opts: DefaultScheduleOptions(),
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			out, err := Schedule(tc.assign, tc.tree, tc.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(out) != len(tc.assign) {
+				t.Fatalf("got %d client slots, want %d", len(out), len(tc.assign))
+			}
+			for c := range tc.assign {
+				if len(out[c]) != len(tc.assign[c]) {
+					t.Fatalf("client %d: %d chunks scheduled, want %d", c, len(out[c]), len(tc.assign[c]))
+				}
+				// The schedule is a permutation: every input chunk appears
+				// exactly once on its own client.
+				seen := make(map[*tags.IterationChunk]bool, len(out[c]))
+				for _, ch := range out[c] {
+					seen[ch] = true
+				}
+				for _, ch := range tc.assign[c] {
+					if !seen[ch] {
+						t.Fatalf("client %d: chunk %v missing from schedule", c, ch)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestScheduleCtxCanceled(t *testing.T) {
+	// Enough chunks that the round loop passes a cancellation check:
+	// one chunk per round per client, so > ctxCheckInterval rounds.
+	tree := figure7Tree()
+	assign := make([][]*tags.IterationChunk, 4)
+	for c := range assign {
+		for i := 0; i < ctxCheckInterval+8; i++ {
+			lo := int64(c*100000 + i)
+			assign[c] = append(assign[c], &tags.IterationChunk{
+				Tag:   bitvec.FromIndices(4, c),
+				Iters: itset.Interval(lo, lo+1),
+			})
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ScheduleCtx(ctx, assign, tree, DefaultScheduleOptions()); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }

@@ -11,12 +11,14 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 
 	"repro/internal/cache"
 	"repro/internal/hierarchy"
 	"repro/internal/iosim"
-	"repro/internal/mapping"
+	"repro/internal/pipeline"
 	"repro/internal/workloads"
 )
 
@@ -72,8 +74,8 @@ func (c Config) Tree() *hierarchy.Tree {
 	)
 }
 
-func (c Config) mappingConfig(tree *hierarchy.Tree) mapping.Config {
-	cfg := mapping.Config{Tree: tree}
+func (c Config) mappingConfig(tree *hierarchy.Tree) pipeline.Config {
+	cfg := pipeline.Config{Tree: tree}
 	cfg.Options.BalanceThreshold = c.BalanceThreshold
 	cfg.Schedule.Alpha = c.Alpha
 	cfg.Schedule.Beta = c.Beta
@@ -83,45 +85,54 @@ func (c Config) mappingConfig(tree *hierarchy.Tree) mapping.Config {
 // Run maps and simulates one workload under one scheme. The
 // intra-processor baseline follows the paper's protocol of trying several
 // tile sizes and keeping the best-performing one.
-func (c Config) Run(w workloads.Workload, scheme mapping.Scheme) (*iosim.Metrics, error) {
+func (c Config) Run(w workloads.Workload, scheme pipeline.Scheme) (*iosim.Metrics, error) {
+	m, _, err := c.RunDetailed(w, scheme)
+	return m, err
+}
+
+// RunDetailed is Run, additionally returning the staged planner's
+// per-stage timing breakdown for the mapping that produced the metrics.
+func (c Config) RunDetailed(w workloads.Workload, scheme pipeline.Scheme) (*iosim.Metrics, []pipeline.StageTiming, error) {
 	if c.ChunkBytes != w.Prog.Data.ChunkBytes {
 		w = w.WithChunkBytes(c.ChunkBytes)
 	}
-	if scheme == mapping.IntraProcessor {
+	if scheme == pipeline.IntraProcessor {
 		return c.runIntraBest(w)
 	}
 	tree := c.Tree()
-	res, err := mapping.Map(scheme, w.Prog, c.mappingConfig(tree))
+	res, err := pipeline.Map(context.Background(), scheme, w.Prog, c.mappingConfig(tree))
 	if err != nil {
-		return nil, fmt.Errorf("experiments: %s/%s: %w", w.Name, scheme, err)
+		return nil, nil, fmt.Errorf("experiments: %s/%s: %w", w.Name, scheme, err)
 	}
 	m, err := iosim.Run(tree, w.Prog, res.Assignment, c.Params)
 	if err != nil {
-		return nil, fmt.Errorf("experiments: %s/%s: %w", w.Name, scheme, err)
+		return nil, nil, fmt.Errorf("experiments: %s/%s: %w", w.Name, scheme, err)
 	}
-	return m, nil
+	return m, res.Stages, nil
 }
 
 // runIntraBest evaluates the intra-processor candidate orders (heuristic
 // tiles, a few uniform tile sizes, untiled) and returns the metrics of the
 // best candidate by I/O latency — the paper's tile-size selection protocol.
-func (c Config) runIntraBest(w workloads.Workload) (*iosim.Metrics, error) {
+// All candidates come from one pipeline run, so they share one breakdown.
+func (c Config) runIntraBest(w workloads.Workload) (*iosim.Metrics, []pipeline.StageTiming, error) {
 	tree := c.Tree()
-	cands, err := mapping.MapIntraCandidates(w.Prog, c.mappingConfig(tree), 8, 32)
+	cands, err := pipeline.MapIntraCandidates(context.Background(), w.Prog, c.mappingConfig(tree), 8, 32)
 	if err != nil {
-		return nil, fmt.Errorf("experiments: %s/intra: %w", w.Name, err)
+		return nil, nil, fmt.Errorf("experiments: %s/intra: %w", w.Name, err)
 	}
 	var best *iosim.Metrics
+	var stages []pipeline.StageTiming
 	for _, res := range cands {
 		m, err := iosim.Run(c.Tree(), w.Prog, res.Assignment, c.Params)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: %s/intra: %w", w.Name, err)
+			return nil, nil, fmt.Errorf("experiments: %s/intra: %w", w.Name, err)
 		}
 		if best == nil || m.IOLatencyMS() < best.IOLatencyMS() {
-			best = m
+			best, stages = m, res.Stages
 		}
 	}
-	return best, nil
+	return best, stages, nil
 }
 
 // Apps loads the eight applications at the configured scale.
@@ -130,12 +141,12 @@ func (c Config) Apps() ([]workloads.Workload, error) { return workloads.All(c.Sc
 // AppMetrics bundles one application's metrics under one scheme.
 type AppMetrics struct {
 	App     string
-	Scheme  mapping.Scheme
+	Scheme  pipeline.Scheme
 	Metrics *iosim.Metrics
 }
 
 // RunAll maps and simulates every application under the given schemes.
-func (c Config) RunAll(schemes ...mapping.Scheme) ([]AppMetrics, error) {
+func (c Config) RunAll(schemes ...pipeline.Scheme) ([]AppMetrics, error) {
 	apps, err := c.Apps()
 	if err != nil {
 		return nil, err

@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 
 	"repro/internal/cache"
 	"repro/internal/chunking"
 	"repro/internal/iosim"
-	"repro/internal/mapping"
+	"repro/internal/pipeline"
 	"repro/internal/polyhedral"
 )
 
@@ -15,20 +17,20 @@ import (
 type Baseline struct {
 	Config Config
 	// ByApp[app][scheme]
-	ByApp map[string]map[mapping.Scheme]*iosim.Metrics
+	ByApp map[string]map[pipeline.Scheme]*iosim.Metrics
 	Apps  []string
 }
 
 // RunBaseline executes all applications under all four schemes.
 func RunBaseline(cfg Config) (*Baseline, error) {
-	all, err := cfg.RunAll(mapping.Schemes()...)
+	all, err := cfg.RunAll(pipeline.Schemes()...)
 	if err != nil {
 		return nil, err
 	}
-	b := &Baseline{Config: cfg, ByApp: make(map[string]map[mapping.Scheme]*iosim.Metrics)}
+	b := &Baseline{Config: cfg, ByApp: make(map[string]map[pipeline.Scheme]*iosim.Metrics)}
 	for _, am := range all {
 		if b.ByApp[am.App] == nil {
-			b.ByApp[am.App] = make(map[mapping.Scheme]*iosim.Metrics)
+			b.ByApp[am.App] = make(map[pipeline.Scheme]*iosim.Metrics)
 			b.Apps = append(b.Apps, am.App)
 		}
 		b.ByApp[am.App][am.Scheme] = am.Metrics
@@ -47,7 +49,7 @@ type Table2Row struct {
 func (b *Baseline) Table2() []Table2Row {
 	var rows []Table2Row
 	for _, app := range b.Apps {
-		m := b.ByApp[app][mapping.Original]
+		m := b.ByApp[app][pipeline.Original]
 		rows = append(rows, Table2Row{
 			App: app,
 			L1:  m.MissRateL(1) * 100,
@@ -70,9 +72,9 @@ type Figure10Row struct {
 func (b *Baseline) Figure10() []Figure10Row {
 	var rows []Figure10Row
 	for _, app := range b.Apps {
-		orig := b.ByApp[app][mapping.Original]
-		intra := b.ByApp[app][mapping.IntraProcessor]
-		inter := b.ByApp[app][mapping.InterProcessor]
+		orig := b.ByApp[app][pipeline.Original]
+		intra := b.ByApp[app][pipeline.IntraProcessor]
+		inter := b.ByApp[app][pipeline.InterProcessor]
 		rows = append(rows, Figure10Row{
 			App:     app,
 			IntraL1: ratio(intra.MissRateL(1), orig.MissRateL(1)),
@@ -98,9 +100,9 @@ type Figure11Row struct {
 func (b *Baseline) Figure11() []Figure11Row {
 	var rows []Figure11Row
 	for _, app := range b.Apps {
-		orig := b.ByApp[app][mapping.Original]
-		intra := b.ByApp[app][mapping.IntraProcessor]
-		inter := b.ByApp[app][mapping.InterProcessor]
+		orig := b.ByApp[app][pipeline.Original]
+		intra := b.ByApp[app][pipeline.IntraProcessor]
+		inter := b.ByApp[app][pipeline.InterProcessor]
 		rows = append(rows, Figure11Row{
 			App:       app,
 			IntraIO:   ratio(intra.IOLatencyMS(), orig.IOLatencyMS()),
@@ -124,9 +126,9 @@ type Figure18Row struct {
 func (b *Baseline) Figure18() []Figure18Row {
 	var rows []Figure18Row
 	for _, app := range b.Apps {
-		orig := b.ByApp[app][mapping.Original]
-		inter := b.ByApp[app][mapping.InterProcessor]
-		sched := b.ByApp[app][mapping.InterProcessorSched]
+		orig := b.ByApp[app][pipeline.Original]
+		inter := b.ByApp[app][pipeline.InterProcessor]
+		sched := b.ByApp[app][pipeline.InterProcessorSched]
 		rows = append(rows, Figure18Row{
 			App:     app,
 			L1Miss:  ratio(sched.MissRateL(1), orig.MissRateL(1)),
@@ -252,11 +254,11 @@ func sweepPoint(cfg Config, label string) ([]SweepRow, error) {
 	}
 	var rows []SweepRow
 	for _, w := range apps {
-		orig, err := cfg.Run(w, mapping.Original)
+		orig, err := cfg.Run(w, pipeline.Original)
 		if err != nil {
 			return nil, err
 		}
-		inter, err := cfg.Run(w, mapping.InterProcessor)
+		inter, err := cfg.Run(w, pipeline.InterProcessor)
 		if err != nil {
 			return nil, err
 		}
@@ -290,11 +292,11 @@ func AlphaBetaSweep(base Config, weights [][2]float64) ([]AlphaBetaRow, error) {
 		cfg.Alpha, cfg.Beta = wgt[0], wgt[1]
 		var ioSum, l1Sum float64
 		for _, w := range apps {
-			orig, err := cfg.Run(w, mapping.Original)
+			orig, err := cfg.Run(w, pipeline.Original)
 			if err != nil {
 				return nil, err
 			}
-			sched, err := cfg.Run(w, mapping.InterProcessorSched)
+			sched, err := cfg.Run(w, pipeline.InterProcessorSched)
 			if err != nil {
 				return nil, err
 			}
@@ -339,7 +341,7 @@ func DependenceStudy(cfg Config) ([]DependenceRow, error) {
 	}
 	tree := cfg.Tree()
 	mcfg := cfg.mappingConfig(tree)
-	origRes, err := mapping.Map(mapping.Original, prog, mcfg)
+	origRes, err := pipeline.Map(context.Background(), pipeline.Original, prog, mcfg)
 	if err != nil {
 		return nil, err
 	}
@@ -350,11 +352,11 @@ func DependenceStudy(cfg Config) ([]DependenceRow, error) {
 	var rows []DependenceRow
 	for _, mode := range []struct {
 		name string
-		mode mapping.DepMode
-	}{{"merge", mapping.DepMerge}, {"sync", mapping.DepSync}} {
+		mode pipeline.DepMode
+	}{{"merge", pipeline.DepMerge}, {"sync", pipeline.DepSync}} {
 		mc := mcfg
 		mc.DepMode = mode.mode
-		res, err := mapping.Map(mapping.InterProcessor, prog, mc)
+		res, err := pipeline.Map(context.Background(), pipeline.InterProcessor, prog, mc)
 		if err != nil {
 			return nil, err
 		}
@@ -418,7 +420,7 @@ func MultiNestStudy(cfg Config) ([]MultiNestRow, error) {
 	// Separate: each nest mapped in isolation.
 	var sepAsgs []iosim.Assignment
 	for _, p := range progs {
-		res, err := mapping.Map(mapping.InterProcessor, p, mcfg)
+		res, err := pipeline.Map(context.Background(), pipeline.InterProcessor, p, mcfg)
 		if err != nil {
 			return nil, err
 		}
@@ -429,7 +431,7 @@ func MultiNestStudy(cfg Config) ([]MultiNestRow, error) {
 		return nil, err
 	}
 	// Combined multi-nest mapping.
-	comAsgs, err := mapping.MapMulti(mapping.InterProcessor, progs, mcfg)
+	comAsgs, err := pipeline.MapMulti(context.Background(), pipeline.InterProcessor, progs, mcfg)
 	if err != nil {
 		return nil, err
 	}
@@ -464,11 +466,11 @@ func PolicyAblation(base Config, policies []cache.PolicyKind) ([]PolicyRow, erro
 		cfg.Params.Policy = p
 		var ioSum float64
 		for _, w := range apps {
-			orig, err := cfg.Run(w, mapping.Original)
+			orig, err := cfg.Run(w, pipeline.Original)
 			if err != nil {
 				return nil, err
 			}
-			inter, err := cfg.Run(w, mapping.InterProcessor)
+			inter, err := cfg.Run(w, pipeline.InterProcessor)
 			if err != nil {
 				return nil, err
 			}
@@ -499,12 +501,12 @@ func ThresholdSweep(base Config, thresholds []float64) ([]ThresholdRow, error) {
 		cfg.BalanceThreshold = th
 		var ioSum, worst float64
 		for _, w := range apps {
-			orig, err := cfg.Run(w, mapping.Original)
+			orig, err := cfg.Run(w, pipeline.Original)
 			if err != nil {
 				return nil, err
 			}
 			tree := cfg.Tree()
-			res, err := mapping.Map(mapping.InterProcessor, w.Prog, cfg.mappingConfig(tree))
+			res, err := pipeline.Map(context.Background(), pipeline.InterProcessor, w.Prog, cfg.mappingConfig(tree))
 			if err != nil {
 				return nil, err
 			}

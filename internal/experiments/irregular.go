@@ -1,7 +1,7 @@
 package experiments
 
 import (
-	"repro/internal/mapping"
+	"repro/internal/pipeline"
 	"repro/internal/workloads"
 )
 
@@ -21,12 +21,12 @@ func IrregularStudy(base Config) ([]IrregularRow, error) {
 	w := workloads.Irregular(base.Scale, 7)
 	var rows []IrregularRow
 	var origIO float64
-	for _, s := range mapping.Schemes() {
+	for _, s := range pipeline.Schemes() {
 		m, err := base.Run(w, s)
 		if err != nil {
 			return nil, err
 		}
-		if s == mapping.Original {
+		if s == pipeline.Original {
 			origIO = m.IOLatencyMS()
 		}
 		rows = append(rows, IrregularRow{

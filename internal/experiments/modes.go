@@ -2,7 +2,7 @@ package experiments
 
 import (
 	"repro/internal/iosim"
-	"repro/internal/mapping"
+	"repro/internal/pipeline"
 )
 
 // ModeRow is one cache-management-mode ablation point: the hierarchy mode
@@ -42,11 +42,11 @@ func CacheModeStudy(base Config) ([]ModeRow, error) {
 		var origSum, interSum, normSum float64
 		var prefetches int64
 		for _, w := range apps {
-			orig, err := cfg.Run(w, mapping.Original)
+			orig, err := cfg.Run(w, pipeline.Original)
 			if err != nil {
 				return nil, err
 			}
-			inter, err := cfg.Run(w, mapping.InterProcessor)
+			inter, err := cfg.Run(w, pipeline.InterProcessor)
 			if err != nil {
 				return nil, err
 			}

@@ -1,10 +1,10 @@
 package experiments
 
 import (
+	"context"
 	"time"
 
-	"repro/internal/core"
-	"repro/internal/mapping"
+	"repro/internal/pipeline"
 	"repro/internal/tags"
 )
 
@@ -16,13 +16,15 @@ type OverheadRow struct {
 	App        string
 	Chunks     int           // iteration chunks fed to the distributor
 	TagMS      float64       // iteration chunk formation
-	ClusterMS  float64       // Figure 5 distribution
+	ClusterMS  float64       // Figure 5 distribution (similarity+cluster+balance)
 	ScheduleMS float64       // Figure 15 scheduling
 	Total      time.Duration // end-to-end mapping time
 }
 
-// OverheadStudy times each mapping phase per application. chunkBytes
-// overrides the data chunk size (0 = the config's default), so the paper's
+// OverheadStudy times each mapping phase per application by reading the
+// staged planner's own per-stage ledger (the same breakdown the daemon
+// exports as cachemapd_stage_duration_seconds). chunkBytes overrides the
+// data chunk size (0 = the config's default), so the paper's
 // chunk-size/compile-time trade-off can be reproduced by calling it twice.
 func OverheadStudy(base Config, chunkBytes int64) ([]OverheadRow, error) {
 	if chunkBytes == 0 {
@@ -39,34 +41,32 @@ func OverheadStudy(base Config, chunkBytes int64) ([]OverheadRow, error) {
 			w = w.WithChunkBytes(chunkBytes)
 		}
 		t0 := time.Now()
-		chunks := tags.Compute(w.Prog.Nest, w.Prog.Refs, w.Prog.Data)
-		t1 := time.Now()
-		opts := core.Options{BalanceThreshold: base.BalanceThreshold}
-		perClient, err := core.Distribute(chunks, tree, opts)
+		res, err := pipeline.Map(context.Background(), pipeline.InterProcessorSched,
+			w.Prog, base.mappingConfig(tree))
 		if err != nil {
 			return nil, err
 		}
-		t2 := time.Now()
-		if _, err := core.Schedule(perClient, tree,
-			core.ScheduleOptions{Alpha: base.Alpha, Beta: base.Beta}); err != nil {
-			return nil, err
+		total := time.Since(t0)
+		row := OverheadRow{App: w.Name, Chunks: len(res.Chunks), Total: total}
+		for _, st := range res.Stages {
+			switch st.Stage {
+			case pipeline.StageTags:
+				row.TagMS += st.DurationMS
+			case pipeline.StageSimilarity, pipeline.StageCluster, pipeline.StageBalance:
+				row.ClusterMS += st.DurationMS
+			case pipeline.StageSchedule:
+				row.ScheduleMS += st.DurationMS
+			}
 		}
-		t3 := time.Now()
-		rows = append(rows, OverheadRow{
-			App:        w.Name,
-			Chunks:     len(chunks),
-			TagMS:      float64(t1.Sub(t0).Microseconds()) / 1000,
-			ClusterMS:  float64(t2.Sub(t1).Microseconds()) / 1000,
-			ScheduleMS: float64(t3.Sub(t2).Microseconds()) / 1000,
-			Total:      t3.Sub(t0),
-		})
+		rows = append(rows, row)
 	}
 	return rows, nil
 }
 
 // MappingWorkFactor compares the iteration-chunk counts (the dominant
 // clustering cost driver) at two chunk sizes — the structural part of the
-// paper's compile-time observation, independent of wall-clock noise.
+// paper's compile-time observation, independent of wall-clock noise. Only
+// the tag stage runs, so the comparison stays cheap at small chunk sizes.
 func MappingWorkFactor(base Config, sizeA, sizeB int64) (chunksA, chunksB int, err error) {
 	apps, err := base.Apps()
 	if err != nil {
@@ -80,7 +80,3 @@ func MappingWorkFactor(base Config, sizeA, sizeB int64) (chunksA, chunksB int, e
 	}
 	return chunksA, chunksB, nil
 }
-
-// interMappingOnly is a tiny helper used in tests to ensure the study uses
-// the same pipeline as the real mapping package.
-var _ = mapping.InterProcessor

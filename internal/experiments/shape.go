@@ -4,7 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/cache"
-	"repro/internal/mapping"
+	"repro/internal/pipeline"
 )
 
 // Claim is one verifiable shape statement from the paper's evaluation: not
@@ -122,7 +122,7 @@ func ShapeChecks(cfg Config) ([]Claim, error) {
 	}
 	var irrInter float64
 	for _, r := range irr {
-		if r.Scheme == string(mapping.InterProcessor) {
+		if r.Scheme == string(pipeline.InterProcessor) {
 			irrInter = r.Norm
 		}
 	}

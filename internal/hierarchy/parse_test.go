@@ -94,12 +94,12 @@ func TestParseTable(t *testing.T) {
 		{"1/2/4", 4, 2, 8, false},
 		{"16/32/64@16,8,4", 64, 3, 4, true},
 		{"1/4/4/16@32,16,8,4", 16, 3, 4, false},
-		{"2/4", 4, 2, 8, true},                  // two layers: IO over CN, dummy root
-		{"1/3/7", 7, 2, 8, false},               // non-uniform: 7 clients over 3 I/O nodes
-		{"3/5/11@6,4,2", 11, 3, 2, true},        // non-uniform at every layer
-		{"1/1/1", 1, 2, 8, false},               // degenerate single path
+		{"2/4", 4, 2, 8, true},                       // two layers: IO over CN, dummy root
+		{"1/3/7", 7, 2, 8, false},                    // non-uniform: 7 clients over 3 I/O nodes
+		{"3/5/11@6,4,2", 11, 3, 2, true},             // non-uniform at every layer
+		{"1/1/1", 1, 2, 8, false},                    // degenerate single path
 		{" 1 / 2 / 4 @ 16 , 8 , 4 ", 4, 2, 4, false}, // whitespace tolerated
-		{"1/2/4@0,8,4", 4, 2, 4, false},         // zero capacity = cache-less layer
+		{"1/2/4@0,8,4", 4, 2, 4, false},              // zero capacity = cache-less layer
 	}
 	for _, tc := range cases {
 		tr, err := Parse(tc.spec)

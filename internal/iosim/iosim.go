@@ -13,6 +13,7 @@
 package iosim
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -365,7 +366,13 @@ type sim struct {
 
 // Run executes the assignment on the tree under the given parameters.
 func Run(tree *hierarchy.Tree, prog Program, asg Assignment, params Params) (*Metrics, error) {
-	return RunSequence(tree, []Program{prog}, []Assignment{asg}, params)
+	return RunSequenceCtx(context.Background(), tree, []Program{prog}, []Assignment{asg}, params)
+}
+
+// RunCtx is Run with cooperative cancellation: the event loop checks ctx
+// every ctxCheckInterval steps and returns ctx.Err() when it is canceled.
+func RunCtx(ctx context.Context, tree *hierarchy.Tree, prog Program, asg Assignment, params Params) (*Metrics, error) {
+	return RunSequenceCtx(ctx, tree, []Program{prog}, []Assignment{asg}, params)
 }
 
 // RunSequence executes several programs (loop nests) back to back on the
@@ -374,6 +381,11 @@ func Run(tree *hierarchy.Tree, prog Program, asg Assignment, params Params) (*Me
 // nests, as between the phases of an MPI application. progs[i] runs under
 // asgs[i]. All programs must share one data space.
 func RunSequence(tree *hierarchy.Tree, progs []Program, asgs []Assignment, params Params) (*Metrics, error) {
+	return RunSequenceCtx(context.Background(), tree, progs, asgs, params)
+}
+
+// RunSequenceCtx is RunSequence with cooperative cancellation (see RunCtx).
+func RunSequenceCtx(ctx context.Context, tree *hierarchy.Tree, progs []Program, asgs []Assignment, params Params) (*Metrics, error) {
 	if tree == nil {
 		return nil, fmt.Errorf("iosim: nil tree")
 	}
@@ -449,7 +461,9 @@ func RunSequence(tree *hierarchy.Tree, progs []Program, asgs []Assignment, param
 			c.iterBuf = make([]int64, depth)
 			c.subsBuf = make([]int64, maxSubs)
 		}
-		s.run()
+		if err := s.run(ctx); err != nil {
+			return nil, err
+		}
 	}
 	return s.metrics(), nil
 }
@@ -463,17 +477,29 @@ func deriveDisks(tree *hierarchy.Tree) int {
 	return len(tree.Root.Children)
 }
 
-func (s *sim) run() {
+// ctxCheckInterval is how many event-loop steps run between cooperative
+// cancellation checks.
+const ctxCheckInterval = 1024
+
+func (s *sim) run(ctx context.Context) error {
 	for _, c := range s.clients {
 		s.heapPush(c)
 	}
+	var since int
 	for len(s.heap) > 0 {
+		if since++; since >= ctxCheckInterval {
+			since = 0
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		c := s.heapPop()
 		if !s.stepClient(c) {
 			continue // client finished; do not reinsert
 		}
 		s.heapPush(c)
 	}
+	return nil
 }
 
 // stepClient executes one iteration of client c; returns false when the

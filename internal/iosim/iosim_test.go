@@ -1,6 +1,7 @@
 package iosim
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -380,5 +381,22 @@ func TestFabricTooShortRejected(t *testing.T) {
 	// Default fabric sized automatically: OK.
 	if _, err := Run(tree, prog, blockAssign(16, 4), p); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunCtxCanceled(t *testing.T) {
+	tree := tinyTree(16, 16, 16)
+	n := int64(4 * ctxCheckInterval) // enough steps to pass a check
+	prog := scanProgram(n, 8, 32)
+	asg := blockAssign(n, 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunCtx(ctx, tree, prog, asg, DefaultParams()); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// A live context still runs to completion.
+	m, err := RunCtx(context.Background(), tree, prog, asg, DefaultParams())
+	if err != nil || m.Iterations != n {
+		t.Fatalf("uncancelled run: m=%v err=%v", m, err)
 	}
 }

@@ -1,3 +1,7 @@
+// Package mapping holds the versioned wire format of a computed mapping:
+// the Plan served by cachemapd's POST /v1/map and its round-trip back to
+// an executable assignment. The planning itself lives in package pipeline;
+// PlanOf converts a pipeline result to its wire form.
 package mapping
 
 import (
@@ -5,6 +9,7 @@ import (
 
 	"repro/internal/iosim"
 	"repro/internal/itset"
+	"repro/internal/pipeline"
 )
 
 // PlanSchemaVersion is the wire-format version of Plan. It is bumped on
@@ -18,9 +23,9 @@ const PlanSchemaVersion = 1
 // summary statistics of the distribution; run-length iteration sets encode
 // as [start, end) pairs, so plans stay compact even for huge nests.
 type Plan struct {
-	Schema  int    `json:"schema"`
-	Scheme  Scheme `json:"scheme"`
-	Clients int    `json:"clients"`
+	Schema  int             `json:"schema"`
+	Scheme  pipeline.Scheme `json:"scheme"`
+	Clients int             `json:"clients"`
 	// Work[c] is client c's ordered block list; a client with no work has
 	// an empty list.
 	Work [][]PlanBlock `json:"work"`
@@ -42,8 +47,8 @@ type PlanBlock struct {
 	Explicit []int64    `json:"explicit,omitempty"`
 }
 
-// Plan converts the result into its serializable wire form.
-func (r *Result) Plan() Plan {
+// PlanOf converts a pipeline result into its serializable wire form.
+func PlanOf(r *pipeline.Result) Plan {
 	p := Plan{
 		Schema:          PlanSchemaVersion,
 		Scheme:          r.Scheme,

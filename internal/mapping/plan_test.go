@@ -1,6 +1,7 @@
 package mapping
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"os"
@@ -10,6 +11,7 @@ import (
 	"repro/internal/chunking"
 	"repro/internal/hierarchy"
 	"repro/internal/iosim"
+	"repro/internal/pipeline"
 	"repro/internal/polyhedral"
 )
 
@@ -37,11 +39,11 @@ func figure6Program() (prog iosim.Program, tree *hierarchy.Tree) {
 
 func TestPlanGolden(t *testing.T) {
 	prog, tree := figure6Program()
-	res, err := Map(InterProcessor, prog, Config{Tree: tree})
+	res, err := pipeline.Map(context.Background(), pipeline.InterProcessor, prog, pipeline.Config{Tree: tree})
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := json.MarshalIndent(res.Plan(), "", "  ")
+	got, err := json.MarshalIndent(PlanOf(res), "", "  ")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,12 +70,12 @@ func TestPlanGolden(t *testing.T) {
 
 func TestPlanRoundTrip(t *testing.T) {
 	prog, tree := figure6Program()
-	for _, scheme := range Schemes() {
-		res, err := Map(scheme, prog, Config{Tree: tree})
+	for _, scheme := range pipeline.Schemes() {
+		res, err := pipeline.Map(context.Background(), scheme, prog, pipeline.Config{Tree: tree})
 		if err != nil {
 			t.Fatalf("%s: %v", scheme, err)
 		}
-		b, err := json.Marshal(res.Plan())
+		b, err := json.Marshal(PlanOf(res))
 		if err != nil {
 			t.Fatalf("%s: %v", scheme, err)
 		}
@@ -113,11 +115,11 @@ func TestPlanRoundTrip(t *testing.T) {
 
 func TestPlanRejectsBadWire(t *testing.T) {
 	prog, tree := figure6Program()
-	res, err := Map(InterProcessor, prog, Config{Tree: tree})
+	res, err := pipeline.Map(context.Background(), pipeline.InterProcessor, prog, pipeline.Config{Tree: tree})
 	if err != nil {
 		t.Fatal(err)
 	}
-	good := res.Plan()
+	good := PlanOf(res)
 
 	futur := good
 	futur.Schema = PlanSchemaVersion + 1

@@ -78,6 +78,18 @@ func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
 	return h
 }
 
+// HistogramVec registers (or returns the existing) family of histograms
+// partitioned by one label. Histograms for new label values materialize on
+// first use and render as `name_bucket{label="value",le="..."}` series.
+func (r *Registry) HistogramVec(name, help, label string, buckets []float64) *HistogramVec {
+	in := r.register(name, help, newHistogramVec(help, label, buckets))
+	hv, ok := in.(*HistogramVec)
+	if !ok {
+		panic(fmt.Sprintf("metrics: %q already registered with a different type", name))
+	}
+	return hv
+}
+
 // WritePrometheus renders every instrument in the Prometheus text format.
 func (r *Registry) WritePrometheus(w io.Writer) {
 	r.mu.Lock()
@@ -204,3 +216,75 @@ func (h *Histogram) write(w io.Writer, name, help string) {
 }
 
 func formatBound(b float64) string { return strconv.FormatFloat(b, 'g', -1, 64) }
+
+// HistogramVec is a family of Histograms sharing one bucket layout,
+// partitioned by a single label (e.g. per pipeline stage). With scrapes
+// rare and observations hot, lookups take a read lock only.
+type HistogramVec struct {
+	mu      sync.RWMutex
+	label   string
+	bounds  []float64
+	help    string
+	curves  map[string]*Histogram
+	ordered []string // label values in first-use order, for stable output
+}
+
+func newHistogramVec(help, label string, buckets []float64) *HistogramVec {
+	bounds := append([]float64(nil), buckets...)
+	sort.Float64s(bounds)
+	return &HistogramVec{
+		label:  label,
+		bounds: bounds,
+		help:   help,
+		curves: map[string]*Histogram{},
+	}
+}
+
+// With returns the histogram for the given label value, creating it on
+// first use.
+func (hv *HistogramVec) With(value string) *Histogram {
+	hv.mu.RLock()
+	h, ok := hv.curves[value]
+	hv.mu.RUnlock()
+	if ok {
+		return h
+	}
+	hv.mu.Lock()
+	defer hv.mu.Unlock()
+	if h, ok := hv.curves[value]; ok {
+		return h
+	}
+	h = newHistogram(hv.help, hv.bounds)
+	hv.curves[value] = h
+	hv.ordered = append(hv.ordered, value)
+	return h
+}
+
+// Observe records one value under the given label value.
+func (hv *HistogramVec) Observe(value string, v float64) { hv.With(value).Observe(v) }
+
+func (hv *HistogramVec) helpText() string { return hv.help }
+
+func (hv *HistogramVec) write(w io.Writer, name, help string) {
+	hv.mu.RLock()
+	values := append([]string(nil), hv.ordered...)
+	curves := make([]*Histogram, len(values))
+	for i, v := range values {
+		curves[i] = hv.curves[v]
+	}
+	label := hv.label
+	hv.mu.RUnlock()
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	for i, value := range values {
+		h := curves[i]
+		var cum int64
+		for bi, b := range h.bounds {
+			cum += h.counts[bi].Load()
+			fmt.Fprintf(w, "%s_bucket{%s=%q,le=%q} %d\n", name, label, value, formatBound(b), cum)
+		}
+		cum += h.counts[len(h.bounds)].Load()
+		fmt.Fprintf(w, "%s_bucket{%s=%q,le=\"+Inf\"} %d\n", name, label, value, cum)
+		fmt.Fprintf(w, "%s_sum{%s=%q} %s\n", name, label, value, strconv.FormatFloat(h.Sum(), 'g', -1, 64))
+		fmt.Fprintf(w, "%s_count{%s=%q} %d\n", name, label, value, h.Count())
+	}
+}

@@ -1,6 +1,8 @@
 package metrics
 
 import (
+	"bytes"
+	"fmt"
 	"strings"
 	"sync"
 	"testing"
@@ -100,5 +102,59 @@ func TestConcurrentObserve(t *testing.T) {
 	}
 	if got, want := h.Sum(), 8.0; got < want-1e-6 || got > want+1e-6 {
 		t.Fatalf("histogram sum = %g, want %g", got, want)
+	}
+}
+
+func TestHistogramVec(t *testing.T) {
+	r := NewRegistry()
+	hv := r.HistogramVec("stage_seconds", "per-stage latency", "stage", []float64{0.01, 1})
+	hv.Observe("tags", 0.005)
+	hv.Observe("tags", 0.5)
+	hv.Observe("cluster", 2)
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE stage_seconds histogram",
+		`stage_seconds_bucket{stage="tags",le="0.01"} 1`,
+		`stage_seconds_bucket{stage="tags",le="1"} 2`,
+		`stage_seconds_bucket{stage="tags",le="+Inf"} 2`,
+		`stage_seconds_count{stage="tags"} 2`,
+		`stage_seconds_bucket{stage="cluster",le="+Inf"} 1`,
+		`stage_seconds_count{stage="cluster"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if hv.With("tags") != hv.With("tags") {
+		t.Error("With not idempotent")
+	}
+	// Same name returns the same vec; wrong type panics.
+	if r.HistogramVec("stage_seconds", "x", "stage", nil) != hv {
+		t.Error("re-registration returned a different instrument")
+	}
+}
+
+func TestHistogramVecConcurrent(t *testing.T) {
+	r := NewRegistry()
+	hv := r.HistogramVec("hv", "h", "l", DefaultLatencyBuckets())
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				hv.Observe(fmt.Sprintf("v%d", i%4), float64(i)/1000)
+			}
+		}(g)
+	}
+	wg.Wait()
+	var total int64
+	for i := 0; i < 4; i++ {
+		total += hv.With(fmt.Sprintf("v%d", i)).Count()
+	}
+	if total != 8*500 {
+		t.Fatalf("total observations = %d, want %d", total, 8*500)
 	}
 }

@@ -1,6 +1,7 @@
-package mapping
+package pipeline
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/chunking"
@@ -27,7 +28,7 @@ func tileableProgram(n int64) iosim.Program {
 
 func TestMapIntraCandidatesCount(t *testing.T) {
 	prog := tileableProgram(16)
-	cands, err := MapIntraCandidates(prog, Config{Tree: testTree()}, 4, 8)
+	cands, err := MapIntraCandidates(context.Background(), prog, Config{Tree: testTree()}, 4, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +57,7 @@ func TestMapIntraCandidatesNonTileable(t *testing.T) {
 		},
 		Data: data,
 	}
-	cands, err := MapIntraCandidates(prog, Config{Tree: testTree()}, 4, 8)
+	cands, err := MapIntraCandidates(context.Background(), prog, Config{Tree: testTree()}, 4, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,19 +68,19 @@ func TestMapIntraCandidatesNonTileable(t *testing.T) {
 
 func TestMapIntraCandidatesValidation(t *testing.T) {
 	prog := tileableProgram(8)
-	if _, err := MapIntraCandidates(prog, Config{}); err == nil {
+	if _, err := MapIntraCandidates(context.Background(), prog, Config{}); err == nil {
 		t.Error("nil tree accepted")
 	}
 	bad := prog
 	bad.Refs = nil
-	if _, err := MapIntraCandidates(bad, Config{Tree: testTree()}); err == nil {
+	if _, err := MapIntraCandidates(context.Background(), bad, Config{Tree: testTree()}); err == nil {
 		t.Error("invalid program accepted")
 	}
 }
 
 func TestIntraCandidatesEnumerateSameIterations(t *testing.T) {
 	prog := tileableProgram(12)
-	cands, err := MapIntraCandidates(prog, Config{Tree: testTree()}, 4)
+	cands, err := MapIntraCandidates(context.Background(), prog, Config{Tree: testTree()}, 4)
 	if err != nil {
 		t.Fatal(err)
 	}

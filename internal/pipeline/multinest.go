@@ -1,0 +1,100 @@
+package pipeline
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/iosim"
+	"repro/internal/tags"
+)
+
+// MapMulti maps several loop nests that share one data space. For the
+// inter-processor schemes this implements the Section 5.4 multi-nest
+// extension: the iteration sets of all nests are combined into a single G
+// set (one chunk list with per-chunk nest identity) and distributed
+// together, so inter-nest data sharing influences clustering. For the
+// original and intra-processor schemes each nest is mapped independently
+// (they have no notion of cross-nest affinity).
+//
+// The result has one Assignment per input program, suitable for
+// iosim.RunSequence.
+func MapMulti(ctx context.Context, scheme Scheme, progs []iosim.Program, cfg Config) ([]iosim.Assignment, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	if len(progs) == 0 {
+		return nil, fmt.Errorf("pipeline: no programs")
+	}
+	for i, p := range progs {
+		if err := p.Validate(); err != nil {
+			return nil, fmt.Errorf("pipeline: program %d: %w", i, err)
+		}
+		if p.Data != progs[0].Data {
+			return nil, fmt.Errorf("pipeline: program %d uses a different data space", i)
+		}
+	}
+
+	if scheme == Original || scheme == IntraProcessor {
+		out := make([]iosim.Assignment, len(progs))
+		for i, p := range progs {
+			res, err := Map(ctx, scheme, p, cfg)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = res.Assignment
+		}
+		return out, nil
+	}
+
+	// Inter schemes: combine all nests' chunks into one distribution.
+	r := NewRun(ctx)
+	var all []*tags.IterationChunk
+	if err := r.stage(StageTags, func(ctx context.Context) error {
+		for ni, p := range progs {
+			chunks, err := tags.ComputeCtx(ctx, p.Nest, p.Refs, p.Data, cfg.Workers)
+			if err != nil {
+				return err
+			}
+			for _, c := range chunks {
+				c.Nest = ni
+			}
+			all = append(all, chunks...)
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	perClient, err := distribute(r, all, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.stage(StageSchedule, func(ctx context.Context) error {
+		if scheme != InterProcessorSched {
+			return nil
+		}
+		var err error
+		perClient, err = core.ScheduleCtx(ctx, perClient, cfg.Tree, cfg.Schedule)
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	out := make([]iosim.Assignment, len(progs))
+	if err := r.stage(StageEncode, func(context.Context) error {
+		for ni := range progs {
+			out[ni] = make(iosim.Assignment, len(perClient))
+		}
+		for ci, cl := range perClient {
+			for _, c := range cl {
+				if c.Iters.IsEmpty() {
+					continue
+				}
+				out[c.Nest][ci] = append(out[c.Nest][ci], iosim.Block{Set: c.Iters})
+			}
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

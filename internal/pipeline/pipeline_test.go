@@ -1,0 +1,145 @@
+package pipeline
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/iosim"
+)
+
+func TestStageNamesCanonicalOrder(t *testing.T) {
+	want := []string{"tags", "chunks", "similarity", "cluster", "balance", "schedule", "encode"}
+	got := StageNames()
+	if len(got) != len(want) {
+		t.Fatalf("StageNames() = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("StageNames()[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestStageErrorIdentifiesStage(t *testing.T) {
+	base := errors.New("boom")
+	err := &StageError{Stage: StageCluster, Err: base}
+	if !errors.Is(err, base) {
+		t.Error("StageError does not unwrap to its cause")
+	}
+	if FailedStage(err) != StageCluster {
+		t.Errorf("FailedStage = %q, want %q", FailedStage(err), StageCluster)
+	}
+	wrapped := fmt.Errorf("outer: %w", err)
+	if FailedStage(wrapped) != StageCluster {
+		t.Errorf("FailedStage through wrap = %q, want %q", FailedStage(wrapped), StageCluster)
+	}
+	if FailedStage(base) != "" {
+		t.Errorf("FailedStage of plain error = %q, want empty", FailedStage(base))
+	}
+}
+
+func TestRunAccumulatesPhases(t *testing.T) {
+	r := NewRun(context.Background())
+	for i := 0; i < 3; i++ {
+		stop := r.StartPhase(StageSimilarity)
+		time.Sleep(time.Millisecond)
+		stop()
+	}
+	stats := r.Stats()
+	if stats[StageSimilarity].Duration < 3*time.Millisecond {
+		t.Fatalf("similarity duration %v, want >= 3ms", stats[StageSimilarity].Duration)
+	}
+}
+
+func TestMapReportsStages(t *testing.T) {
+	prog := stencilProgram(16)
+	for _, tc := range []struct {
+		scheme Scheme
+		want   []string
+	}{
+		{Original, []string{StageChunks, StageEncode}},
+		{IntraProcessor, []string{StageChunks, StageEncode}},
+		{InterProcessorSched, []string{StageTags, StageChunks, StageSimilarity,
+			StageCluster, StageBalance, StageSchedule, StageEncode}},
+	} {
+		res, err := Map(context.Background(), tc.scheme, prog, Config{Tree: testTree()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := make(map[string]bool)
+		for _, st := range res.Stages {
+			seen[st.Stage] = true
+			if st.DurationMS < 0 {
+				t.Fatalf("%s: stage %s has negative duration", tc.scheme, st.Stage)
+			}
+		}
+		for _, name := range tc.want {
+			if !seen[name] {
+				t.Fatalf("%s: stage %q missing from breakdown %v", tc.scheme, name, res.Stages)
+			}
+		}
+		// Canonical order within the breakdown.
+		rank := make(map[string]int)
+		for i, name := range StageNames() {
+			rank[name] = i
+		}
+		for i := 1; i < len(res.Stages); i++ {
+			if rank[res.Stages[i-1].Stage] >= rank[res.Stages[i].Stage] {
+				t.Fatalf("%s: stages out of canonical order: %v", tc.scheme, res.Stages)
+			}
+		}
+	}
+}
+
+// TestMapDeterministicAcrossWorkers is the tentpole's determinism claim:
+// the full plan wire form is byte-identical at any worker count.
+func TestMapDeterministicAcrossWorkers(t *testing.T) {
+	prog := stencilProgram(24)
+	encode := func(workers int, scheme Scheme) string {
+		res, err := Map(context.Background(), scheme, prog, Config{Tree: testTree(), Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.Stages = nil // timing obviously varies
+		b, err := json.Marshal(res.Assignment)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	for _, scheme := range []Scheme{InterProcessor, InterProcessorSched} {
+		want := encode(1, scheme)
+		for _, workers := range []int{2, 4, 8} {
+			if got := encode(workers, scheme); got != want {
+				t.Fatalf("%s: assignment differs between 1 and %d workers", scheme, workers)
+			}
+		}
+	}
+}
+
+func TestMapCanceledNamesStage(t *testing.T) {
+	prog := stencilProgram(16)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Map(ctx, InterProcessorSched, prog, Config{Tree: testTree()})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if FailedStage(err) == "" {
+		t.Fatalf("canceled pipeline error names no stage: %v", err)
+	}
+}
+
+func TestMapMultiCanceled(t *testing.T) {
+	prog := stencilProgram(16)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := MapMulti(ctx, InterProcessor, []iosim.Program{prog, prog}, Config{Tree: testTree()})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

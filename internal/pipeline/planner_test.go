@@ -1,6 +1,7 @@
-package mapping
+package pipeline
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/chunking"
@@ -56,7 +57,7 @@ func TestAllSchemesCoverSameIterations(t *testing.T) {
 	prog := stencilProgram(24)
 	want := prog.Nest.Size()
 	for _, scheme := range Schemes() {
-		res, err := Map(scheme, prog, Config{Tree: testTree()})
+		res, err := Map(context.Background(), scheme, prog, Config{Tree: testTree()})
 		if err != nil {
 			t.Fatalf("%s: %v", scheme, err)
 		}
@@ -72,7 +73,7 @@ func TestAllSchemesCoverSameIterations(t *testing.T) {
 func TestSchemesDisjointPerClient(t *testing.T) {
 	prog := stencilProgram(24)
 	for _, scheme := range Schemes() {
-		res, err := Map(scheme, prog, Config{Tree: testTree()})
+		res, err := Map(context.Background(), scheme, prog, Config{Tree: testTree()})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -99,7 +100,7 @@ func TestSchemesDisjointPerClient(t *testing.T) {
 
 func TestOriginalIsContiguousLexicographic(t *testing.T) {
 	prog := stencilProgram(24)
-	res, err := Map(Original, prog, Config{Tree: testTree()})
+	res, err := Map(context.Background(), Original, prog, Config{Tree: testTree()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +119,7 @@ func TestOriginalIsContiguousLexicographic(t *testing.T) {
 
 func TestOriginalBalance(t *testing.T) {
 	prog := stencilProgram(25)
-	res, _ := Map(Original, prog, Config{Tree: testTree()})
+	res, _ := Map(context.Background(), Original, prog, Config{Tree: testTree()})
 	total := prog.Nest.Size()
 	per := total / 4
 	for ci, blocks := range res.Assignment {
@@ -134,7 +135,7 @@ func TestOriginalBalance(t *testing.T) {
 
 func TestIntraUsesExplicitOrder(t *testing.T) {
 	prog := stencilProgram(24)
-	res, err := Map(IntraProcessor, prog, Config{Tree: testTree()})
+	res, err := Map(context.Background(), IntraProcessor, prog, Config{Tree: testTree()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +150,7 @@ func TestIntraUsesExplicitOrder(t *testing.T) {
 
 func TestInterProducesChunkBlocks(t *testing.T) {
 	prog := stencilProgram(24)
-	res, err := Map(InterProcessor, prog, Config{Tree: testTree()})
+	res, err := Map(context.Background(), InterProcessor, prog, Config{Tree: testTree()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,11 +172,11 @@ func TestInterProducesChunkBlocks(t *testing.T) {
 func TestInterSchedReordersWithinClients(t *testing.T) {
 	prog := stencilProgram(24)
 	cfg := Config{Tree: testTree()}
-	plain, err := Map(InterProcessor, prog, cfg)
+	plain, err := Map(context.Background(), InterProcessor, prog, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	sched, err := Map(InterProcessorSched, prog, cfg)
+	sched, err := Map(context.Background(), InterProcessorSched, prog, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -203,15 +204,15 @@ func TestParseScheme(t *testing.T) {
 
 func TestMapValidation(t *testing.T) {
 	prog := stencilProgram(8)
-	if _, err := Map(Original, prog, Config{}); err == nil {
+	if _, err := Map(context.Background(), Original, prog, Config{}); err == nil {
 		t.Error("nil tree accepted")
 	}
-	if _, err := Map("bogus", prog, Config{Tree: testTree()}); err == nil {
+	if _, err := Map(context.Background(), "bogus", prog, Config{Tree: testTree()}); err == nil {
 		t.Error("bogus scheme accepted")
 	}
 	bad := prog
 	bad.Refs = nil
-	if _, err := Map(Original, bad, Config{Tree: testTree()}); err == nil {
+	if _, err := Map(context.Background(), Original, bad, Config{Tree: testTree()}); err == nil {
 		t.Error("invalid program accepted")
 	}
 }
@@ -230,7 +231,7 @@ func TestDepModeSyncCountsEdges(t *testing.T) {
 		},
 		Data: data,
 	}
-	res, err := Map(InterProcessor, prog, Config{Tree: testTree(), DepMode: DepSync})
+	res, err := Map(context.Background(), InterProcessor, prog, Config{Tree: testTree(), DepMode: DepSync})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -239,7 +240,7 @@ func TestDepModeSyncCountsEdges(t *testing.T) {
 	}
 	// DepMerge keeps dependent chunks together; it must still map every
 	// iteration exactly once.
-	resM, err := Map(InterProcessor, prog, Config{Tree: testTree(), DepMode: DepMerge})
+	resM, err := Map(context.Background(), InterProcessor, prog, Config{Tree: testTree(), DepMode: DepMerge})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -262,7 +263,7 @@ func TestMapMultiInterCombinesNests(t *testing.T) {
 		}
 	}
 	progs := []iosim.Program{mkProg("n0", 0), mkProg("n1", 1)}
-	asgs, err := MapMulti(InterProcessor, progs, Config{Tree: testTree()})
+	asgs, err := MapMulti(context.Background(), InterProcessor, progs, Config{Tree: testTree()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -285,12 +286,12 @@ func TestMapMultiInterCombinesNests(t *testing.T) {
 }
 
 func TestMapMultiValidation(t *testing.T) {
-	if _, err := MapMulti(Original, nil, Config{Tree: testTree()}); err == nil {
+	if _, err := MapMulti(context.Background(), Original, nil, Config{Tree: testTree()}); err == nil {
 		t.Error("empty program list accepted")
 	}
 	p1 := stencilProgram(8)
 	p2 := stencilProgram(8) // different data space pointer
-	if _, err := MapMulti(InterProcessor, []iosim.Program{p1, p2}, Config{Tree: testTree()}); err == nil {
+	if _, err := MapMulti(context.Background(), InterProcessor, []iosim.Program{p1, p2}, Config{Tree: testTree()}); err == nil {
 		t.Error("mismatched data spaces accepted")
 	}
 }
@@ -303,7 +304,7 @@ func TestMapMultiOriginalIndependent(t *testing.T) {
 		Refs: []polyhedral.Ref{polyhedral.SimpleRef(0, 2, []int{0, 1}, []int64{0, 0}, polyhedral.Read)},
 		Data: data,
 	}
-	asgs, err := MapMulti(Original, []iosim.Program{prog, prog}, Config{Tree: testTree()})
+	asgs, err := MapMulti(context.Background(), Original, []iosim.Program{prog, prog}, Config{Tree: testTree()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -318,11 +319,11 @@ func TestInterBeatsOriginalOnSharedCaches(t *testing.T) {
 	prog := stencilProgram(32)
 	tree1 := testTree()
 	cfg := Config{Tree: tree1}
-	orig, err := Map(Original, prog, cfg)
+	orig, err := Map(context.Background(), Original, prog, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	inter, err := Map(InterProcessor, prog, cfg)
+	inter, err := Map(context.Background(), InterProcessor, prog, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -13,6 +13,7 @@ package plancache
 
 import (
 	"container/list"
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -65,6 +66,10 @@ type call[V any] struct {
 	done chan struct{}
 	val  V
 	err  error
+	// canceled marks a leader that gave up because its own context was
+	// canceled: the result is not cached and not propagated; waiting
+	// followers re-elect a successor leader instead.
+	canceled bool
 }
 
 // New returns a cache bounded to capacity entries (capacity < 1 is raised
@@ -142,61 +147,94 @@ func (c *Cache[V]) put(k Key, v V) ([]*entry[V], func(Key, V)) {
 	return evicted, c.OnEvict
 }
 
-// Do returns the value for k, computing it with fn on a miss. Concurrent
-// calls for the same cold key run fn once and share its result. The hit
-// return reports whether the value came from cache (or a shared in-flight
-// computation). Errors are not cached.
-func (c *Cache[V]) Do(k Key, fn func() (V, error)) (v V, hit bool, err error) {
-	c.mu.Lock()
-	if el, ok := c.entries[k]; ok {
-		c.ll.MoveToFront(el)
-		v = el.Value.(*entry[V]).val
-		c.hits++
-		onHit := c.OnHit
+// Do returns the value for k, computing it with fn on a miss, honoring
+// ctx. Concurrent calls for the same cold key elect a leader that runs fn
+// under its own context; followers wait for the leader's answer or their
+// own ctx, whichever comes first. The hit return reports whether the value
+// came from cache (or a shared in-flight computation). Errors are not
+// cached.
+//
+// Cancellation does not poison the shared result: a leader whose own
+// context is canceled mid-computation marks its call abandoned — nothing
+// is cached, the cancellation error is not propagated, and any waiting
+// followers re-elect a successor leader among themselves. A follower whose
+// own context is canceled while waiting gets its ctx.Err() without
+// affecting the in-flight computation.
+func (c *Cache[V]) Do(ctx context.Context, k Key, fn func(context.Context) (V, error)) (v V, hit bool, err error) {
+	var zero V
+	for {
+		if err := ctx.Err(); err != nil {
+			return zero, false, err
+		}
+		c.mu.Lock()
+		if el, ok := c.entries[k]; ok {
+			c.ll.MoveToFront(el)
+			v = el.Value.(*entry[V]).val
+			c.hits++
+			onHit := c.OnHit
+			c.mu.Unlock()
+			if onHit != nil {
+				onHit()
+			}
+			return v, true, nil
+		}
+		if cl, ok := c.inflight[k]; ok {
+			// Someone is computing this key; wait for their answer.
+			c.mu.Unlock()
+			select {
+			case <-ctx.Done():
+				return zero, false, ctx.Err()
+			case <-cl.done:
+			}
+			if cl.canceled {
+				continue // leader abandoned the key; elect a successor
+			}
+			// Counted as a hit: the work was shared, not repeated.
+			c.mu.Lock()
+			c.hits++
+			onHit := c.OnHit
+			c.mu.Unlock()
+			if onHit != nil {
+				onHit()
+			}
+			return cl.val, true, cl.err
+		}
+		cl := &call[V]{done: make(chan struct{})}
+		c.inflight[k] = cl
+		c.misses++
+		onMiss := c.OnMiss
 		c.mu.Unlock()
-		if onHit != nil {
-			onHit()
+		if onMiss != nil {
+			onMiss()
 		}
-		return v, true, nil
-	}
-	if cl, ok := c.inflight[k]; ok {
-		// Someone is computing this key; wait for their answer. Counted as
-		// a hit: the work is shared, not repeated.
-		c.hits++
-		onHit := c.OnHit
+
+		cl.val, cl.err = fn(ctx)
+		if cl.err != nil && ctx.Err() != nil {
+			// Leader canceled: abandon the call without caching or
+			// propagating the partial result.
+			cl.canceled = true
+		}
+		c.mu.Lock()
+		delete(c.inflight, k)
+		var evicted []*entry[V]
+		var cb func(Key, V)
+		if cl.err == nil {
+			evicted, cb = c.put(k, cl.val)
+		}
 		c.mu.Unlock()
-		if onHit != nil {
-			onHit()
+		// Wake followers only after the call left the inflight table, so a
+		// retrying follower cannot re-adopt the abandoned call.
+		close(cl.done)
+		if cb != nil {
+			for _, e := range evicted {
+				cb(e.key, e.val)
+			}
 		}
-		<-cl.done
-		return cl.val, true, cl.err
-	}
-	cl := &call[V]{done: make(chan struct{})}
-	c.inflight[k] = cl
-	c.misses++
-	onMiss := c.OnMiss
-	c.mu.Unlock()
-	if onMiss != nil {
-		onMiss()
-	}
-
-	cl.val, cl.err = fn()
-	close(cl.done)
-
-	c.mu.Lock()
-	delete(c.inflight, k)
-	var evicted []*entry[V]
-	var cb func(Key, V)
-	if cl.err == nil {
-		evicted, cb = c.put(k, cl.val)
-	}
-	c.mu.Unlock()
-	if cb != nil {
-		for _, e := range evicted {
-			cb(e.key, e.val)
+		if cl.canceled {
+			return zero, false, ctx.Err()
 		}
+		return cl.val, false, cl.err
 	}
-	return cl.val, false, cl.err
 }
 
 // Len returns the number of cached entries.

@@ -1,6 +1,7 @@
 package plancache
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -88,7 +89,7 @@ func TestDoComputesOnceUnderContention(t *testing.T) {
 		go func(i int) {
 			defer wg.Done()
 			<-start
-			v, _, err := c.Do(k, func() (int, error) {
+			v, _, err := c.Do(context.Background(), k, func(context.Context) (int, error) {
 				computed.Add(1)
 				return 42, nil
 			})
@@ -114,14 +115,14 @@ func TestDoErrorNotCached(t *testing.T) {
 	c := New[int](4)
 	k := key(t, "flaky")
 	boom := errors.New("boom")
-	if _, _, err := c.Do(k, func() (int, error) { return 0, boom }); !errors.Is(err, boom) {
+	if _, _, err := c.Do(context.Background(), k, func(context.Context) (int, error) { return 0, boom }); !errors.Is(err, boom) {
 		t.Fatalf("err = %v", err)
 	}
-	v, hit, err := c.Do(k, func() (int, error) { return 7, nil })
+	v, hit, err := c.Do(context.Background(), k, func(context.Context) (int, error) { return 7, nil })
 	if err != nil || hit || v != 7 {
 		t.Fatalf("after error: v=%d hit=%v err=%v", v, hit, err)
 	}
-	if v, hit, _ := c.Do(k, func() (int, error) { return 0, errors.New("unused") }); !hit || v != 7 {
+	if v, hit, _ := c.Do(context.Background(), k, func(context.Context) (int, error) { return 0, errors.New("unused") }); !hit || v != 7 {
 		t.Fatalf("success not cached: v=%d hit=%v", v, hit)
 	}
 }
@@ -139,7 +140,7 @@ func TestConcurrentMixedKeys(t *testing.T) {
 					t.Error(err)
 					return
 				}
-				v, _, err := c.Do(k, func() (int, error) { return i % 32, nil })
+				v, _, err := c.Do(context.Background(), k, func(context.Context) (int, error) { return i % 32, nil })
 				if err != nil {
 					t.Error(err)
 					return
@@ -152,4 +153,106 @@ func TestConcurrentMixedKeys(t *testing.T) {
 		}(g)
 	}
 	wg.Wait()
+}
+
+// TestDoCanceledLeaderDoesNotPoison exercises the singleflight cancellation
+// contract: a canceled leader must not cache its partial result or
+// propagate its error; waiting followers re-elect a successor leader.
+// Meaningful under -race.
+func TestDoCanceledLeaderDoesNotPoison(t *testing.T) {
+	c := New[int](4)
+	k := key(t, "contested")
+
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	leaderStarted := make(chan struct{})
+	leaderRelease := make(chan struct{})
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, _, err := c.Do(leaderCtx, k, func(ctx context.Context) (int, error) {
+			close(leaderStarted)
+			<-leaderRelease
+			return 0, ctx.Err() // simulate a computation aborted by cancellation
+		})
+		leaderDone <- err
+	}()
+	<-leaderStarted
+
+	// Followers join while the leader is in flight.
+	const followers = 8
+	var succeeded atomic.Int64
+	var recomputed atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < followers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, _, err := c.Do(context.Background(), k, func(context.Context) (int, error) {
+				recomputed.Add(1)
+				return 99, nil
+			})
+			if err != nil {
+				t.Errorf("follower err = %v", err)
+				return
+			}
+			if v != 99 {
+				t.Errorf("follower v = %d, want 99", v)
+				return
+			}
+			succeeded.Add(1)
+		}()
+	}
+	// Give followers a moment to block on the leader, then cancel it.
+	cancelLeader()
+	close(leaderRelease)
+
+	if err := <-leaderDone; !errors.Is(err, context.Canceled) {
+		t.Fatalf("leader err = %v, want context.Canceled", err)
+	}
+	wg.Wait()
+	if succeeded.Load() != followers {
+		t.Fatalf("%d/%d followers succeeded", succeeded.Load(), followers)
+	}
+	if n := recomputed.Load(); n < 1 {
+		t.Fatalf("no successor leader recomputed the value")
+	}
+	// The abandoned leader result must not be cached; the successor's is.
+	if v, ok := c.Get(k); !ok || v != 99 {
+		t.Fatalf("cached = %d, %v; want 99, true", v, ok)
+	}
+}
+
+// TestDoFollowerCancellation: a follower whose own context dies while the
+// leader computes gets its ctx.Err() and leaves the leader undisturbed.
+func TestDoFollowerCancellation(t *testing.T) {
+	c := New[int](4)
+	k := key(t, "slow")
+	started := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan int, 1)
+	go func() {
+		v, _, _ := c.Do(context.Background(), k, func(context.Context) (int, error) {
+			close(started)
+			<-release
+			return 7, nil
+		})
+		done <- v
+	}()
+	<-started
+
+	followerCtx, cancelFollower := context.WithCancel(context.Background())
+	cancelFollower()
+	if _, _, err := c.Do(followerCtx, k, func(context.Context) (int, error) {
+		t.Error("canceled follower must not compute")
+		return 0, nil
+	}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("follower err = %v, want context.Canceled", err)
+	}
+
+	close(release)
+	if v := <-done; v != 7 {
+		t.Fatalf("leader v = %d, want 7", v)
+	}
+	if v, ok := c.Get(k); !ok || v != 7 {
+		t.Fatalf("cached = %d, %v", v, ok)
+	}
 }

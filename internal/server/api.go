@@ -7,6 +7,7 @@ import (
 	"repro/internal/hierarchy"
 	"repro/internal/iosim"
 	"repro/internal/mapping"
+	"repro/internal/pipeline"
 	"repro/internal/workloads"
 )
 
@@ -52,6 +53,10 @@ type MapRequest struct {
 type MapResponse struct {
 	// Plan is the versioned, serializable mapping (see mapping.Plan).
 	Plan mapping.Plan `json:"plan"`
+	// Stages is the per-stage timing breakdown of the pipeline run that
+	// produced the plan. When Cached is true, it describes the original
+	// (cold) computation, not this request.
+	Stages []pipeline.StageTiming `json:"stages"`
 	// CacheKey is the plan's content address (hex SHA-256).
 	CacheKey string `json:"cache_key"`
 	// Cached reports whether the plan was served from the plan cache.
@@ -106,15 +111,15 @@ type job struct {
 	req    MapRequest // normalized: defaults applied
 	work   workloads.Workload
 	tree   *hierarchy.Tree
-	scheme mapping.Scheme
-	cfg    mapping.Config
+	scheme pipeline.Scheme
+	cfg    pipeline.Config
 }
 
 // normalize applies defaults in place so that equivalent requests share
 // one canonical encoding (and therefore one cache key).
 func (r *MapRequest) normalize() {
 	if r.Scheme == "" {
-		r.Scheme = string(mapping.InterProcessor)
+		r.Scheme = string(pipeline.InterProcessor)
 	}
 	if r.Workload.App != "" && r.Workload.Scale == 0 {
 		r.Workload.Scale = 1
@@ -130,15 +135,15 @@ func (r *MapRequest) normalize() {
 	}
 }
 
-// parseDepMode maps the wire name to the mapping constant.
-func parseDepMode(s string) (mapping.DepMode, error) {
+// parseDepMode maps the wire name to the pipeline constant.
+func parseDepMode(s string) (pipeline.DepMode, error) {
 	switch s {
 	case "ignore":
-		return mapping.DepIgnore, nil
+		return pipeline.DepIgnore, nil
 	case "merge":
-		return mapping.DepMerge, nil
+		return pipeline.DepMerge, nil
 	case "sync":
-		return mapping.DepSync, nil
+		return pipeline.DepSync, nil
 	}
 	return 0, fmt.Errorf("unknown dep_mode %q (want ignore, merge or sync)", s)
 }
@@ -191,7 +196,7 @@ func buildJob(req MapRequest) (*job, error) {
 		return nil, err
 	}
 
-	scheme, err := mapping.ParseScheme(req.Scheme)
+	scheme, err := pipeline.ParseScheme(req.Scheme)
 	if err != nil {
 		return nil, err
 	}
@@ -203,7 +208,7 @@ func buildJob(req MapRequest) (*job, error) {
 		return nil, fmt.Errorf("balance_threshold %g outside [0, 1]", req.BalanceThreshold)
 	}
 
-	cfg := mapping.Config{Tree: tree, DepMode: dep}
+	cfg := pipeline.Config{Tree: tree, DepMode: dep}
 	cfg.Options.BalanceThreshold = req.BalanceThreshold
 	cfg.Schedule.Alpha = req.Alpha
 	cfg.Schedule.Beta = req.Beta

@@ -15,8 +15,9 @@
 // worker pool so that a burst of expensive clustering jobs cannot
 // oversubscribe the machine. Every request carries a deadline; requests
 // that cannot be admitted before it expires fail fast with 503, admitted
-// jobs that overrun it return 504 (the worker finishes and still
-// populates the cache, so a retry is a cache hit).
+// jobs that overrun it return 504 and the pipeline observes the canceled
+// context cooperatively, stopping the computation within one stage
+// boundary or check interval — no worker goroutine outlives its request.
 package server
 
 import (
@@ -33,6 +34,7 @@ import (
 	"repro/internal/iosim"
 	"repro/internal/mapping"
 	"repro/internal/metrics"
+	"repro/internal/pipeline"
 	"repro/internal/plancache"
 )
 
@@ -75,7 +77,7 @@ func (c *Config) applyDefaults() {
 type Server struct {
 	cfg   Config
 	reg   *metrics.Registry
-	cache *plancache.Cache[mapping.Plan]
+	cache *plancache.Cache[cachedPlan]
 	sem   chan struct{}
 
 	reqTotal    *metrics.Counter
@@ -87,6 +89,7 @@ type Server struct {
 	cacheMisses *metrics.Counter
 	clusterDur  *metrics.Histogram
 	reqDur      *metrics.Histogram
+	stageDur    *metrics.HistogramVec
 
 	// onJobStart, when non-nil, runs at the start of every admitted
 	// mapping job (test synchronization hook).
@@ -99,7 +102,7 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:   cfg,
 		reg:   cfg.Registry,
-		cache: plancache.New[mapping.Plan](cfg.PlanCacheSize),
+		cache: plancache.New[cachedPlan](cfg.PlanCacheSize),
 		sem:   make(chan struct{}, cfg.Workers),
 	}
 	s.reqTotal = s.reg.Counter("cachemapd_requests_total", "API requests received")
@@ -113,6 +116,8 @@ func New(cfg Config) *Server {
 		"wall time of cold mapping computations (hierarchical clustering)", metrics.DefaultLatencyBuckets())
 	s.reqDur = s.reg.Histogram("cachemapd_request_duration_seconds",
 		"end-to-end request latency", metrics.DefaultLatencyBuckets())
+	s.stageDur = s.reg.HistogramVec("cachemapd_stage_duration_seconds",
+		"wall time per pipeline stage of cold mapping computations", "stage", metrics.DefaultLatencyBuckets())
 	s.cache.OnHit = s.cacheHits.Inc
 	s.cache.OnMiss = s.cacheMisses.Inc
 	return s
@@ -149,26 +154,39 @@ type planKeySpec struct {
 	Request MapRequest `json:"request"`
 }
 
+// cachedPlan is the plan cache's value: the wire plan plus the stage
+// breakdown of the computation that produced it. A cache hit returns the
+// original breakdown, so callers can always see what the plan cost.
+type cachedPlan struct {
+	Plan   mapping.Plan
+	Stages []pipeline.StageTiming
+}
+
 // computePlan resolves a validated job through the plan cache, computing
-// the mapping on a miss.
-func (s *Server) computePlan(j *job) (mapping.Plan, plancache.Key, bool, error) {
+// the mapping on a miss. The computation runs under ctx and stops
+// cooperatively when it is canceled; a canceled leader never poisons the
+// cache (see plancache.Do).
+func (s *Server) computePlan(ctx context.Context, j *job) (cachedPlan, plancache.Key, bool, error) {
 	key, err := plancache.KeyOf(planKeySpec{Schema: mapping.PlanSchemaVersion, Request: j.req})
 	if err != nil {
-		return mapping.Plan{}, plancache.Key{}, false, err
+		return cachedPlan{}, plancache.Key{}, false, err
 	}
-	plan, hit, err := s.cache.Do(key, func() (mapping.Plan, error) {
+	v, hit, err := s.cache.Do(ctx, key, func(ctx context.Context) (cachedPlan, error) {
 		if s.onJobStart != nil {
 			s.onJobStart()
 		}
 		start := time.Now()
-		res, err := mapping.Map(j.scheme, j.work.Prog, j.cfg)
+		res, err := pipeline.Map(ctx, j.scheme, j.work.Prog, j.cfg)
 		if err != nil {
-			return mapping.Plan{}, err
+			return cachedPlan{}, err
 		}
 		s.clusterDur.Observe(time.Since(start).Seconds())
-		return res.Plan(), nil
+		for _, st := range res.Stages {
+			s.stageDur.Observe(st.Stage, st.DurationMS/1e3)
+		}
+		return cachedPlan{Plan: mapping.PlanOf(res), Stages: res.Stages}, nil
 	})
-	return plan, key, hit, err
+	return v, key, hit, err
 }
 
 // ComputePlan runs a mapping request in process (no HTTP), through the
@@ -181,12 +199,13 @@ func (s *Server) ComputePlan(req MapRequest) (*MapResponse, error) {
 	start := time.Now()
 	s.sem <- struct{}{}
 	defer func() { <-s.sem }()
-	plan, key, hit, err := s.computePlan(j)
+	out, key, hit, err := s.computePlan(context.Background(), j)
 	if err != nil {
 		return nil, err
 	}
 	return &MapResponse{
-		Plan:      plan,
+		Plan:      out.Plan,
+		Stages:    out.Stages,
 		CacheKey:  key.String(),
 		Cached:    hit,
 		ElapsedMS: float64(time.Since(start)) / float64(time.Millisecond),
@@ -205,30 +224,22 @@ func (s *Server) admit(ctx context.Context) error {
 
 func (s *Server) release() { <-s.sem }
 
-// runJob executes fn on a pooled worker under the request deadline. The
-// worker is detached on timeout so the computation still completes (and
-// populates the plan cache) after the 504 goes out.
-func runJob[T any](s *Server, ctx context.Context, fn func() (T, error)) (T, error) {
+// runJob executes fn on a pooled worker slot under the request deadline.
+// fn observes ctx and returns cooperatively when it expires (the pipeline
+// checks between stages and inside its long loops), so a timed-out request
+// frees its worker instead of leaking a detached goroutine that keeps
+// computing after the 504 went out.
+func runJob[T any](s *Server, ctx context.Context, fn func(ctx context.Context) (T, error)) (T, error) {
 	var zero T
 	if err := s.admit(ctx); err != nil {
 		return zero, errBusy
 	}
-	type outcome struct {
-		v   T
-		err error
-	}
-	done := make(chan outcome, 1)
-	go func() {
-		defer s.release()
-		v, err := fn()
-		done <- outcome{v, err}
-	}()
-	select {
-	case out := <-done:
-		return out.v, out.err
-	case <-ctx.Done():
+	defer s.release()
+	v, err := fn(ctx)
+	if err != nil && ctx.Err() != nil {
 		return zero, errDeadline
 	}
+	return v, err
 }
 
 var (
@@ -249,19 +260,20 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 		}
 		start := time.Now()
 		type planOut struct {
-			plan mapping.Plan
+			plan cachedPlan
 			key  plancache.Key
 			hit  bool
 		}
-		out, err := runJob(s, ctx, func() (planOut, error) {
-			plan, key, hit, err := s.computePlan(j)
+		out, err := runJob(s, ctx, func(ctx context.Context) (planOut, error) {
+			plan, key, hit, err := s.computePlan(ctx, j)
 			return planOut{plan, key, hit}, err
 		})
 		if err != nil {
 			return nil, err
 		}
 		return &MapResponse{
-			Plan:      out.plan,
+			Plan:      out.plan.Plan,
+			Stages:    out.plan.Stages,
 			CacheKey:  out.key.String(),
 			Cached:    out.hit,
 			ElapsedMS: float64(time.Since(start)) / float64(time.Millisecond),
@@ -285,16 +297,16 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 			return nil, badRequest(err)
 		}
 		start := time.Now()
-		return runJob(s, ctx, func() (any, error) {
-			plan, key, hit, err := s.computePlan(j)
+		return runJob(s, ctx, func(ctx context.Context) (any, error) {
+			out, key, hit, err := s.computePlan(ctx, j)
 			if err != nil {
 				return nil, err
 			}
-			asg, err := plan.Assignment()
+			asg, err := out.Plan.Assignment()
 			if err != nil {
 				return nil, err
 			}
-			m, err := iosim.Run(j.tree, j.work.Prog, asg, params)
+			m, err := iosim.RunCtx(ctx, j.tree, j.work.Prog, asg, params)
 			if err != nil {
 				return nil, err
 			}

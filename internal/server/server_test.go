@@ -9,6 +9,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
@@ -75,6 +76,16 @@ func TestMapEndpoint(t *testing.T) {
 	}
 	if len(mr.CacheKey) != 64 {
 		t.Fatalf("cache key %q", mr.CacheKey)
+	}
+	if len(mr.Stages) == 0 {
+		t.Fatal("map response carries no stage breakdown")
+	}
+	stages := make(map[string]bool)
+	for _, st := range mr.Stages {
+		stages[st.Stage] = true
+	}
+	if !stages["cluster"] || !stages["encode"] {
+		t.Fatalf("stage breakdown missing cluster/encode: %+v", mr.Stages)
 	}
 
 	// The identical spec is a cache hit, even spelled with explicit
@@ -249,6 +260,9 @@ func TestHealthzAndMetrics(t *testing.T) {
 		"# TYPE cachemapd_clustering_duration_seconds histogram",
 		"cachemapd_clustering_duration_seconds_count 1",
 		"cachemapd_request_duration_seconds_count",
+		"# TYPE cachemapd_stage_duration_seconds histogram",
+		`cachemapd_stage_duration_seconds_count{stage="cluster"} 1`,
+		`cachemapd_stage_duration_seconds_count{stage="encode"} 1`,
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("metrics missing %q:\n%s", want, out)
@@ -447,5 +461,44 @@ func TestComputePlanInProcess(t *testing.T) {
 	}
 	if asg.TotalIterations() != 256 {
 		t.Fatalf("decoded iterations = %d", asg.TotalIterations())
+	}
+}
+
+// TestTimeoutReleasesWorkers is the regression test for the detached-worker
+// leak: a request that overruns its deadline must cancel its computation
+// cooperatively and free the worker, so 50 timed-out requests leave the
+// goroutine count where it started instead of stranding 50 clustering jobs.
+func TestTimeoutReleasesWorkers(t *testing.T) {
+	s := New(Config{Workers: 50, RequestTimeout: 20 * time.Millisecond})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	before := runtime.NumGoroutine()
+	timeouts := 0
+	for i := 0; i < 50; i++ {
+		req := synthReq(int64(8192 + i)) // distinct specs: every request computes cold
+		resp, body := postJSON(t, ts.Client(), ts.URL+"/v1/map", req)
+		switch resp.StatusCode {
+		case http.StatusGatewayTimeout:
+			timeouts++
+		case http.StatusOK, http.StatusServiceUnavailable:
+		default:
+			t.Fatalf("request %d: status %d: %s", i, resp.StatusCode, body)
+		}
+	}
+	if timeouts < 40 {
+		t.Fatalf("only %d/50 requests timed out; the workload no longer outruns the deadline", timeouts)
+	}
+
+	// The canceled computations must wind down promptly; allow generous
+	// slack for idle net/http machinery.
+	const slack = 10
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before+slack {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines grew from %d to %d after 50 timed-out requests",
+				before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }

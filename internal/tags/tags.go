@@ -9,8 +9,10 @@
 package tags
 
 import (
+	"context"
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/bitvec"
 	"repro/internal/chunking"
@@ -50,16 +52,82 @@ func (ic *IterationChunk) String() string {
 // guard-satisfying iterations are tagged. The result is ordered by first
 // iteration index (deterministic).
 func Compute(nest *polyhedral.Nest, refs []polyhedral.Ref, data *chunking.DataSpace) []*IterationChunk {
+	out, err := ComputeCtx(context.Background(), nest, refs, data, 1)
+	if err != nil {
+		panic("tags: " + err.Error()) // unreachable: background ctx never cancels
+	}
+	return out
+}
+
+// ctxCheckInterval is how many iterations a tagging shard processes between
+// cooperative cancellation checks.
+const ctxCheckInterval = 4096
+
+// group accumulates the iterations sharing one tag signature.
+type group struct {
+	chunks []int // sorted distinct data chunk ids (the tag's set bits)
+	iters  itset.Set
+}
+
+// partial is the tagging result of one contiguous box-index shard.
+type partial struct {
+	groups map[string]*group
+	order  []string // first-seen order of signatures within the shard
+}
+
+// ComputeCtx is Compute with cooperative cancellation and optional
+// parallelism: the box-index range is split into contiguous shards tagged
+// by up to workers goroutines (workers <= 1 runs inline), then merged in
+// shard order. Because grouping is keyed by tag signature and the final
+// ordering sorts by first iteration index — a total order over the
+// disjoint iteration sets — the result is byte-identical at any worker
+// count. Returns ctx.Err() if canceled mid-computation.
+func ComputeCtx(ctx context.Context, nest *polyhedral.Nest, refs []polyhedral.Ref, data *chunking.DataSpace, workers int) ([]*IterationChunk, error) {
 	if nest == nil || data == nil || len(refs) == 0 {
 		panic("tags: nil nest/data or empty refs")
 	}
-	r := data.NumChunks()
-	type group struct {
-		chunks []int // sorted distinct data chunk ids (the tag's set bits)
-		iters  itset.Set
+	box := nest.BoxSize()
+	if workers < 1 {
+		workers = 1
 	}
-	groups := make(map[string]*group)
-	var order []string // first-seen order of signatures
+	// Shards below a few check intervals cost more in merge bookkeeping
+	// than they win back in parallelism.
+	const minShard = ctxCheckInterval
+	if int64(workers) > (box+minShard-1)/minShard {
+		workers = int((box + minShard - 1) / minShard)
+	}
+
+	parts := make([]*partial, workers)
+	errs := make([]error, workers)
+	step := (box + int64(workers) - 1) / int64(workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := int64(w)*step, (int64(w)+1)*step
+		if hi > box {
+			hi = box
+		}
+		if workers == 1 {
+			parts[w], errs[w] = computeRange(ctx, nest, refs, data, lo, hi)
+			continue
+		}
+		wg.Add(1)
+		go func(w int, lo, hi int64) {
+			defer wg.Done()
+			parts[w], errs[w] = computeRange(ctx, nest, refs, data, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return mergePartials(data.NumChunks(), parts), nil
+}
+
+// computeRange tags the iterations with box indices in [lo, hi).
+func computeRange(ctx context.Context, nest *polyhedral.Nest, refs []polyhedral.Ref, data *chunking.DataSpace, lo, hi int64) (*partial, error) {
+	p := &partial{groups: make(map[string]*group)}
 
 	maxSubs := 0
 	for _, ref := range refs {
@@ -70,8 +138,16 @@ func Compute(nest *polyhedral.Nest, refs []polyhedral.Ref, data *chunking.DataSp
 	subs := make([]int64, maxSubs)
 	sig := make([]byte, 0, 64)
 	cur := make([]int, 0, len(refs))
-	nest.ForEach(func(it []int64) bool {
-		idx := nest.IterToIndex(it)
+	var since int
+	var canceled bool
+	nest.ForEachRange(lo, hi, func(idx int64, it []int64) bool {
+		if since++; since >= ctxCheckInterval {
+			since = 0
+			if ctx.Err() != nil {
+				canceled = true
+				return false
+			}
+		}
 		cur = cur[:0]
 		for _, ref := range refs {
 			s := ref.Eval(it, subs[:len(ref.Exprs)])
@@ -92,15 +168,41 @@ func Compute(nest *polyhedral.Nest, refs []polyhedral.Ref, data *chunking.DataSp
 			sig = append(sig, byte(c), byte(c>>8), byte(c>>16), byte(c>>24))
 		}
 		key := string(sig)
-		g, ok := groups[key]
+		g, ok := p.groups[key]
 		if !ok {
 			g = &group{chunks: append([]int(nil), cur...)}
-			groups[key] = g
-			order = append(order, key)
+			p.groups[key] = g
+			p.order = append(p.order, key)
 		}
 		g.iters.Append(idx, idx+1)
 		return true
 	})
+	if canceled {
+		return nil, ctx.Err()
+	}
+	return p, nil
+}
+
+// mergePartials fuses shard results in shard order. Shards cover ascending
+// disjoint index ranges, so per-signature run lists concatenate in
+// ascending order and every Append stays O(1).
+func mergePartials(r int, parts []*partial) []*IterationChunk {
+	groups := make(map[string]*group)
+	var order []string
+	for _, p := range parts {
+		for _, key := range p.order {
+			pg := p.groups[key]
+			g, ok := groups[key]
+			if !ok {
+				g = &group{chunks: pg.chunks}
+				groups[key] = g
+				order = append(order, key)
+			}
+			pg.iters.ForEachRun(func(run itset.Run) {
+				g.iters.Append(run.Start, run.End)
+			})
+		}
+	}
 
 	out := make([]*IterationChunk, 0, len(order))
 	for _, key := range order {

@@ -1,6 +1,7 @@
 package tags
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -226,5 +227,46 @@ func TestPropertyChunksPartition(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestComputeCtxDeterministicAcrossWorkers(t *testing.T) {
+	nest := polyhedral.NewNest("par", []int64{0, 0}, []int64{63, 63}).AddGuard([]int64{1, -1}, 40)
+	data := chunking.NewDataSpace(128,
+		chunking.Array{Name: "A", Dims: []int64{64, 64}, ElemSize: 8},
+		chunking.Array{Name: "B", Dims: []int64{64, 64}, ElemSize: 8},
+	)
+	refs := []polyhedral.Ref{
+		polyhedral.SimpleRef(0, 2, []int{0, 1}, []int64{0, 0}, polyhedral.Read),
+		polyhedral.SimpleRef(1, 2, []int{1, 0}, []int64{0, 0}, polyhedral.Read),
+		polyhedral.SimpleRef(0, 2, []int{0, 1}, []int64{1, 1}, polyhedral.Write),
+	}
+	want := Compute(nest, refs, data)
+	for _, workers := range []int{2, 3, 4, 9} {
+		got, err := ComputeCtx(context.Background(), nest, refs, data, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d chunks, want %d", workers, len(got), len(want))
+		}
+		for i := range got {
+			if !got[i].Tag.Equal(want[i].Tag) || !got[i].Iters.Equal(want[i].Iters) {
+				t.Fatalf("workers=%d: chunk %d differs: %v vs %v", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestComputeCtxCanceled(t *testing.T) {
+	nest := polyhedral.NewNest("big", []int64{0, 0}, []int64{255, 255})
+	data := chunking.NewDataSpace(64, chunking.Array{Name: "A", Dims: []int64{256, 256}, ElemSize: 8})
+	refs := []polyhedral.Ref{
+		polyhedral.SimpleRef(0, 2, []int{0, 1}, []int64{0, 0}, polyhedral.Read),
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ComputeCtx(ctx, nest, refs, data, 2); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }

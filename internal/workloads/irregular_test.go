@@ -1,11 +1,13 @@
 package workloads
 
 import (
+	"context"
+
 	"testing"
 
 	"repro/internal/hierarchy"
 	"repro/internal/iosim"
-	"repro/internal/mapping"
+	"repro/internal/pipeline"
 	"repro/internal/tags"
 )
 
@@ -88,8 +90,8 @@ func TestIrregularMapsAndRuns(t *testing.T) {
 		hierarchy.LayerSpec{Count: 4, CacheChunks: 8, Label: "IO"},
 		hierarchy.LayerSpec{Count: 8, CacheChunks: 4, Label: "CN"},
 	)
-	for _, s := range mapping.Schemes() {
-		res, err := mapping.Map(s, w.Prog, mapping.Config{Tree: tree})
+	for _, s := range pipeline.Schemes() {
+		res, err := pipeline.Map(context.Background(), s, w.Prog, pipeline.Config{Tree: tree})
 		if err != nil {
 			t.Fatalf("%s: %v", s, err)
 		}

@@ -1,13 +1,15 @@
 package workloads
 
 import (
+	"context"
+
 	"math/rand"
 	"testing"
 	"testing/quick"
 
 	"repro/internal/hierarchy"
 	"repro/internal/iosim"
-	"repro/internal/mapping"
+	"repro/internal/pipeline"
 	"repro/internal/polyhedral"
 	"repro/internal/tags"
 )
@@ -138,8 +140,8 @@ func TestPropertySynthesizedWorkloadsRun(t *testing.T) {
 		if tags.TotalIterations(chunks) != w.Prog.Nest.Size() {
 			return false
 		}
-		scheme := mapping.Schemes()[r.Intn(4)]
-		res, err := mapping.Map(scheme, w.Prog, mapping.Config{Tree: tree})
+		scheme := pipeline.Schemes()[r.Intn(4)]
+		res, err := pipeline.Map(context.Background(), scheme, w.Prog, pipeline.Config{Tree: tree})
 		if err != nil {
 			return false
 		}
@@ -218,8 +220,8 @@ func TestSynthesizedStencilRunsEndToEnd(t *testing.T) {
 		hierarchy.LayerSpec{Count: 2, CacheChunks: 8, Label: "IO"},
 		hierarchy.LayerSpec{Count: 4, CacheChunks: 4, Label: "CN"},
 	)
-	for _, s := range mapping.Schemes() {
-		res, err := mapping.Map(s, w.Prog, mapping.Config{Tree: tree})
+	for _, s := range pipeline.Schemes() {
+		res, err := pipeline.Map(context.Background(), s, w.Prog, pipeline.Config{Tree: tree})
 		if err != nil {
 			t.Fatalf("%s: %v", s, err)
 		}

@@ -1,11 +1,13 @@
 package workloads
 
 import (
+	"context"
+
 	"testing"
 
 	"repro/internal/hierarchy"
 	"repro/internal/iosim"
-	"repro/internal/mapping"
+	"repro/internal/pipeline"
 	"repro/internal/tags"
 )
 
@@ -118,8 +120,8 @@ func TestWorkloadsRunEndToEnd(t *testing.T) {
 	)
 	ws, _ := All(4)
 	for _, w := range ws {
-		for _, scheme := range mapping.Schemes() {
-			res, err := mapping.Map(scheme, w.Prog, mapping.Config{Tree: tree})
+		for _, scheme := range pipeline.Schemes() {
+			res, err := pipeline.Map(context.Background(), scheme, w.Prog, pipeline.Config{Tree: tree})
 			if err != nil {
 				t.Fatalf("%s/%s: map: %v", w.Name, scheme, err)
 			}
