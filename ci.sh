@@ -23,4 +23,58 @@ go test -race ./...
 echo "==> go test -short -run TestShapeClaims ./internal/experiments"
 go test -short -run TestShapeClaims ./internal/experiments
 
+echo "==> cachemapd trace smoke test"
+# Boot the daemon, send a request carrying a caller-minted traceparent, and
+# assert the trace comes back out: X-Trace-Id echoes the trace ID, the trace
+# is listed in /debug/traces, the Chrome export renders, and pprof answers
+# on the private debug listener.
+tmp=$(mktemp -d)
+trap 'kill $daemon_pid 2>/dev/null; rm -rf "$tmp"' EXIT
+go build -o "$tmp/cachemapd" ./cmd/cachemapd
+"$tmp/cachemapd" -addr 127.0.0.1:18642 -debug-addr 127.0.0.1:18643 \
+	-mutex-fraction 5 -slow 1us 2>"$tmp/daemon.log" &
+daemon_pid=$!
+
+i=0
+until curl -fsS -o /dev/null http://127.0.0.1:18642/healthz 2>/dev/null; do
+	i=$((i + 1))
+	if [ "$i" -gt 50 ]; then
+		echo "cachemapd did not become healthy" >&2
+		cat "$tmp/daemon.log" >&2
+		exit 1
+	fi
+	sleep 0.1
+done
+
+trace_id=4bf92f3577b34da6a3ce929d0e0e4736
+curl -fsS -D "$tmp/headers" -o "$tmp/plan.json" \
+	-H "traceparent: 00-${trace_id}-00f067aa0ba902b7-01" \
+	-H 'Content-Type: application/json' \
+	-d '{"workload":{"synth":{"name":"ci","passes":2,"extent":256,"streams":[{"stride":1}]}},"topology":"2/4/8@16,8,4","scheme":"inter"}' \
+	http://127.0.0.1:18642/v1/map
+grep -i "x-trace-id: ${trace_id}" "$tmp/headers" >/dev/null || {
+	echo "X-Trace-Id does not echo the caller trace ID" >&2
+	cat "$tmp/headers" >&2
+	exit 1
+}
+curl -fsS http://127.0.0.1:18642/debug/traces | grep "$trace_id" >/dev/null || {
+	echo "trace $trace_id missing from /debug/traces" >&2
+	exit 1
+}
+curl -fsS "http://127.0.0.1:18642/debug/traces/$trace_id" | grep '"ph":"X"' >/dev/null || {
+	echo "Chrome export for $trace_id has no complete events" >&2
+	exit 1
+}
+curl -fsS http://127.0.0.1:18643/debug/pprof/cmdline >/dev/null || {
+	echo "pprof debug listener not answering" >&2
+	exit 1
+}
+grep "slow request" "$tmp/daemon.log" >/dev/null || {
+	echo "no slow-request log line despite -slow 1us" >&2
+	cat "$tmp/daemon.log" >&2
+	exit 1
+}
+kill "$daemon_pid"
+wait "$daemon_pid" 2>/dev/null || true
+
 echo "==> ci ok"

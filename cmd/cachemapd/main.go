@@ -6,13 +6,21 @@
 //
 //	cachemapd                          # listen on :8642
 //	cachemapd -addr :9000 -workers 8 -cache 1024 -timeout 10s
+//	cachemapd -debug-addr 127.0.0.1:8643 -mutex-fraction 5 -block-rate 10000
 //
 // Endpoints:
 //
-//	POST /v1/map       {"workload":{"app":"apsi"},"topology":"16/32/64@16,8,4","scheme":"inter"}
-//	POST /v1/simulate  same body plus optional simulator knobs (policy, prefetch_depth, …)
-//	GET  /healthz      liveness probe
-//	GET  /metrics      Prometheus text exposition
+//	POST /v1/map              {"workload":{"app":"apsi"},"topology":"16/32/64@16,8,4","scheme":"inter"}
+//	POST /v1/simulate         same body plus optional simulator knobs (policy, prefetch_depth, …)
+//	GET  /healthz             liveness probe
+//	GET  /metrics             Prometheus text exposition
+//	GET  /debug/traces        recent request traces as JSON (?min_ms=N to filter)
+//	GET  /debug/traces/{id}   one trace in Chrome trace_event format
+//
+// Every request runs under a trace span; callers may propagate W3C
+// trace-context via the traceparent header and correlate responses through
+// X-Trace-Id. With -debug-addr set, net/http/pprof is served on a second,
+// private listener so profiling endpoints never share the public address.
 //
 // The daemon drains gracefully: on SIGTERM/SIGINT it stops accepting
 // connections, lets in-flight requests finish (up to -drain), then exits.
@@ -22,10 +30,12 @@ import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -38,14 +48,33 @@ func main() {
 	cacheSize := flag.Int("cache", 512, "plan cache capacity (plans)")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request deadline (queueing + computation)")
 	drain := flag.Duration("drain", 15*time.Second, "shutdown drain budget for in-flight requests")
+	traces := flag.Int("traces", 256, "request traces retained for /debug/traces (0 disables tracing)")
+	slow := flag.Duration("slow", 0, "log a warning with a span breakdown for requests slower than this (0 disables)")
+	debugAddr := flag.String("debug-addr", "", "separate listen address for net/http/pprof (empty disables)")
+	mutexFraction := flag.Int("mutex-fraction", 0, "runtime mutex profile fraction (0 leaves profiling off)")
+	blockRate := flag.Int("block-rate", 0, "runtime block profile rate in ns (0 leaves profiling off)")
 	flag.Parse()
 
-	logger := log.New(os.Stderr, "cachemapd: ", log.LstdFlags)
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 
+	if *mutexFraction > 0 {
+		runtime.SetMutexProfileFraction(*mutexFraction)
+	}
+	if *blockRate > 0 {
+		runtime.SetBlockProfileRate(*blockRate)
+	}
+
+	traceBuf := *traces
+	if traceBuf == 0 {
+		traceBuf = -1 // Config treats 0 as "default"; negative disables.
+	}
 	srv := server.New(server.Config{
-		Workers:        *workers,
-		PlanCacheSize:  *cacheSize,
-		RequestTimeout: *timeout,
+		Workers:              *workers,
+		PlanCacheSize:        *cacheSize,
+		RequestTimeout:       *timeout,
+		TraceBufferSize:      traceBuf,
+		Logger:               logger,
+		SlowRequestThreshold: *slow,
 	})
 	hs := &http.Server{
 		Addr:              *addr,
@@ -58,26 +87,51 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- hs.ListenAndServe() }()
-	logger.Printf("listening on %s (workers=%d cache=%d timeout=%s)",
-		*addr, *workers, *cacheSize, *timeout)
+	logger.Info("listening",
+		"addr", *addr, "workers", *workers, "cache", *cacheSize,
+		"timeout", *timeout, "traces", *traces)
+
+	// pprof on its own listener: an explicit mux, so nothing inherits the
+	// DefaultServeMux side-effect registrations on the public address.
+	var ds *http.Server
+	if *debugAddr != "" {
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		ds = &http.Server{Addr: *debugAddr, Handler: dmux, ReadHeaderTimeout: 5 * time.Second}
+		go func() {
+			if err := ds.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("debug listener", "err", err)
+			}
+		}()
+		logger.Info("pprof listening", "addr", *debugAddr,
+			"mutex_fraction", *mutexFraction, "block_rate", *blockRate)
+	}
 
 	select {
 	case err := <-errCh:
-		logger.Fatalf("serve: %v", err)
+		logger.Error("serve", "err", err)
+		os.Exit(1)
 	case <-ctx.Done():
 	}
 	stop() // restore default signal behaviour: a second signal kills us
 
-	logger.Printf("signal received, draining in-flight requests (budget %s)", *drain)
+	logger.Info("signal received, draining in-flight requests", "budget", *drain)
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
+	if ds != nil {
+		ds.Shutdown(shutdownCtx)
+	}
 	if err := hs.Shutdown(shutdownCtx); err != nil {
-		logger.Printf("drain incomplete: %v", err)
+		logger.Error("drain incomplete", "err", err)
 		os.Exit(1)
 	}
 	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
-		logger.Printf("serve: %v", err)
+		logger.Error("serve", "err", err)
 		os.Exit(1)
 	}
-	logger.Printf("drained, exiting")
+	logger.Info("drained, exiting")
 }

@@ -24,6 +24,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/workloads"
 )
@@ -67,6 +68,7 @@ func main() {
 		mu        sync.Mutex
 		latencies []time.Duration
 		firstErrs []string
+		slowest   []tracedLatency
 	)
 	simEvery := 0
 	if *simulate > 0 {
@@ -92,10 +94,11 @@ func main() {
 					body = server.SimRequest{MapRequest: req}
 				}
 				t0 := time.Now()
-				cached, err := post(client, *base+path, body)
+				cached, traceID, err := post(client, *base+path, body)
 				d := time.Since(t0)
 				mu.Lock()
 				latencies = append(latencies, d)
+				slowest = recordSlowest(slowest, tracedLatency{d: d, traceID: traceID, path: path})
 				mu.Unlock()
 				if err != nil {
 					errCount.Add(1)
@@ -122,6 +125,13 @@ func main() {
 	fmt.Printf("cache hits:  %d/%d (%.0f%%)\n", hitCount.Load(), *n, 100*float64(hitCount.Load())/float64(*n))
 	fmt.Printf("latency:     p50 %s  p90 %s  p99 %s  max %s\n",
 		pct(latencies, 0.50), pct(latencies, 0.90), pct(latencies, 0.99), pct(latencies, 1.0))
+	for _, s := range slowest {
+		if s.traceID == "" {
+			continue
+		}
+		// Inspect with: curl $base/debug/traces/<trace-id>
+		fmt.Printf("slowest:     %s  %s  trace %s\n", s.d.Round(10*time.Microsecond), s.path, s.traceID)
+	}
 	for _, e := range firstErrs {
 		fmt.Printf("error: %s\n", e)
 	}
@@ -152,32 +162,58 @@ func buildMix(k int) []server.MapRequest {
 	return out
 }
 
-// post sends one JSON request and reports whether the response says the
-// plan came from cache.
-func post(client *http.Client, url string, body any) (cached bool, err error) {
+// tracedLatency pairs a request duration with the trace ID the daemon
+// retained for it, so slow outliers can be pulled from /debug/traces.
+type tracedLatency struct {
+	d       time.Duration
+	traceID string
+	path    string
+}
+
+// recordSlowest keeps the top three slowest requests, slowest first.
+// Caller holds mu.
+func recordSlowest(top []tracedLatency, tl tracedLatency) []tracedLatency {
+	top = append(top, tl)
+	sort.Slice(top, func(i, j int) bool { return top[i].d > top[j].d })
+	if len(top) > 3 {
+		top = top[:3]
+	}
+	return top
+}
+
+// post sends one JSON request under a fresh trace context and reports
+// whether the plan came from cache plus the trace ID the daemon echoed.
+func post(client *http.Client, url string, body any) (cached bool, traceID string, err error) {
 	b, err := json.Marshal(body)
 	if err != nil {
-		return false, err
+		return false, "", err
 	}
-	resp, err := client.Post(url, "application/json", bytes.NewReader(b))
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(b))
 	if err != nil {
-		return false, err
+		return false, "", err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("traceparent", obs.NewTraceContext().TraceParent())
+	resp, err := client.Do(req)
+	if err != nil {
+		return false, "", err
 	}
 	out, err := io.ReadAll(resp.Body)
 	resp.Body.Close()
+	traceID = resp.Header.Get("X-Trace-Id")
 	if err != nil {
-		return false, err
+		return false, traceID, err
 	}
 	if resp.StatusCode != http.StatusOK {
-		return false, fmt.Errorf("%s: status %d: %s", url, resp.StatusCode, truncate(out, 200))
+		return false, traceID, fmt.Errorf("%s: status %d: %s", url, resp.StatusCode, truncate(out, 200))
 	}
 	var envelope struct {
 		Cached bool `json:"cached"`
 	}
 	if err := json.Unmarshal(out, &envelope); err != nil {
-		return false, fmt.Errorf("%s: bad response: %v", url, err)
+		return false, traceID, fmt.Errorf("%s: bad response: %v", url, err)
 	}
-	return envelope.Cached, nil
+	return envelope.Cached, traceID, nil
 }
 
 func truncate(b []byte, n int) string {

@@ -16,6 +16,8 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"strconv"
+	"time"
 
 	"repro/internal/cache"
 	"repro/internal/chunking"
@@ -23,6 +25,7 @@ import (
 	"repro/internal/hierarchy"
 	"repro/internal/itset"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/polyhedral"
 )
 
@@ -385,7 +388,14 @@ func RunSequence(tree *hierarchy.Tree, progs []Program, asgs []Assignment, param
 }
 
 // RunSequenceCtx is RunSequence with cooperative cancellation (see RunCtx).
+// Under a traced context the whole run is recorded as an "iosim.run" span.
 func RunSequenceCtx(ctx context.Context, tree *hierarchy.Tree, progs []Program, asgs []Assignment, params Params) (*Metrics, error) {
+	if start := time.Now(); obs.SpanFromContext(ctx) != nil {
+		defer func() {
+			obs.Record(ctx, "iosim.run", start, time.Since(start),
+				obs.String("programs", strconv.Itoa(len(progs))))
+		}()
+	}
 	if tree == nil {
 		return nil, fmt.Errorf("iosim: nil tree")
 	}

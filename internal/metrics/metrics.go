@@ -78,6 +78,26 @@ func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
 	return h
 }
 
+// GaugeFunc registers a gauge whose value is sampled lazily — fn runs at
+// scrape time, never between scrapes. fn must be safe for concurrent use.
+// Use it for values the runtime already maintains (goroutine counts, heap
+// bytes) where eager tracking would duplicate work.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	in := r.register(name, help, &funcInstrument{help: help, typ: "gauge", fn: fn})
+	if _, ok := in.(*funcInstrument); !ok {
+		panic(fmt.Sprintf("metrics: %q already registered with a different type", name))
+	}
+}
+
+// CounterFunc is GaugeFunc with counter semantics: fn must report a value
+// that only grows (e.g. a cumulative total read from runtime/metrics).
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	in := r.register(name, help, &funcInstrument{help: help, typ: "counter", fn: fn})
+	if _, ok := in.(*funcInstrument); !ok {
+		panic(fmt.Sprintf("metrics: %q already registered with a different type", name))
+	}
+}
+
 // HistogramVec registers (or returns the existing) family of histograms
 // partitioned by one label. Histograms for new label values materialize on
 // first use and render as `name_bucket{label="value",le="..."}` series.
@@ -150,6 +170,35 @@ func (g *Gauge) helpText() string { return g.help }
 
 func (g *Gauge) write(w io.Writer, name, help string) {
 	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, g.Value())
+}
+
+// funcInstrument renders a lazily sampled value as a gauge or counter.
+// Non-finite samples render in the Prometheus text forms NaN/+Inf/-Inf.
+type funcInstrument struct {
+	help string
+	typ  string
+	fn   func() float64
+}
+
+func (f *funcInstrument) helpText() string { return f.help }
+
+func (f *funcInstrument) write(w io.Writer, name, help string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %s\n",
+		name, help, name, f.typ, name, formatValue(f.fn()))
+}
+
+// formatValue renders a sample, mapping non-finite values to the spellings
+// the Prometheus text format defines (NaN, +Inf, -Inf).
+func formatValue(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, +1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
 // Histogram counts observations into cumulative fixed buckets and tracks

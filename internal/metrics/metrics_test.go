@@ -3,6 +3,7 @@ package metrics
 import (
 	"bytes"
 	"fmt"
+	"math"
 	"strings"
 	"sync"
 	"testing"
@@ -156,5 +157,117 @@ func TestHistogramVecConcurrent(t *testing.T) {
 	}
 	if total != 8*500 {
 		t.Fatalf("total observations = %d, want %d", total, 8*500)
+	}
+}
+
+// TestHistogramInfBucket: observations beyond the largest finite bound
+// land only in the implicit +Inf bucket, and the cumulative counts render
+// correctly.
+func TestHistogramInfBucket(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "help", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(50)   // beyond every finite bound
+	h.Observe(1e12) // absurdly large still counts
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		`h_bucket{le="0.1"} 1`,
+		`h_bucket{le="1"} 1`,
+		`h_bucket{le="+Inf"} 3`,
+		"h_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if h.Count() != 3 {
+		t.Errorf("count = %d", h.Count())
+	}
+}
+
+// TestFuncInstrumentSpecialValues: lazily sampled gauges render NaN and
+// ±Inf in the Prometheus text spellings, and fn runs only at scrape time.
+func TestFuncInstrumentSpecialValues(t *testing.T) {
+	r := NewRegistry()
+	var calls int
+	vals := []float64{math.NaN(), math.Inf(1), math.Inf(-1), 42.5}
+	r.GaugeFunc("weird", "help", func() float64 {
+		v := vals[calls%len(vals)]
+		calls++
+		return v
+	})
+	r.CounterFunc("grow_total", "help", func() float64 { return 7 })
+	if calls != 0 {
+		t.Fatalf("fn sampled before scrape: %d calls", calls)
+	}
+	scrape := func() string {
+		var buf bytes.Buffer
+		r.WritePrometheus(&buf)
+		return buf.String()
+	}
+	out := scrape()
+	for _, want := range []string{"# TYPE weird gauge", "weird NaN", "# TYPE grow_total counter", "grow_total 7"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// One GaugeFunc sample per scrape, in sequence: +Inf then -Inf then 42.5.
+	for _, want := range []string{"weird +Inf", "weird -Inf", "weird 42.5"} {
+		if out := scrape(); !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestScrapeDuringObserve scrapes the registry while every instrument type
+// is being driven concurrently — meaningful under -race, and it also
+// checks that the final exposition reflects all observations.
+func TestScrapeDuringObserve(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "help")
+	g := r.Gauge("g", "help")
+	h := r.Histogram("h", "help", DefaultLatencyBuckets())
+	hv := r.HistogramVec("hv", "help", "stage", []float64{0.1, 1})
+	r.GaugeFunc("gf", "help", func() float64 { return float64(c.Value()) })
+
+	const writers, perWriter = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i) / 100)
+				hv.Observe(fmt.Sprintf("s%d", w%3), 0.5)
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for scrapes := 0; ; scrapes++ {
+		var buf bytes.Buffer
+		r.WritePrometheus(&buf)
+		select {
+		case <-done:
+			if scrapes == 0 {
+				t.Log("writers outpaced the first scrape") // still a valid race check
+			}
+			var buf bytes.Buffer
+			r.WritePrometheus(&buf)
+			out := buf.String()
+			want := fmt.Sprintf("c_total %d", writers*perWriter)
+			if !strings.Contains(out, want) {
+				t.Fatalf("final exposition missing %q", want)
+			}
+			if !strings.Contains(out, fmt.Sprintf("h_count %d", writers*perWriter)) {
+				t.Fatalf("final exposition missing full h_count:\n%s", out)
+			}
+			return
+		default:
+		}
 	}
 }

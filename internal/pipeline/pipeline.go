@@ -23,6 +23,8 @@ import (
 	"runtime/metrics"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Stage names, in canonical execution order.
@@ -123,10 +125,16 @@ func (r *Run) add(stage string, d time.Duration, alloc uint64) {
 }
 
 // StartPhase implements core.PhaseClock: wall time between the call and
-// the returned stop lands on the named stage.
+// the returned stop lands on the named stage. The measured interval is
+// also recorded as a span under the run's context (when traced), so a
+// request trace shows each phase with exactly the ledger's duration.
 func (r *Run) StartPhase(name string) (stop func()) {
 	start := time.Now()
-	return func() { r.add(name, time.Since(start), 0) }
+	return func() {
+		d := time.Since(start)
+		r.add(name, d, 0)
+		obs.Record(r.ctx, name, start, d)
+	}
 }
 
 // heapAllocs reads cumulative heap allocation cheaply (no stop-the-world).
@@ -141,7 +149,10 @@ func heapAllocs() uint64 {
 
 // stage executes fn as the named top-level stage: it refuses to start on a
 // canceled context, accumulates wall clock and allocation delta, and wraps
-// any failure in a *StageError naming the stage.
+// any failure in a *StageError naming the stage. Under a traced context
+// the same measured interval is recorded as a span, so the trace's
+// per-stage durations agree exactly with the ledger (and therefore with
+// the "stages" breakdown in API responses).
 func (r *Run) stage(name string, fn func(ctx context.Context) error) error {
 	if err := r.ctx.Err(); err != nil {
 		return &StageError{Stage: name, Err: err}
@@ -155,6 +166,7 @@ func (r *Run) stage(name string, fn func(ctx context.Context) error) error {
 	} else {
 		r.add(name, d, 0)
 	}
+	obs.Record(r.ctx, name, start, d)
 	if err != nil {
 		if se, ok := err.(*StageError); ok {
 			return se

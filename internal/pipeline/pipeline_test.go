@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/iosim"
+	"repro/internal/obs"
 )
 
 func TestStageNamesCanonicalOrder(t *testing.T) {
@@ -141,5 +142,47 @@ func TestMapMultiCanceled(t *testing.T) {
 	_, err := MapMulti(ctx, InterProcessor, []iosim.Program{prog, prog}, Config{Tree: testTree()})
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestMapEmitsStageSpans: under a traced context every executed stage (and
+// distributor phase) is recorded as a span whose summed duration agrees
+// exactly with the run's ledger — the trace and the "stages" breakdown in
+// API responses never disagree about where the time went.
+func TestMapEmitsStageSpans(t *testing.T) {
+	prog := stencilProgram(16)
+	store := obs.NewSpanStore(2)
+	ctx, root := obs.NewTracer(store).StartRoot(context.Background(), "test", obs.TraceContext{})
+	res, err := Map(ctx, InterProcessorSched, prog, Config{Tree: testTree()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+	trace, ok := store.Get(root.TraceID().String())
+	if !ok {
+		t.Fatal("no trace published")
+	}
+
+	spanNS := make(map[string]int64)
+	for _, sp := range trace.Spans {
+		if sp.Name == "test" {
+			continue
+		}
+		spanNS[sp.Name] += sp.DurationNS
+		if sp.ParentID != trace.Spans[len(trace.Spans)-1].SpanID {
+			t.Fatalf("stage span %s not parented under the root span", sp.Name)
+		}
+	}
+	if len(res.Stages) == 0 {
+		t.Fatal("no stage breakdown")
+	}
+	for _, st := range res.Stages {
+		ns, ok := spanNS[st.Stage]
+		if !ok {
+			t.Fatalf("no span for stage %q (spans: %v)", st.Stage, spanNS)
+		}
+		if got := float64(ns) / 1e6; got != st.DurationMS {
+			t.Fatalf("stage %s: span duration %.9fms, ledger %.9fms", st.Stage, got, st.DurationMS)
+		}
 	}
 }

@@ -19,6 +19,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"sync"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // Key is the content address of a plan: a SHA-256 over the canonical
@@ -48,6 +51,14 @@ type Cache[V any] struct {
 	inflight map[Key]*call[V]
 	hits     int64
 	misses   int64
+	// evictions counts entries pushed out by capacity pressure.
+	evictions int64
+	// coalesced counts Do callers that attached to another caller's
+	// in-flight computation instead of computing themselves.
+	coalesced int64
+	// reelections counts waiters that observed an abandoned (canceled)
+	// leader and went back to elect a successor.
+	reelections int64
 	// OnHit and OnMiss, when non-nil, are invoked (outside the lock) once
 	// per Get/Do resolution — the instrumentation hooks the server wires to
 	// its metrics registry.
@@ -55,6 +66,23 @@ type Cache[V any] struct {
 	OnMiss func()
 	// OnEvict, when non-nil, is invoked for every evicted value.
 	OnEvict func(Key, V)
+	// OnCoalesced, when non-nil, is invoked (outside the lock) whenever a
+	// Do caller becomes a waiter on an in-flight computation.
+	OnCoalesced func()
+	// OnReelect, when non-nil, is invoked (outside the lock) whenever a
+	// waiter re-enters leader election after its leader was canceled.
+	OnReelect func()
+}
+
+// Counters is a snapshot of the cache's cumulative event counts.
+type Counters struct {
+	Hits, Misses, Evictions int64
+	// CoalescedWaiters counts Do callers whose work was deduplicated onto
+	// another caller's in-flight computation.
+	CoalescedWaiters int64
+	// LeaderReelections counts waiters that had to re-elect a leader after
+	// the previous one abandoned the key (its context was canceled).
+	LeaderReelections int64
 }
 
 type entry[V any] struct {
@@ -139,6 +167,7 @@ func (c *Cache[V]) put(k Key, v V) ([]*entry[V], func(Key, V)) {
 		e := el.Value.(*entry[V])
 		c.ll.Remove(el)
 		delete(c.entries, e.key)
+		c.evictions++
 		evicted = append(evicted, e)
 	}
 	if len(evicted) == 0 || c.OnEvict == nil {
@@ -162,10 +191,12 @@ func (c *Cache[V]) put(k Key, v V) ([]*entry[V], func(Key, V)) {
 // affecting the in-flight computation.
 func (c *Cache[V]) Do(ctx context.Context, k Key, fn func(context.Context) (V, error)) (v V, hit bool, err error) {
 	var zero V
+	traced := obs.SpanFromContext(ctx) != nil
 	for {
 		if err := ctx.Err(); err != nil {
 			return zero, false, err
 		}
+		lookupStart := time.Now()
 		c.mu.Lock()
 		if el, ok := c.entries[k]; ok {
 			c.ll.MoveToFront(el)
@@ -173,6 +204,10 @@ func (c *Cache[V]) Do(ctx context.Context, k Key, fn func(context.Context) (V, e
 			c.hits++
 			onHit := c.OnHit
 			c.mu.Unlock()
+			if traced {
+				obs.Record(ctx, "plancache.lookup", lookupStart, time.Since(lookupStart),
+					obs.String("result", "hit"))
+			}
 			if onHit != nil {
 				onHit()
 			}
@@ -180,14 +215,40 @@ func (c *Cache[V]) Do(ctx context.Context, k Key, fn func(context.Context) (V, e
 		}
 		if cl, ok := c.inflight[k]; ok {
 			// Someone is computing this key; wait for their answer.
+			c.coalesced++
+			onCoalesced := c.OnCoalesced
 			c.mu.Unlock()
+			if onCoalesced != nil {
+				onCoalesced()
+			}
+			waitStart := time.Now()
 			select {
 			case <-ctx.Done():
+				if traced {
+					obs.Record(ctx, "plancache.wait", waitStart, time.Since(waitStart),
+						obs.String("outcome", "canceled"))
+				}
 				return zero, false, ctx.Err()
 			case <-cl.done:
 			}
 			if cl.canceled {
-				continue // leader abandoned the key; elect a successor
+				// Leader abandoned the key; elect a successor.
+				c.mu.Lock()
+				c.reelections++
+				onReelect := c.OnReelect
+				c.mu.Unlock()
+				if traced {
+					obs.Record(ctx, "plancache.wait", waitStart, time.Since(waitStart),
+						obs.String("outcome", "reelect"))
+				}
+				if onReelect != nil {
+					onReelect()
+				}
+				continue
+			}
+			if traced {
+				obs.Record(ctx, "plancache.wait", waitStart, time.Since(waitStart),
+					obs.String("outcome", "shared"))
 			}
 			// Counted as a hit: the work was shared, not repeated.
 			c.mu.Lock()
@@ -208,11 +269,24 @@ func (c *Cache[V]) Do(ctx context.Context, k Key, fn func(context.Context) (V, e
 			onMiss()
 		}
 
-		cl.val, cl.err = fn(ctx)
+		cctx, csp := obs.StartSpan(ctx, "plancache.compute")
+		cl.val, cl.err = fn(cctx)
 		if cl.err != nil && ctx.Err() != nil {
 			// Leader canceled: abandon the call without caching or
 			// propagating the partial result.
 			cl.canceled = true
+		}
+		if csp != nil {
+			csp.SetAttr("key", k.String())
+			switch {
+			case cl.canceled:
+				csp.SetAttr("outcome", "canceled")
+			case cl.err != nil:
+				csp.SetAttr("outcome", "error")
+			default:
+				csp.SetAttr("outcome", "computed")
+			}
+			csp.End()
 		}
 		c.mu.Lock()
 		delete(c.inflight, k)
@@ -249,4 +323,17 @@ func (c *Cache[V]) Stats() (hits, misses int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.hits, c.misses
+}
+
+// CounterSnapshot returns all cumulative event counts.
+func (c *Cache[V]) CounterSnapshot() Counters {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Counters{
+		Hits:              c.hits,
+		Misses:            c.misses,
+		Evictions:         c.evictions,
+		CoalescedWaiters:  c.coalesced,
+		LeaderReelections: c.reelections,
+	}
 }

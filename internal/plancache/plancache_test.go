@@ -4,9 +4,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 func key(t *testing.T, v any) Key {
@@ -254,5 +257,194 @@ func TestDoFollowerCancellation(t *testing.T) {
 	}
 	if v, ok := c.Get(k); !ok || v != 7 {
 		t.Fatalf("cached = %d, %v", v, ok)
+	}
+}
+
+// TestCountersMoveUnderConcurrentLoad drives the cache through coalesced
+// waits, capacity evictions and a leader re-election, and requires the
+// corresponding counters (and their callback hooks) to move.
+func TestCountersMoveUnderConcurrentLoad(t *testing.T) {
+	c := New[int](2)
+	var hookCoalesced, hookReelect, hookEvict atomic.Int64
+	c.OnCoalesced = func() { hookCoalesced.Add(1) }
+	c.OnReelect = func() { hookReelect.Add(1) }
+	c.OnEvict = func(Key, int) { hookEvict.Add(1) }
+
+	// Phase 1: 7 followers coalesce onto one in-flight leader. The
+	// OnCoalesced hook doubles as the synchronization point: the leader is
+	// released only after every follower has attached.
+	k := key(t, "coalesce")
+	release := make(chan struct{})
+	started := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c.Do(context.Background(), k, func(context.Context) (int, error) {
+			close(started)
+			<-release
+			return 1, nil
+		})
+	}()
+	<-started
+	const followers = 7
+	for i := 0; i < followers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if v, _, err := c.Do(context.Background(), k, func(context.Context) (int, error) {
+				return -1, nil
+			}); err != nil || v != 1 {
+				t.Errorf("follower got %d, %v", v, err)
+			}
+		}()
+	}
+	for hookCoalesced.Load() < followers {
+		runtime.Gosched()
+	}
+	close(release)
+	wg.Wait()
+
+	// Phase 2: concurrent cold misses over more keys than capacity evict.
+	var wg2 sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg2.Add(1)
+		go func(i int) {
+			defer wg2.Done()
+			ki := key(t, fmt.Sprintf("evict-%d", i))
+			c.Do(context.Background(), ki, func(context.Context) (int, error) { return i, nil })
+		}(i)
+	}
+	wg2.Wait()
+
+	// Phase 3: a canceled leader forces its waiter to re-elect.
+	k3 := key(t, "reelect")
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	started3 := make(chan struct{})
+	release3 := make(chan struct{})
+	var wg3 sync.WaitGroup
+	wg3.Add(1)
+	go func() {
+		defer wg3.Done()
+		c.Do(leaderCtx, k3, func(ctx context.Context) (int, error) {
+			close(started3)
+			<-release3
+			return 0, ctx.Err()
+		})
+	}()
+	<-started3
+	before := hookCoalesced.Load()
+	wg3.Add(1)
+	go func() {
+		defer wg3.Done()
+		if v, _, err := c.Do(context.Background(), k3, func(context.Context) (int, error) {
+			return 42, nil
+		}); err != nil || v != 42 {
+			t.Errorf("re-electing waiter got %d, %v", v, err)
+		}
+	}()
+	for hookCoalesced.Load() == before {
+		runtime.Gosched()
+	}
+	cancelLeader()
+	close(release3)
+	wg3.Wait()
+
+	got := c.CounterSnapshot()
+	if got.CoalescedWaiters < followers+1 {
+		t.Errorf("coalesced waiters = %d, want >= %d", got.CoalescedWaiters, followers+1)
+	}
+	if got.Evictions < 6 {
+		t.Errorf("evictions = %d, want >= 6 (8 cold keys + 2 earlier in a 2-entry cache)", got.Evictions)
+	}
+	if got.LeaderReelections < 1 {
+		t.Errorf("leader re-elections = %d, want >= 1", got.LeaderReelections)
+	}
+	if hookCoalesced.Load() != got.CoalescedWaiters {
+		t.Errorf("OnCoalesced fired %d times, counter %d", hookCoalesced.Load(), got.CoalescedWaiters)
+	}
+	if hookReelect.Load() != got.LeaderReelections {
+		t.Errorf("OnReelect fired %d times, counter %d", hookReelect.Load(), got.LeaderReelections)
+	}
+	if hookEvict.Load() != got.Evictions {
+		t.Errorf("OnEvict fired %d times, counter %d", hookEvict.Load(), got.Evictions)
+	}
+	if got.Hits+got.Misses == 0 {
+		t.Error("no hits or misses recorded")
+	}
+}
+
+// TestDoEmitsSpans: under a traced context, a cache hit records a lookup
+// span, a leader records a compute span, and a coalesced follower records
+// a singleflight-wait span.
+func TestDoEmitsSpans(t *testing.T) {
+	c := New[int](4)
+	k := key(t, "spans")
+
+	spansOf := func(drive func(ctx context.Context)) map[string][]obs.SpanData {
+		store := obs.NewSpanStore(1)
+		ctx, root := obs.NewTracer(store).StartRoot(context.Background(), "test", obs.TraceContext{})
+		drive(ctx)
+		root.End()
+		tr, ok := store.Get(root.TraceID().String())
+		if !ok {
+			t.Fatal("no trace published")
+		}
+		out := map[string][]obs.SpanData{}
+		for _, sp := range tr.Spans {
+			out[sp.Name] = append(out[sp.Name], sp)
+		}
+		return out
+	}
+
+	// Cold: leader computes.
+	got := spansOf(func(ctx context.Context) {
+		c.Do(ctx, k, func(context.Context) (int, error) { return 1, nil })
+	})
+	if len(got["plancache.compute"]) != 1 {
+		t.Fatalf("cold Do spans: %+v", got)
+	}
+
+	// Warm: lookup hit.
+	got = spansOf(func(ctx context.Context) {
+		c.Do(ctx, k, func(context.Context) (int, error) { return -1, nil })
+	})
+	if len(got["plancache.lookup"]) != 1 || len(got["plancache.compute"]) != 0 {
+		t.Fatalf("warm Do spans: %+v", got)
+	}
+
+	// Coalesced follower: singleflight-wait span instead of compute.
+	k2 := key(t, "spans-wait")
+	started := make(chan struct{})
+	releaseLeader := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c.Do(context.Background(), k2, func(context.Context) (int, error) {
+			close(started)
+			<-releaseLeader
+			return 2, nil
+		})
+	}()
+	<-started
+	attached := make(chan struct{})
+	c.OnCoalesced = func() { close(attached) }
+	go func() {
+		<-attached
+		close(releaseLeader)
+	}()
+	got = spansOf(func(ctx context.Context) {
+		if v, hit, err := c.Do(ctx, k2, func(context.Context) (int, error) { return -1, nil }); v != 2 || !hit || err != nil {
+			t.Errorf("follower got %d, %v, %v", v, hit, err)
+		}
+	})
+	wg.Wait()
+	waits := got["plancache.wait"]
+	if len(waits) != 1 || len(got["plancache.compute"]) != 0 {
+		t.Fatalf("follower Do spans: %+v", got)
+	}
+	if waits[0].Attrs[0] != (obs.Attr{Key: "outcome", Value: "shared"}) {
+		t.Fatalf("wait span attrs: %+v", waits[0].Attrs)
 	}
 }

@@ -1,0 +1,107 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	rtmetrics "runtime/metrics"
+	"strconv"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/obs"
+)
+
+// tracesResponse is the body of GET /debug/traces.
+type tracesResponse struct {
+	// Count is the number of traces returned (after filtering).
+	Count int `json:"count"`
+	// Capacity is the ring buffer bound; at most this many recent traces
+	// are retained regardless of request volume.
+	Capacity int `json:"capacity"`
+	// TotalRecorded counts every trace ever recorded, including those the
+	// ring has since overwritten.
+	TotalRecorded uint64       `json:"total_recorded"`
+	Traces        []*obs.Trace `json:"traces"`
+}
+
+// handleTraces serves recent request traces as JSON, newest first.
+// ?min_ms=N keeps only traces at least that slow.
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	store := s.tracer.Store()
+	if store == nil {
+		s.writeError(w, http.StatusNotFound, fmt.Errorf("tracing disabled"))
+		return
+	}
+	var min time.Duration
+	if q := r.URL.Query().Get("min_ms"); q != "" {
+		ms, err := strconv.ParseFloat(q, 64)
+		if err != nil || ms < 0 {
+			s.writeError(w, http.StatusBadRequest, fmt.Errorf("bad min_ms %q", q))
+			return
+		}
+		min = time.Duration(ms * float64(time.Millisecond))
+	}
+	traces := store.Traces(min)
+	s.writeJSON(w, http.StatusOK, tracesResponse{
+		Count:         len(traces),
+		Capacity:      store.Capacity(),
+		TotalRecorded: store.TotalAdded(),
+		Traces:        traces,
+	})
+}
+
+// handleTraceByID renders one trace in the Chrome trace_event JSON format,
+// loadable in chrome://tracing or https://ui.perfetto.dev.
+func (s *Server) handleTraceByID(w http.ResponseWriter, r *http.Request) {
+	store := s.tracer.Store()
+	if store == nil {
+		s.writeError(w, http.StatusNotFound, fmt.Errorf("tracing disabled"))
+		return
+	}
+	id := r.PathValue("id")
+	t, ok := store.Get(id)
+	if !ok {
+		s.writeError(w, http.StatusNotFound, fmt.Errorf("no retained trace %q", id))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Disposition", fmt.Sprintf("inline; filename=%q", "trace-"+id+".json"))
+	if err := t.WriteChrome(w); err != nil {
+		// Headers are gone; nothing sensible left to do.
+		return
+	}
+}
+
+// registerRuntimeMetrics exports runtime gauges through the registry,
+// sampled lazily at scrape time via runtime/metrics (no background
+// collection goroutine, no cost between scrapes).
+func registerRuntimeMetrics(reg *metrics.Registry) {
+	reg.GaugeFunc("cachemapd_goroutines",
+		"live goroutines (runtime/metrics /sched/goroutines)",
+		runtimeSampler("/sched/goroutines:goroutines"))
+	reg.GaugeFunc("cachemapd_gomaxprocs",
+		"GOMAXPROCS (runtime/metrics /sched/gomaxprocs)",
+		runtimeSampler("/sched/gomaxprocs:threads"))
+	reg.GaugeFunc("cachemapd_heap_live_bytes",
+		"bytes occupied by live heap objects (runtime/metrics /memory/classes/heap/objects)",
+		runtimeSampler("/memory/classes/heap/objects:bytes"))
+	reg.CounterFunc("cachemapd_gc_pause_cpu_seconds_total",
+		"cumulative CPU seconds lost to GC stop-the-world pauses (runtime/metrics /cpu/classes/gc/pause)",
+		runtimeSampler("/cpu/classes/gc/pause:cpu-seconds"))
+}
+
+// runtimeSampler returns a func sampling one runtime/metrics value on each
+// call, normalized to float64 (0 if the metric is absent on this runtime).
+func runtimeSampler(name string) func() float64 {
+	return func() float64 {
+		sample := []rtmetrics.Sample{{Name: name}}
+		rtmetrics.Read(sample)
+		switch sample[0].Value.Kind() {
+		case rtmetrics.KindUint64:
+			return float64(sample[0].Value.Uint64())
+		case rtmetrics.KindFloat64:
+			return sample[0].Value.Float64()
+		}
+		return 0
+	}
+}

@@ -5,10 +5,20 @@
 //
 // Endpoints:
 //
-//	POST /v1/map       compute (or fetch) the plan for a workload+topology+scheme spec
-//	POST /v1/simulate  run the iosim against the plan and report per-level miss rates
-//	GET  /healthz      liveness probe
-//	GET  /metrics      Prometheus text exposition
+//	POST /v1/map            compute (or fetch) the plan for a workload+topology+scheme spec
+//	POST /v1/simulate       run the iosim against the plan and report per-level miss rates
+//	GET  /healthz           liveness probe
+//	GET  /metrics           Prometheus text exposition
+//	GET  /debug/traces      recent request traces as JSON (?min_ms= filters by duration)
+//	GET  /debug/traces/{id} one trace in Chrome trace_event format (chrome://tracing, Perfetto)
+//
+// Observability: every API request runs under a root span (ingesting a
+// W3C `traceparent` header when present, minting a trace ID otherwise)
+// whose ID is echoed in the `X-Trace-Id` response header; the plan cache,
+// pipeline stages and simulator record child spans, and completed traces
+// land in a bounded ring buffer served by /debug/traces. When a Logger is
+// configured, every request is access-logged, and requests slower than
+// SlowRequestThreshold additionally log their per-span breakdown.
 //
 // Concurrency model: decoding and validation run on the connection's
 // goroutine; the mapping computation itself is admitted through a bounded
@@ -27,13 +37,16 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"runtime"
+	"strconv"
 	"time"
 
 	"repro/internal/iosim"
 	"repro/internal/mapping"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/plancache"
 )
@@ -52,6 +65,14 @@ type Config struct {
 	MaxBodyBytes int64
 	// Registry receives the server's instruments (default: a fresh one).
 	Registry *metrics.Registry
+	// TraceBufferSize bounds the ring buffer of completed request traces
+	// served by /debug/traces (default 256; negative disables tracing).
+	TraceBufferSize int
+	// Logger receives the structured access log (nil: no access logging).
+	Logger *slog.Logger
+	// SlowRequestThreshold: requests at least this slow are logged at Warn
+	// with their span breakdown (0 disables the slow-request log).
+	SlowRequestThreshold time.Duration
 }
 
 func (c *Config) applyDefaults() {
@@ -70,26 +91,34 @@ func (c *Config) applyDefaults() {
 	if c.Registry == nil {
 		c.Registry = metrics.NewRegistry()
 	}
+	if c.TraceBufferSize == 0 {
+		c.TraceBufferSize = 256
+	}
 }
 
 // Server is the mapping-as-a-service daemon core. Create with New; it is
 // safe for concurrent use.
 type Server struct {
-	cfg   Config
-	reg   *metrics.Registry
-	cache *plancache.Cache[cachedPlan]
-	sem   chan struct{}
+	cfg    Config
+	reg    *metrics.Registry
+	cache  *plancache.Cache[cachedPlan]
+	sem    chan struct{}
+	tracer *obs.Tracer
 
-	reqTotal    *metrics.Counter
-	reqMap      *metrics.Counter
-	reqSimulate *metrics.Counter
-	reqErrors   *metrics.Counter
-	inFlight    *metrics.Gauge
-	cacheHits   *metrics.Counter
-	cacheMisses *metrics.Counter
-	clusterDur  *metrics.Histogram
-	reqDur      *metrics.Histogram
-	stageDur    *metrics.HistogramVec
+	reqTotal       *metrics.Counter
+	reqMap         *metrics.Counter
+	reqSimulate    *metrics.Counter
+	reqErrors      *metrics.Counter
+	inFlight       *metrics.Gauge
+	cacheHits      *metrics.Counter
+	cacheMisses    *metrics.Counter
+	cacheEvictions *metrics.Counter
+	cacheCoalesced *metrics.Counter
+	cacheReelect   *metrics.Counter
+	slowRequests   *metrics.Counter
+	clusterDur     *metrics.Histogram
+	reqDur         *metrics.Histogram
+	stageDur       *metrics.HistogramVec
 
 	// onJobStart, when non-nil, runs at the start of every admitted
 	// mapping job (test synchronization hook).
@@ -118,10 +147,28 @@ func New(cfg Config) *Server {
 		"end-to-end request latency", metrics.DefaultLatencyBuckets())
 	s.stageDur = s.reg.HistogramVec("cachemapd_stage_duration_seconds",
 		"wall time per pipeline stage of cold mapping computations", "stage", metrics.DefaultLatencyBuckets())
+	s.cacheEvictions = s.reg.Counter("cachemapd_plan_cache_evictions_total",
+		"plans evicted from the plan cache by capacity pressure")
+	s.cacheCoalesced = s.reg.Counter("cachemapd_plan_cache_coalesced_waiters_total",
+		"requests that waited on another request's in-flight computation (singleflight)")
+	s.cacheReelect = s.reg.Counter("cachemapd_plan_cache_leader_reelections_total",
+		"singleflight waiters that re-elected a leader after a canceled one")
+	s.slowRequests = s.reg.Counter("cachemapd_slow_requests_total",
+		"requests slower than the configured slow-request threshold")
 	s.cache.OnHit = s.cacheHits.Inc
 	s.cache.OnMiss = s.cacheMisses.Inc
+	s.cache.OnEvict = func(plancache.Key, cachedPlan) { s.cacheEvictions.Inc() }
+	s.cache.OnCoalesced = s.cacheCoalesced.Inc
+	s.cache.OnReelect = s.cacheReelect.Inc
+	if cfg.TraceBufferSize > 0 {
+		s.tracer = obs.NewTracer(obs.NewSpanStore(cfg.TraceBufferSize))
+	}
+	registerRuntimeMetrics(s.reg)
 	return s
 }
+
+// Tracer returns the server's tracer (nil when tracing is disabled).
+func (s *Server) Tracer() *obs.Tracer { return s.tracer }
 
 // Registry returns the server's metrics registry.
 func (s *Server) Registry() *metrics.Registry { return s.reg }
@@ -133,6 +180,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /debug/traces", s.handleTraces)
+	mux.HandleFunc("GET /debug/traces/{id}", s.handleTraceByID)
 	return mux
 }
 
@@ -341,39 +390,114 @@ func (e *httpError) Unwrap() error { return e.err }
 
 func badRequest(err error) error { return &httpError{status: http.StatusBadRequest, err: err} }
 
-// serve is the shared request scaffold: accounting, body limits, deadline,
-// dispatch, and JSON encoding of the result or error.
+// serve is the shared request scaffold: accounting, the request root span
+// (ingesting `traceparent`, echoing `X-Trace-Id`), body limits, deadline,
+// dispatch, JSON encoding of the result or error, and the access log.
 func (s *Server) serve(w http.ResponseWriter, r *http.Request, fn func(ctx context.Context, body []byte) (any, error)) {
 	s.reqTotal.Inc()
 	s.inFlight.Inc()
 	defer s.inFlight.Dec()
 	start := time.Now()
-	defer func() { s.reqDur.Observe(time.Since(start).Seconds()) }()
 
-	body, err := readBody(w, r, s.cfg.MaxBodyBytes)
-	if err != nil {
-		s.writeError(w, http.StatusBadRequest, err)
-		return
+	remote, _ := obs.ParseTraceParent(r.Header.Get("traceparent"))
+	rctx, span := s.tracer.StartRoot(r.Context(), r.Method+" "+r.URL.Path, remote)
+	if span != nil {
+		w.Header().Set("X-Trace-Id", span.TraceID().String())
+		span.SetAttr("http.method", r.Method)
+		span.SetAttr("http.path", r.URL.Path)
 	}
-	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
-	defer cancel()
 
-	v, err := fn(ctx, body)
+	status := http.StatusOK
+	v, err := func() (any, error) {
+		body, err := readBody(w, r, s.cfg.MaxBodyBytes)
+		if err != nil {
+			return nil, badRequest(err)
+		}
+		ctx, cancel := context.WithTimeout(rctx, s.cfg.RequestTimeout)
+		defer cancel()
+		return fn(ctx, body)
+	}()
 	if err != nil {
 		var he *httpError
 		switch {
 		case errors.As(err, &he):
-			s.writeError(w, he.status, he.err)
+			status = he.status
+			err = he.err
 		case errors.Is(err, errBusy):
-			s.writeError(w, http.StatusServiceUnavailable, err)
+			status = http.StatusServiceUnavailable
 		case errors.Is(err, errDeadline):
-			s.writeError(w, http.StatusGatewayTimeout, err)
+			status = http.StatusGatewayTimeout
 		default:
-			s.writeError(w, http.StatusInternalServerError, err)
+			status = http.StatusInternalServerError
 		}
+		s.writeError(w, status, err)
+	} else {
+		s.writeJSON(w, status, v)
+	}
+
+	d := time.Since(start)
+	s.reqDur.Observe(d.Seconds())
+	if span != nil {
+		span.SetAttr("http.status", strconv.Itoa(status))
+		if err != nil {
+			span.SetAttr("error", err.Error())
+		}
+		span.End() // publishes the trace to the span store
+	}
+	s.logRequest(r, status, d, span)
+}
+
+// logRequest emits the structured access log line and, above the
+// slow-request threshold, a Warn line carrying the request's span
+// breakdown (from the just-published trace).
+func (s *Server) logRequest(r *http.Request, status int, d time.Duration, span *obs.Span) {
+	slow := s.cfg.SlowRequestThreshold > 0 && d >= s.cfg.SlowRequestThreshold
+	if slow {
+		s.slowRequests.Inc()
+	}
+	if s.cfg.Logger == nil {
 		return
 	}
-	s.writeJSON(w, http.StatusOK, v)
+	traceID := ""
+	if span != nil {
+		traceID = span.TraceID().String()
+	}
+	attrs := []slog.Attr{
+		slog.String("method", r.Method),
+		slog.String("path", r.URL.Path),
+		slog.Int("status", status),
+		slog.Duration("duration", d),
+		slog.String("remote", r.RemoteAddr),
+	}
+	if traceID != "" {
+		attrs = append(attrs, slog.String("trace_id", traceID))
+	}
+	s.cfg.Logger.LogAttrs(context.Background(), slog.LevelInfo, "request", attrs...)
+	if slow {
+		if traceID != "" {
+			if t, ok := s.tracer.Store().Get(traceID); ok {
+				attrs = append(attrs, slog.String("spans", spanBreakdown(t)))
+			}
+		}
+		attrs = append(attrs, slog.Duration("threshold", s.cfg.SlowRequestThreshold))
+		s.cfg.Logger.LogAttrs(context.Background(), slog.LevelWarn, "slow request", attrs...)
+	}
+}
+
+// spanBreakdown renders a trace's non-root spans compactly for the
+// slow-request log: "plancache.compute=1.2s cluster=900ms ...".
+func spanBreakdown(t *obs.Trace) string {
+	var b bytes.Buffer
+	for i, sp := range t.Spans {
+		if i == len(t.Spans)-1 { // root span: its duration is the log's duration field
+			continue
+		}
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%s", sp.Name, time.Duration(sp.DurationNS))
+	}
+	return b.String()
 }
 
 func readBody(w http.ResponseWriter, r *http.Request, limit int64) ([]byte, error) {
