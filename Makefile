@@ -13,9 +13,13 @@ test:
 	$(GO) test -race ./...
 
 # One pass over every benchmark (the full suite regenerates the paper's
-# tables and figures; -benchtime=1x keeps it bounded).
+# tables and figures; -benchtime=1x keeps it bounded). Results stream to
+# the terminal and are folded into BENCH_4.json under the "after" label
+# (pipe the output of a pre-change run through
+# `go run ./cmd/benchjson -o BENCH_4.json -label before` to build the
+# comparison side).
 bench:
-	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem ./... | $(GO) run ./cmd/benchjson -o BENCH_4.json -label after
 
 ci: build vet test
 

@@ -528,6 +528,7 @@ func BenchmarkPipelineParallelism(b *testing.B) {
 	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			var tagMS, simMS float64
+			var pairsGen, pairsDense int64
 			for i := 0; i < b.N; i++ {
 				t0 := time.Now()
 				chunks, err := tags.ComputeCtx(context.Background(), w.Prog.Nest, w.Prog.Refs, w.Prog.Data, workers)
@@ -542,14 +543,22 @@ func BenchmarkPipelineParallelism(b *testing.B) {
 				if _, err := pipeline.Distribute(context.Background(), chunks, tree, opts); err != nil {
 					b.Fatal(err)
 				}
+				pairsGen, pairsDense = 0, 0
 				for _, st := range r.Timings() {
 					if st.Stage == pipeline.StageSimilarity {
 						simMS += st.DurationMS
+						pairsGen += st.PairsGenerated
+						pairsDense += st.PairsDense
 					}
 				}
 			}
 			b.ReportMetric(tagMS/float64(b.N), "tag-ms/op")
 			b.ReportMetric(simMS/float64(b.N), "similarity-ms/op")
+			// The sparse similarity engine's selectivity on this workload:
+			// pairs materialized as a fraction of the dense n(n−1)/2 bound.
+			if pairsDense > 0 {
+				b.ReportMetric(float64(pairsGen)/float64(pairsDense), "pairs-ratio")
+			}
 		})
 	}
 }

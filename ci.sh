@@ -23,6 +23,10 @@ go test -race ./...
 echo "==> go test -short -run TestShapeClaims ./internal/experiments"
 go test -short -run TestShapeClaims ./internal/experiments
 
+echo "==> sparse similarity engine smoke (sparse path selected, pairs_generated <= pairs_dense)"
+go test -short -count=1 -run TestSparseSimilaritySmoke ./internal/core
+go test -short -count=1 -run TestMapSimilarityPairLedger ./internal/pipeline
+
 echo "==> cachemapd trace smoke test"
 # Boot the daemon, send a request carrying a caller-minted traceparent, and
 # assert the trace comes back out: X-Trace-Id echoes the trace ID, the trace

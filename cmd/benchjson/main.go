@@ -1,0 +1,127 @@
+// Command benchjson converts `go test -bench -benchmem` output on stdin
+// into a JSON ledger mapping benchmark name → {ns/op, B/op, allocs/op and
+// any custom metrics}, keyed under a label (typically "before" or
+// "after"). When the output file already exists, new results are merged
+// into it, so successive runs under different labels build a
+// before/after comparison (see BENCH_4.json at the repository root).
+//
+// Input lines are echoed to stdout, so the command composes as a filter:
+//
+//	go test -run '^$' -bench . -benchmem ./... | benchjson -o BENCH_4.json -label after
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark measurement under one label.
+type Result struct {
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  *int64             `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *int64             `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// File is the on-disk schema: benchmark name → label → result.
+type File struct {
+	Benchmarks map[string]map[string]*Result `json:"benchmarks"`
+}
+
+// parseLine parses one `go test -bench` result line, returning ok=false
+// for non-benchmark lines (headers, PASS/ok, test logs).
+func parseLine(line string) (name string, res *Result, ok bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", nil, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return "", nil, false
+	}
+	res = &Result{Iterations: iters}
+	// The remainder is value/unit pairs: "123 ns/op", "45 B/op",
+	// "6 allocs/op", plus custom metrics like "1.5 similarity-ms/op".
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", nil, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			res.NsPerOp = v
+		case "B/op":
+			b := int64(v)
+			res.BytesPerOp = &b
+		case "allocs/op":
+			a := int64(v)
+			res.AllocsPerOp = &a
+		default:
+			if res.Metrics == nil {
+				res.Metrics = make(map[string]float64)
+			}
+			res.Metrics[unit] = v
+		}
+	}
+	return fields[0], res, true
+}
+
+func run(out, label string) error {
+	file := File{Benchmarks: make(map[string]map[string]*Result)}
+	if prev, err := os.ReadFile(out); err == nil {
+		if err := json.Unmarshal(prev, &file); err != nil {
+			return fmt.Errorf("existing %s is not a benchjson file: %v", out, err)
+		}
+		if file.Benchmarks == nil {
+			file.Benchmarks = make(map[string]map[string]*Result)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+
+	parsed := 0
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line)
+		name, res, ok := parseLine(line)
+		if !ok {
+			continue
+		}
+		if file.Benchmarks[name] == nil {
+			file.Benchmarks[name] = make(map[string]*Result)
+		}
+		file.Benchmarks[name][label] = res
+		parsed++
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+
+	enc, err := json.MarshalIndent(&file, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(enc, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: recorded %d benchmarks under label %q in %s\n", parsed, label, out)
+	return nil
+}
+
+func main() {
+	out := flag.String("o", "BENCH.json", "output JSON file (merged if it exists)")
+	label := flag.String("label", "after", "label to record results under (e.g. before, after)")
+	flag.Parse()
+	if err := run(*out, *label); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,44 @@
+package main
+
+import "testing"
+
+func TestParseLine(t *testing.T) {
+	name, res, ok := parseLine("BenchmarkDistribute          \t       2\t   7993885 ns/op\t 8315672 B/op\t    6068 allocs/op")
+	if !ok || name != "BenchmarkDistribute" {
+		t.Fatalf("ok=%v name=%q", ok, name)
+	}
+	if res.Iterations != 2 || res.NsPerOp != 7993885 {
+		t.Fatalf("res = %+v", res)
+	}
+	if res.BytesPerOp == nil || *res.BytesPerOp != 8315672 || res.AllocsPerOp == nil || *res.AllocsPerOp != 6068 {
+		t.Fatalf("memstats = %+v", res)
+	}
+}
+
+func TestParseLineCustomMetricsAndSuffix(t *testing.T) {
+	name, res, ok := parseLine("BenchmarkPipelineParallelism/workers=1#01 \t 1\t7684075894 ns/op\t 1042 similarity-ms/op\t 0.25 pairs-ratio\t 12.24 tag-ms/op")
+	if !ok || name != "BenchmarkPipelineParallelism/workers=1#01" {
+		t.Fatalf("ok=%v name=%q", ok, name)
+	}
+	if res.Metrics["similarity-ms/op"] != 1042 || res.Metrics["pairs-ratio"] != 0.25 {
+		t.Fatalf("metrics = %v", res.Metrics)
+	}
+	if res.BytesPerOp != nil {
+		t.Fatal("no B/op on this line")
+	}
+}
+
+func TestParseLineRejectsNonBenchLines(t *testing.T) {
+	for _, line := range []string{
+		"goos: linux",
+		"PASS",
+		"ok  \trepro\t27.847s",
+		"BenchmarkBad notanumber 12 ns/op",
+		"--- BENCH: BenchmarkX",
+		"",
+	} {
+		if _, _, ok := parseLine(line); ok {
+			t.Fatalf("accepted %q", line)
+		}
+	}
+}

@@ -30,6 +30,22 @@ func New(n int) Vector {
 	return Vector{n: n, words: make([]uint64, (n+wordBits-1)/wordBits)}
 }
 
+// NewArena returns count zeroed n-bit Vectors carved from one shared backing
+// array — one allocation instead of count, for callers that create many
+// equal-width vectors at once. Each vector owns a disjoint word range.
+func NewArena(count, n int) []Vector {
+	if n < 0 {
+		panic(fmt.Sprintf("bitvec: negative length %d", n))
+	}
+	w := (n + wordBits - 1) / wordBits
+	backing := make([]uint64, count*w)
+	vs := make([]Vector, count)
+	for i := range vs {
+		vs[i] = Vector{n: n, words: backing[i*w : (i+1)*w : (i+1)*w]}
+	}
+	return vs
+}
+
 // FromBits builds a Vector from a slice of booleans, bit i taken from bits[i].
 func FromBits(bitsIn []bool) Vector {
 	v := New(len(bitsIn))
@@ -166,6 +182,32 @@ func (v Vector) AndPopCount(o Vector) int {
 	return total
 }
 
+// Intersects reports whether v and o share at least one set bit. It is an
+// early-exiting AndPopCount > 0.
+func (v Vector) Intersects(o Vector) bool {
+	v.match(o)
+	for i := range v.words {
+		if v.words[i]&o.words[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// AndNotInto sets v = a &^ b (the bits of a not in b) and reports whether
+// any bit is set. All three vectors must share the same length.
+func (v Vector) AndNotInto(a, b Vector) bool {
+	v.match(a)
+	v.match(b)
+	var any uint64
+	for i := range v.words {
+		w := a.words[i] &^ b.words[i]
+		v.words[i] = w
+		any |= w
+	}
+	return any != 0
+}
+
 // HammingDistance returns the number of bit positions where v and o differ.
 func (v Vector) HammingDistance(o Vector) int {
 	v.match(o)
@@ -223,6 +265,69 @@ func (v Vector) ForEach(fn func(i int)) {
 	}
 }
 
+// AppendSetBits appends the positions of all set bits to dst in increasing
+// order and returns the extended slice. It is the allocation-free sibling
+// of Indices for hot loops that reuse a scratch slice.
+func (v Vector) AppendSetBits(dst []int32) []int32 {
+	for wi, w := range v.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			dst = append(dst, int32(wi*wordBits+b))
+			w &= w - 1
+		}
+	}
+	return dst
+}
+
+// Postings builds the inverted index of a set of equal-width vectors: entry
+// b lists, in increasing order, the indices i of every vector whose bit b is
+// set. This is the posting-list view of the similarity graph — two vectors
+// share a "1" bit (ω ≥ 1) iff they co-occur in at least one posting list —
+// so consumers can enumerate only the overlapping pairs instead of the
+// dense n² product. r is the common vector width (posting lists of width-r
+// vectors; vectors of a different width cause a panic).
+func Postings(r int, vecs []Vector) [][]int32 {
+	// Two passes over the set bits: size every list first, then fill into
+	// one flat backing array, so the index costs two allocations total
+	// instead of per-list append growth.
+	sizes := make([]int32, r)
+	total := 0
+	for _, v := range vecs {
+		if v.Len() != r {
+			panic(fmt.Sprintf("bitvec: postings width mismatch %d vs %d", v.Len(), r))
+		}
+		for wi, w := range v.words {
+			for w != 0 {
+				b := bits.TrailingZeros64(w)
+				sizes[wi*wordBits+b]++
+				total++
+				w &= w - 1
+			}
+		}
+	}
+	posts := make([][]int32, r)
+	backing := make([]int32, total)
+	off := 0
+	for b, sz := range sizes {
+		if sz > 0 {
+			posts[b] = backing[off : off : off+int(sz)]
+			off += int(sz)
+		}
+	}
+	for i, v := range vecs {
+		i32 := int32(i)
+		for wi, w := range v.words {
+			for w != 0 {
+				b := bits.TrailingZeros64(w)
+				bi := wi*wordBits + b
+				posts[bi] = append(posts[bi], i32)
+				w &= w - 1
+			}
+		}
+	}
+	return posts
+}
+
 // String renders the vector in the paper's λ0λ1…λ(r−1) order ("0011…").
 func (v Vector) String() string {
 	var sb strings.Builder
@@ -248,6 +353,82 @@ func (v Vector) Key() string {
 	}
 	return string(buf)
 }
+
+// Counted is a bit vector maintained as per-bit reference counts: AddVec
+// increments the count of every bit set in the argument, SubVec decrements,
+// and Vec exposes the OR view (bit set iff count > 0) without rebuilding it.
+// It makes removing one member vector from an aggregate O(popcount(member))
+// instead of re-OR-ing all remaining members — the cluster-tag maintenance
+// the load-balancing stage needs.
+type Counted struct {
+	vec    Vector
+	counts []int32
+}
+
+// NewCounted returns an all-zero counted vector of width n.
+func NewCounted(n int) *Counted {
+	return &Counted{vec: New(n), counts: make([]int32, n)}
+}
+
+// Vec returns the OR view of the counted vector: bit i is set iff its
+// reference count is positive. The returned Vector shares storage with the
+// Counted; callers must treat it as read-only and must not mutate it except
+// through AddVec/SubVec.
+func (c *Counted) Vec() Vector { return c.vec }
+
+// Len returns the width in bits.
+func (c *Counted) Len() int { return c.vec.Len() }
+
+// AddVec increments the count of every bit set in v, setting bits in the OR
+// view on 0→1 transitions.
+func (c *Counted) AddVec(v Vector) {
+	if v.Len() != c.vec.Len() {
+		panic(fmt.Sprintf("bitvec: counted length mismatch %d vs %d", c.vec.Len(), v.Len()))
+	}
+	v.ForEach(func(i int) {
+		c.counts[i]++
+		if c.counts[i] == 1 {
+			c.vec.Set(i)
+		}
+	})
+}
+
+// SubVec decrements the count of every bit set in v, clearing bits in the
+// OR view on 1→0 transitions. It panics if a count would go negative (the
+// vector being removed was never added).
+func (c *Counted) SubVec(v Vector) {
+	if v.Len() != c.vec.Len() {
+		panic(fmt.Sprintf("bitvec: counted length mismatch %d vs %d", c.vec.Len(), v.Len()))
+	}
+	v.ForEach(func(i int) {
+		c.counts[i]--
+		switch {
+		case c.counts[i] == 0:
+			c.vec.Clear(i)
+		case c.counts[i] < 0:
+			panic(fmt.Sprintf("bitvec: counted underflow at bit %d", i))
+		}
+	})
+}
+
+// AddCounted accumulates another counted vector into c.
+func (c *Counted) AddCounted(o *Counted) {
+	if o.vec.Len() != c.vec.Len() {
+		panic(fmt.Sprintf("bitvec: counted length mismatch %d vs %d", c.vec.Len(), o.vec.Len()))
+	}
+	for i, n := range o.counts {
+		if n == 0 {
+			continue
+		}
+		if c.counts[i] == 0 {
+			c.vec.Set(i)
+		}
+		c.counts[i] += n
+	}
+}
+
+// Count returns the reference count of bit i.
+func (c *Counted) Count(i int) int32 { return c.counts[i] }
 
 // CountTag is a per-position integer tag: the "bitwise sum" of member bit
 // tags used as a cluster tag by the Figure 5 algorithm. Position k counts

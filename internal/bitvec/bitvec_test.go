@@ -323,3 +323,182 @@ func TestPropertyStringRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestAppendSetBits(t *testing.T) {
+	v := FromIndices(130, 0, 5, 63, 64, 77, 129)
+	got := v.AppendSetBits(nil)
+	want := []int32{0, 5, 63, 64, 77, 129}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	// Appends after existing contents without clobbering them.
+	got = FromIndices(8, 2).AppendSetBits([]int32{int32(99)})
+	if len(got) != 2 || got[0] != 99 || got[1] != 2 {
+		t.Fatalf("append onto prefix: got %v", got)
+	}
+	if len(New(64).AppendSetBits(nil)) != 0 {
+		t.Fatal("zero vector produced set bits")
+	}
+}
+
+// Property: AppendSetBits matches Indices.
+func TestPropertyAppendSetBits(t *testing.T) {
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		v := randomVector(rr, rr.Intn(300))
+		got := v.AppendSetBits(nil)
+		want := v.Indices()
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if int(got[i]) != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Postings is the exact transpose of the tag matrix — row i
+// appears in posting list b iff bit b is set in vecs[i], and every list is
+// strictly ascending.
+func TestPropertyPostings(t *testing.T) {
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		r := 1 + rr.Intn(150)
+		vecs := make([]Vector, rr.Intn(40))
+		for i := range vecs {
+			vecs[i] = randomVector(rr, r)
+		}
+		posts := Postings(r, vecs)
+		if len(posts) != r {
+			return false
+		}
+		for b, list := range posts {
+			for k, i := range list {
+				if !vecs[i].Get(b) {
+					return false
+				}
+				if k > 0 && list[k-1] >= i {
+					return false
+				}
+			}
+		}
+		total := 0
+		for _, list := range posts {
+			total += len(list)
+		}
+		sum := 0
+		for _, v := range vecs {
+			sum += v.PopCount()
+		}
+		return total == sum
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPostingsWidthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on width mismatch")
+		}
+	}()
+	Postings(8, []Vector{New(16)})
+}
+
+func TestCountedAddSub(t *testing.T) {
+	c := NewCounted(8)
+	a := FromIndices(8, 0, 1, 2)
+	b := FromIndices(8, 2, 3)
+	c.AddVec(a)
+	c.AddVec(b)
+	if want := FromIndices(8, 0, 1, 2, 3); !c.Vec().Equal(want) {
+		t.Fatalf("vec = %s, want %s", c.Vec(), want)
+	}
+	if c.Count(2) != 2 || c.Count(0) != 1 || c.Count(4) != 0 {
+		t.Fatal("wrong refcounts")
+	}
+	c.SubVec(a)
+	// Bit 2 survives (still held by b); 0 and 1 drop.
+	if want := FromIndices(8, 2, 3); !c.Vec().Equal(want) {
+		t.Fatalf("vec after sub = %s, want %s", c.Vec(), want)
+	}
+	c.SubVec(b)
+	if c.Vec().PopCount() != 0 {
+		t.Fatal("vec not empty after removing all")
+	}
+}
+
+func TestCountedAddCounted(t *testing.T) {
+	a := NewCounted(8)
+	a.AddVec(FromIndices(8, 0, 1))
+	a.AddVec(FromIndices(8, 1, 2))
+	b := NewCounted(8)
+	b.AddVec(FromIndices(8, 1, 7))
+	a.AddCounted(b)
+	if a.Count(1) != 3 || a.Count(7) != 1 || a.Count(0) != 1 {
+		t.Fatal("wrong merged refcounts")
+	}
+	if want := FromIndices(8, 0, 1, 2, 7); !a.Vec().Equal(want) {
+		t.Fatalf("vec = %s, want %s", a.Vec(), want)
+	}
+	a.SubVec(FromIndices(8, 1))
+	a.SubVec(FromIndices(8, 1))
+	if a.Count(1) != 1 || !a.Vec().Get(1) {
+		t.Fatal("bit 1 should survive two of three removals")
+	}
+}
+
+func TestCountedUnderflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on refcount underflow")
+		}
+	}()
+	c := NewCounted(8)
+	c.SubVec(FromIndices(8, 3))
+}
+
+// Property: a Counted fed random adds and valid subs always equals the OR
+// of the multiset it currently holds.
+func TestPropertyCountedMatchesOR(t *testing.T) {
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		n := 1 + rr.Intn(120)
+		c := NewCounted(n)
+		var held []Vector
+		for step := 0; step < 60; step++ {
+			if len(held) > 0 && rr.Intn(3) == 0 {
+				k := rr.Intn(len(held))
+				c.SubVec(held[k])
+				held = append(held[:k], held[k+1:]...)
+			} else {
+				v := randomVector(rr, n)
+				c.AddVec(v)
+				held = append(held, v)
+			}
+			want := New(n)
+			for _, v := range held {
+				want.OrInPlace(v)
+			}
+			if !c.Vec().Equal(want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"repro/internal/bitvec"
 	"repro/internal/polyhedral"
 	"repro/internal/tags"
 )
@@ -35,19 +36,29 @@ func DependentPairs(chunks []*tags.IterationChunk, nest *polyhedral.Nest, deps [
 			out = append(out, k)
 		}
 	}
+	// The conservative approximation (tag overlap implies potential
+	// dependence) does not depend on the dependence itself, so it is
+	// computed at most once — via the similarity engine's inverted index,
+	// which enumerates only overlapping pairs — and reused for every
+	// dependence with unknown distance entries.
+	var overlap [][2]int
+	overlapDone := false
 	for _, d := range deps {
 		known := true
 		for _, k := range d.Known {
 			known = known && k
 		}
 		if !known {
-			// Conservative: tag overlap implies potential dependence.
-			for i := range chunks {
-				for j := i + 1; j < len(chunks); j++ {
-					if chunks[i].Tag.AndPopCount(chunks[j].Tag) > 0 {
-						add(i, j)
-					}
+			if !overlapDone {
+				overlapDone = true
+				tagOf := make([]bitvec.Vector, len(chunks))
+				for i, c := range chunks {
+					tagOf[i] = c.Tag
 				}
+				overlap = tagOverlapPairs(tagOf, chunks[0].Tag.Len())
+			}
+			for _, p := range overlap {
+				add(p[0], p[1])
 			}
 			continue
 		}

@@ -21,8 +21,11 @@
 package core
 
 import (
+	"cmp"
+	"container/heap"
 	"context"
 	"fmt"
+	"slices"
 	"sort"
 	"sync"
 
@@ -38,13 +41,20 @@ type Options struct {
 	// BThres; its experiments use 10%).
 	BalanceThreshold float64
 	// Workers bounds the goroutines used to weight the similarity graph
-	// (the O(n²) tag dot products seeding Stage 1). 0 or 1 runs inline;
-	// the clustering result is identical at any worker count.
+	// seeding Stage 1. 0 or 1 runs inline; the clustering result is
+	// identical at any worker count.
 	Workers int
 	// Clock, if non-nil, observes the wall time of the internal phases
 	// ("similarity", "cluster", "balance"), accumulated across the
-	// recursive hierarchy walk. Implementations must be cheap.
+	// recursive hierarchy walk. Implementations must be cheap. A Clock
+	// that also implements PairStatsRecorder additionally receives the
+	// similarity pair-generation counts.
 	Clock PhaseClock
+
+	// denseSimilarity forces the O(n²) reference similarity seeding; the
+	// sparse engine is plan-identical to it (property-tested), so this
+	// exists only for the equivalence tests.
+	denseSimilarity bool
 }
 
 // PhaseClock receives start callbacks for named algorithm phases; the
@@ -63,44 +73,89 @@ type Cluster struct {
 	Members []*tags.IterationChunk
 	Tag     bitvec.Vector
 	Size    int64
+	// sizes caches Members[i].Count() (invariant for a given chunk), so the
+	// balancing stage's per-round donor scans read a slice instead of
+	// re-walking each member's iteration-set runs.
+	sizes []int64
+	// counts, once materialized by the first removeAt, carries per-bit
+	// reference counts of the member tags so later removals decrement in
+	// O(popcount(member)) instead of re-OR-ing every remaining member.
+	// While counts is non-nil, Tag aliases counts.Vec(). The merge stage
+	// never pays for it: counts stays nil until load balancing evicts.
+	counts *bitvec.Counted
 }
 
 func newCluster(r int) *Cluster { return &Cluster{Tag: bitvec.New(r)} }
 
 func (c *Cluster) add(ic *tags.IterationChunk) {
 	c.Members = append(c.Members, ic)
-	c.Tag.OrInPlace(ic.Tag)
-	c.Size += ic.Count()
+	if c.counts != nil {
+		c.counts.AddVec(ic.Tag)
+	} else {
+		c.Tag.OrInPlace(ic.Tag)
+	}
+	cnt := ic.Count()
+	c.sizes = append(c.sizes, cnt)
+	c.Size += cnt
 }
 
-// removeAt detaches member i, recomputing the aggregate tag.
+// ensureCounts materializes the counted tag from the current members.
+func (c *Cluster) ensureCounts() {
+	if c.counts != nil {
+		return
+	}
+	c.counts = bitvec.NewCounted(c.Tag.Len())
+	for _, m := range c.Members {
+		c.counts.AddVec(m.Tag)
+	}
+	c.Tag = c.counts.Vec()
+}
+
+// removeAt detaches member i, decrementing the counted aggregate tag.
 func (c *Cluster) removeAt(i int) *tags.IterationChunk {
+	c.ensureCounts()
 	ic := c.Members[i]
 	c.Members = append(c.Members[:i], c.Members[i+1:]...)
-	c.Size -= ic.Count()
-	c.Tag = bitvec.New(c.Tag.Len())
-	for _, m := range c.Members {
-		c.Tag.OrInPlace(m.Tag)
-	}
+	c.Size -= c.sizes[i]
+	c.sizes = append(c.sizes[:i], c.sizes[i+1:]...)
+	c.counts.SubVec(ic.Tag)
 	return ic
 }
 
 // absorb merges o into c.
 func (c *Cluster) absorb(o *Cluster) {
 	c.Members = append(c.Members, o.Members...)
-	c.Tag.OrInPlace(o.Tag)
+	c.sizes = append(c.sizes, o.sizes...)
+	switch {
+	case c.counts == nil:
+		c.Tag.OrInPlace(o.Tag)
+	case o.counts != nil:
+		c.counts.AddCounted(o.counts)
+	default:
+		for _, m := range o.Members {
+			c.counts.AddVec(m.Tag)
+		}
+	}
 	c.Size += o.Size
+}
+
+// memberKey is the deterministic ordering identity of one cluster member:
+// its first iteration, disambiguated by nest. (Unlike schedule.go's
+// chunkKey, an empty chunk sorts last so it never defines a cluster's
+// first iteration.)
+func memberKey(m *tags.IterationChunk) int64 {
+	if m.Iters.IsEmpty() {
+		return 1 << 62
+	}
+	return m.Iters.Min() + int64(m.Nest)<<40
 }
 
 // firstIter is a deterministic identity for ordering clusters.
 func (c *Cluster) firstIter() int64 {
 	v := int64(1) << 62
 	for _, m := range c.Members {
-		if !m.Iters.IsEmpty() {
-			key := m.Iters.Min() + int64(m.Nest)<<40
-			if key < v {
-				v = key
-			}
+		if key := memberKey(m); key < v {
+			v = key
 		}
 	}
 	return v
@@ -176,7 +231,7 @@ func (d *distributor) assign(node *hierarchy.Node, members []*tags.IterationChun
 	}
 	weights := make([]int64, len(node.Children))
 	for i, ch := range node.Children {
-		weights[i] = int64(len(d.tree.LeavesUnder(ch)))
+		weights[i] = int64(d.tree.NumLeavesUnder(ch))
 	}
 	clusters, err := d.split(members, weights)
 	if err != nil {
@@ -195,12 +250,23 @@ func (d *distributor) assign(node *hierarchy.Node, members []*tags.IterationChun
 // paper exactly; unequal weights generalize to non-uniform trees).
 func (d *distributor) split(members []*tags.IterationChunk, weights []int64) ([]*Cluster, error) {
 	k := len(weights)
-	// Stage 0: one singleton cluster per chunk.
-	clusters := make([]*Cluster, 0, len(members))
-	for _, m := range members {
-		c := newCluster(d.r)
+	// Stage 0: one singleton cluster per chunk. The cluster structs, tags,
+	// member lists and size caches are carved from four slab allocations
+	// instead of 4·n; the self-capped windows force copy-on-grow, so later
+	// appends never step on a neighbor.
+	n := len(members)
+	slab := make([]Cluster, n)
+	tagArena := bitvec.NewArena(n, d.r)
+	memSlab := make([]*tags.IterationChunk, n)
+	sizeSlab := make([]int64, n)
+	clusters := make([]*Cluster, n)
+	for i, m := range members {
+		c := &slab[i]
+		c.Tag = tagArena[i]
+		c.Members = memSlab[i : i : i+1]
+		c.sizes = sizeSlab[i : i : i+1]
 		c.add(m)
-		clusters = append(clusters, c)
+		clusters[i] = c
 	}
 	// Stage 1a: agglomerative merging down to k clusters.
 	clusters, err := d.mergeClusters(clusters, k)
@@ -223,17 +289,19 @@ func (d *distributor) split(members []*tags.IterationChunk, weights []int64) ([]
 	for i, w := range weights {
 		byWeight[i] = ranked{i, w}
 	}
-	sort.SliceStable(byWeight, func(a, b int) bool { return byWeight[a].w > byWeight[b].w })
+	slices.SortStableFunc(byWeight, func(a, b ranked) int { return cmp.Compare(b.w, a.w) })
 	order := make([]int, len(clusters))
+	firsts := make([]int64, len(clusters))
 	for i := range order {
 		order[i] = i
+		firsts[i] = clusters[i].firstIter()
 	}
-	sort.SliceStable(order, func(a, b int) bool {
-		ca, cb := clusters[order[a]], clusters[order[b]]
+	slices.SortStableFunc(order, func(a, b int) int {
+		ca, cb := clusters[a], clusters[b]
 		if ca.Size != cb.Size {
-			return ca.Size > cb.Size
+			return cmp.Compare(cb.Size, ca.Size)
 		}
-		return ca.firstIter() < cb.firstIter()
+		return cmp.Compare(firsts[a], firsts[b])
 	})
 	result := make([]*Cluster, k)
 	for rank, rw := range byWeight {
@@ -248,7 +316,242 @@ const ctxCheckInterval = 1024
 
 // mergeClusters implements Figure 5 Stage 1: while more clusters remain
 // than needed, merge the pair with the maximal tag dot product.
+//
+// The heap is seeded by the sparse similarity engine (similarity.go): only
+// pairs with ω ≥ 1 are generated. That is plan-identical to the dense
+// seeding because a zero-weight pair never outranks a positive one, and
+// once the maximum weight reaches 0 every remaining pair is 0 — merging two
+// zero-overlap clusters cannot create overlap — so the dense heap's tail is
+// a fixed lexicographic drain reproduced by the loop after the heap runs
+// dry.
+//
+// The heap is maintained with push-on-increase semantics: cluster tags only
+// gain bits, so a live pair's weight is nondecreasing and a heap entry can
+// only ever underestimate it. After an absorb, a fresh entry is pushed only
+// for the pairs whose weight actually changed — the merged cluster's graph
+// neighbors that overlap the bits the absorbed half newly contributed
+// (newbits = Λb ∖ Λa). Every live pair therefore always has one entry
+// carrying its true weight, plus possibly stale underestimates; the heap
+// maximum over entries with both endpoints alive is always a true-weight
+// entry of the true maximum pair (an underestimate of the same pair ranks
+// below its own true entry), so the pop order — and the plan — is identical
+// to the dense reference, while merges that add no new bits push nothing.
+// Entries whose endpoints died are discarded on pop.
 func (d *distributor) mergeClusters(clusters []*Cluster, k int) ([]*Cluster, error) {
+	if d.opts.denseSimilarity {
+		return d.mergeClustersDense(clusters, k)
+	}
+	n := len(clusters)
+	if n <= k {
+		return clusters, nil
+	}
+	active := make([]bool, n)
+	for i := range active {
+		active[i] = true
+	}
+	stopSim := d.startPhase("similarity")
+	tagOf := make([]bitvec.Vector, n)
+	for i, c := range clusters {
+		tagOf[i] = c.Tag
+	}
+	pairs, adj, err := sparsePairs(d.ctx, tagOf, d.r, d.opts.Workers)
+	if err != nil {
+		stopSim()
+		return nil, err
+	}
+	if rec, ok := d.opts.Clock.(PairStatsRecorder); ok {
+		rec.RecordSimilarityPairs(int64(len(pairs)), int64(n)*int64(n-1)/2)
+	}
+	// Bulk heapify: O(p) instead of p individual sift-up pushes. Reserve
+	// headroom for the push-on-increase entries so the merge loop's pushes
+	// don't regrow the backing array repeatedly.
+	h := &pairHeap{items: slices.Grow(pairs, len(pairs)/2+64)[:len(pairs)]}
+	h.init()
+	stopSim()
+
+	stopCluster := d.startPhase("cluster")
+	defer stopCluster()
+
+	// owner union-find: adjacency lists hold original cluster indices;
+	// find resolves them to the absorbing cluster they now belong to.
+	parent := make([]int32, n)
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	find := func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	mark := make([]int32, n) // generation stamps for neighbor dedup
+	var gen int32
+	var neighbors []int32
+	newbits := bitvec.New(d.r) // bits the absorbed half newly contributes
+
+	// Member lists are NOT concatenated during the merge loop: an eager
+	// absorb re-copies the growing list on every merge (two small
+	// allocations each). Instead each absorb is recorded as a child link in
+	// first-child/next-sibling chains, and the surviving clusters'
+	// member/size lists are materialized afterwards in one exact-size
+	// allocation per cluster, walking the merge tree in pre-order — the
+	// identical order eager concatenation would have produced.
+	chainHead := make([]int32, n)
+	chainNext := make([]int32, n)
+	chainTail := make([]int32, n)
+	for i := range chainHead {
+		chainHead[i], chainNext[i], chainTail[i] = -1, -1, -1
+	}
+	link := func(a, b int32) {
+		if chainHead[a] < 0 {
+			chainHead[a] = b
+		} else {
+			chainNext[chainTail[a]] = b
+		}
+		chainTail[a] = b
+	}
+
+	remaining := n
+	var since int
+	for remaining > k {
+		if since++; since >= ctxCheckInterval {
+			since = 0
+			if err := d.ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		p, ok := h.pop()
+		if !ok {
+			break // sparse graph exhausted: every remaining pair weighs 0
+		}
+		if !active[p.a] || !active[p.b] {
+			continue // stale: an endpoint was absorbed, or an old underestimate
+		}
+		hasNew := newbits.AndNotInto(clusters[p.b].Tag, clusters[p.a].Tag)
+		clusters[p.a].Tag.OrInPlace(clusters[p.b].Tag)
+		clusters[p.a].Size += clusters[p.b].Size
+		link(p.a, p.b)
+		active[p.b] = false
+		parent[p.b] = p.a
+		remaining--
+		// The merged cluster's neighbors are the union of both halves'
+		// neighbors, resolved to current owners; the OR'd tag keeps every
+		// previously shared bit, so each of these pairs still weighs ≥ 1,
+		// and every non-neighbor still weighs 0 and stays lazy.
+		gen++
+		neighbors = neighbors[:0]
+		for _, refs := range [2][]int32{adj[p.a], adj[p.b]} {
+			for _, e := range refs {
+				j := find(e)
+				if j == p.a || mark[j] == gen {
+					continue
+				}
+				mark[j] = gen
+				neighbors = append(neighbors, j)
+			}
+		}
+		adj[p.a] = append(adj[p.a][:0], neighbors...)
+		adj[p.b] = nil
+		// Push fresh entries only for the pairs whose weight changed: the
+		// neighbors overlapping the newly contributed bits. If the absorbed
+		// tag was a subset (no new bits), every existing entry keeps its
+		// true weight and nothing is pushed.
+		if hasNew {
+			for _, j32 := range neighbors {
+				if !newbits.Intersects(clusters[j32].Tag) {
+					continue
+				}
+				a, b := p.a, j32
+				if b < a {
+					a, b = b, a
+				}
+				h.push(mergePair{
+					dot: int64(clusters[a].Tag.AndPopCount(clusters[b].Tag)),
+					a:   a, b: b,
+				})
+			}
+		}
+	}
+	// Lazy zero-weight drain: the dense heap would now pop (0, a, b)
+	// entries in lexicographic order, which makes the smallest active
+	// index absorb the next smallest until k clusters remain.
+	if remaining > k {
+		first := -1
+		for i := 0; i < n && remaining > k; i++ {
+			if !active[i] {
+				continue
+			}
+			if first < 0 {
+				first = i
+				continue
+			}
+			if since++; since >= ctxCheckInterval {
+				since = 0
+				if err := d.ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
+			clusters[first].Tag.OrInPlace(clusters[i].Tag)
+			clusters[first].Size += clusters[i].Size
+			link(int32(first), int32(i))
+			active[i] = false
+			remaining--
+		}
+	}
+	// Materialize the deferred member lists: pre-order over each surviving
+	// cluster's merge tree, children in absorb order.
+	type chainFrame struct{ node, child int32 }
+	var frames []chainFrame
+	out := make([]*Cluster, 0, remaining)
+	for i, c := range clusters {
+		if !active[i] {
+			continue
+		}
+		if chainHead[i] >= 0 {
+			total := len(c.Members)
+			frames = append(frames[:0], chainFrame{int32(i), chainHead[i]})
+			for len(frames) > 0 {
+				f := &frames[len(frames)-1]
+				ch := f.child
+				if ch < 0 {
+					frames = frames[:len(frames)-1]
+					continue
+				}
+				f.child = chainNext[ch]
+				total += len(clusters[ch].Members)
+				frames = append(frames, chainFrame{ch, chainHead[ch]})
+			}
+			members := make([]*tags.IterationChunk, 0, total)
+			sizes := make([]int64, 0, total)
+			members = append(members, c.Members...)
+			sizes = append(sizes, c.sizes...)
+			frames = append(frames[:0], chainFrame{int32(i), chainHead[i]})
+			for len(frames) > 0 {
+				f := &frames[len(frames)-1]
+				ch := f.child
+				if ch < 0 {
+					frames = frames[:len(frames)-1]
+					continue
+				}
+				f.child = chainNext[ch]
+				members = append(members, clusters[ch].Members...)
+				sizes = append(sizes, clusters[ch].sizes...)
+				frames = append(frames, chainFrame{ch, chainHead[ch]})
+			}
+			c.Members = members
+			c.sizes = sizes
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// mergeClustersDense is the original O(n²) reference implementation: the
+// heap is seeded with every pair, zero-weight ones included, and every
+// active cluster is re-pushed after an absorb. The equivalence property
+// tests assert the sparse path reproduces it exactly.
+func (d *distributor) mergeClustersDense(clusters []*Cluster, k int) ([]*Cluster, error) {
 	n := len(clusters)
 	if n <= k {
 		return clusters, nil
@@ -258,32 +561,27 @@ func (d *distributor) mergeClusters(clusters []*Cluster, k int) ([]*Cluster, err
 	for i := range active {
 		active[i] = true
 	}
-	// Seed the heap with every pair's similarity weight, ω(γi, γj) =
-	// popcount(Λi ∧ Λj). The dot products are embarrassingly parallel, so
-	// they are precomputed over row blocks; pushes then happen
-	// sequentially in the same (i, j) order as the inline loop, keeping
-	// the heap — and therefore the merge sequence — byte-identical at any
-	// worker count.
 	stopSim := d.startPhase("similarity")
 	dots, err := d.pairDots(clusters)
 	if err != nil {
 		stopSim()
 		return nil, err
 	}
-	h := &pairHeap{items: make([]mergePair, 0, len(dots))}
+	h := make(denseHeap, 0, len(dots))
 	idx := 0
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
-			h.push(mergePair{dot: dots[idx], a: i, b: j})
+			h = append(h, densePair{dot: dots[idx], a: i, b: j})
 			idx++
 		}
 	}
+	heap.Init(&h)
 	stopSim()
 
 	stopCluster := d.startPhase("cluster")
 	defer stopCluster()
 	push := func(a, b int) {
-		h.push(mergePair{
+		heap.Push(&h, densePair{
 			dot: int64(clusters[a].Tag.AndPopCount(clusters[b].Tag)),
 			a:   a, b: b,
 			va: version[a], vb: version[b],
@@ -298,10 +596,10 @@ func (d *distributor) mergeClusters(clusters []*Cluster, k int) ([]*Cluster, err
 				return nil, err
 			}
 		}
-		p, ok := h.pop()
-		if !ok {
+		if h.Len() == 0 {
 			break
 		}
+		p := heap.Pop(&h).(densePair)
 		if !active[p.a] || !active[p.b] || version[p.a] != p.va || version[p.b] != p.vb {
 			continue
 		}
@@ -394,26 +692,59 @@ func (d *distributor) pairDots(clusters []*Cluster) ([]int64, error) {
 	return dots, nil
 }
 
+// splitEntry keys a cluster for splitUpTo's max-heap: largest size first,
+// then earliest first iteration, then lowest position — the same total
+// order the previous per-iteration rescan used, so split choices (and the
+// final cluster list order) are unchanged.
+type splitEntry struct {
+	size  int64
+	first int64
+	pos   int
+}
+
+type splitHeap []splitEntry
+
+func (h splitHeap) Len() int { return len(h) }
+func (h splitHeap) Less(i, j int) bool {
+	if h[i].size != h[j].size {
+		return h[i].size > h[j].size
+	}
+	if h[i].first != h[j].first {
+		return h[i].first < h[j].first
+	}
+	return h[i].pos < h[j].pos
+}
+func (h splitHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *splitHeap) Push(x any)   { *h = append(*h, x.(splitEntry)) }
+func (h *splitHeap) Pop() any     { old := *h; x := old[len(old)-1]; *h = old[:len(old)-1]; return x }
+
 // splitUpTo grows the cluster list to k clusters by repeatedly breaking the
-// largest cluster in two (Figure 5's |csi| < NumClusters case).
+// largest cluster in two (Figure 5's |csi| < NumClusters case). A max-heap
+// tracks the largest cluster so each split is O(log n) instead of a full
+// rescan of the cluster list.
 func (d *distributor) splitUpTo(clusters []*Cluster, k int) []*Cluster {
-	for len(clusters) < k {
-		// Largest cluster by size; deterministic tie-break.
-		best := -1
-		for i, c := range clusters {
-			if best < 0 || c.Size > clusters[best].Size ||
-				(c.Size == clusters[best].Size && c.firstIter() < clusters[best].firstIter()) {
-				best = i
-			}
-		}
-		if best < 0 {
-			// No clusters at all: pad with empties.
+	if len(clusters) >= k {
+		return clusters
+	}
+	if len(clusters) == 0 {
+		for len(clusters) < k {
 			clusters = append(clusters, newCluster(d.r))
-			continue
 		}
-		a, b := d.breakCluster(clusters[best])
-		clusters[best] = a
+		return clusters
+	}
+	h := make(splitHeap, 0, k)
+	for i, c := range clusters {
+		h = append(h, splitEntry{size: c.Size, first: c.firstIter(), pos: i})
+	}
+	heap.Init(&h)
+	for len(clusters) < k {
+		top := h[0]
+		a, b := d.breakCluster(clusters[top.pos])
+		clusters[top.pos] = a
 		clusters = append(clusters, b)
+		h[0] = splitEntry{size: a.Size, first: a.firstIter(), pos: top.pos}
+		heap.Fix(&h, 0)
+		heap.Push(&h, splitEntry{size: b.Size, first: b.firstIter(), pos: len(clusters) - 1})
 	}
 	return clusters
 }
@@ -428,22 +759,27 @@ func (d *distributor) breakCluster(c *Cluster) (*Cluster, *Cluster) {
 		return a, b
 	case 1:
 		m := c.Members[0]
-		if m.Count() < 2 {
+		if c.sizes[0] < 2 {
 			a.add(m)
 			return a, b
 		}
-		m1, m2 := m.Split(m.Count() / 2)
+		m1, m2 := m.Split(c.sizes[0] / 2)
 		a.add(m1)
 		b.add(m2)
 		return a, b
 	}
-	ms := append([]*tags.IterationChunk(nil), c.Members...)
-	sort.SliceStable(ms, func(i, j int) bool { return ms[i].Count() > ms[j].Count() })
-	for _, m := range ms {
+	// Sort member indices by cached size (descending, stable) instead of
+	// re-counting each chunk inside the comparator.
+	idx := make([]int, len(c.Members))
+	for i := range idx {
+		idx[i] = i
+	}
+	slices.SortStableFunc(idx, func(x, y int) int { return cmp.Compare(c.sizes[y], c.sizes[x]) })
+	for _, i := range idx {
 		if a.Size <= b.Size {
-			a.add(m)
+			a.add(c.Members[i])
 		} else {
-			b.add(m)
+			b.add(c.Members[i])
 		}
 	}
 	return a, b
@@ -494,6 +830,16 @@ func (d *distributor) balance(clusters []*Cluster, weights []int64) error {
 	for _, c := range clusters {
 		nMembers += len(c.Members)
 	}
+	// The rank order is re-sorted every round, but only the donor and
+	// recipient change between rounds; the order slice and the firstIter
+	// cache (an O(|members|) scan otherwise repeated per comparison) are
+	// hoisted and maintained incrementally.
+	order := make([]int, k)
+	firsts := make([]int64, k)
+	for i := range order {
+		order[i] = i
+		firsts[i] = clusters[i].firstIter()
+	}
 	maxRounds := 4 * (nMembers + k + 4)
 	for round := 0; round < maxRounds; round++ {
 		if round%ctxCheckInterval == ctxCheckInterval-1 {
@@ -501,16 +847,12 @@ func (d *distributor) balance(clusters []*Cluster, weights []int64) error {
 				return err
 			}
 		}
-		order := make([]int, k)
-		for i := range order {
-			order[i] = i
-		}
-		sort.SliceStable(order, func(a, b int) bool {
-			ca, cb := clusters[order[a]], clusters[order[b]]
+		slices.SortStableFunc(order, func(a, b int) int {
+			ca, cb := clusters[a], clusters[b]
 			if ca.Size != cb.Size {
-				return ca.Size > cb.Size
+				return cmp.Compare(cb.Size, ca.Size)
 			}
-			return ca.firstIter() < cb.firstIter()
+			return cmp.Compare(firsts[a], firsts[b])
 		})
 		// Find a donor: a slot whose cluster exceeds its upper limit.
 		donorSlot := -1
@@ -542,21 +884,36 @@ func (d *distributor) balance(clusters []*Cluster, weights []int64) error {
 			return nil
 		}
 		recip := clusters[order[recipSlot]]
-		if !d.evict(donor, recip, lLim[donorSlot], uLim[recipSlot], target[donorSlot], target[recipSlot]) {
+		moved, whole, ok := d.evict(donor, recip, lLim[donorSlot], uLim[recipSlot], target[donorSlot], target[recipSlot])
+		if !ok {
 			return nil // no progress possible
+		}
+		// Incremental firsts maintenance: the recipient's first iteration
+		// can only be lowered by the arriving chunk; the donor's changes
+		// only if the chunk that attained it left whole (a split keeps the
+		// leading iterations in the donor).
+		k := memberKey(moved)
+		di, ri := order[donorSlot], order[recipSlot]
+		if whole && k == firsts[di] {
+			firsts[di] = donor.firstIter()
+		}
+		if k < firsts[ri] {
+			firsts[ri] = k
 		}
 	}
 	return nil
 }
 
 // evict moves one (possibly split) chunk from donor to recip, choosing the
-// chunk whose tag has maximal dot product with the recipient's tag.
-// Returns false when no move is possible.
-func (d *distributor) evict(donor, recip *Cluster, donorLLim, recipULim, donorTarget, recipTarget int64) bool {
+// chunk whose tag has maximal dot product with the recipient's tag. It
+// returns the chunk that arrived at the recipient and whether it left the
+// donor whole (false: the donor kept the leading part of a split); ok is
+// false when no move is possible.
+func (d *distributor) evict(donor, recip *Cluster, donorLLim, recipULim, donorTarget, recipTarget int64) (moved *tags.IterationChunk, whole, ok bool) {
 	bestIdx := -1
 	var bestDot int64 = -1
 	for i, m := range donor.Members {
-		cnt := m.Count()
+		cnt := donor.sizes[i]
 		if cnt == 0 {
 			continue
 		}
@@ -569,8 +926,9 @@ func (d *distributor) evict(donor, recip *Cluster, donorLLim, recipULim, donorTa
 		}
 	}
 	if bestIdx >= 0 {
-		recip.add(donor.removeAt(bestIdx))
-		return true
+		m := donor.removeAt(bestIdx)
+		recip.add(m)
+		return m, true, true
 	}
 	// No whole chunk fits: split the highest-affinity chunk so both
 	// clusters land within limits.
@@ -582,12 +940,12 @@ func (d *distributor) evict(donor, recip *Cluster, donorLLim, recipULim, donorTa
 		move = room
 	}
 	if move < 1 {
-		return false
+		return nil, false, false
 	}
 	bestIdx = -1
 	bestDot = -1
 	for i, m := range donor.Members {
-		if m.Count() > move {
+		if donor.sizes[i] > move {
 			dot := int64(recip.Tag.AndPopCount(m.Tag))
 			if dot > bestDot {
 				bestDot, bestIdx = dot, i
@@ -595,17 +953,27 @@ func (d *distributor) evict(donor, recip *Cluster, donorLLim, recipULim, donorTa
 		}
 	}
 	if bestIdx < 0 {
-		return false
+		return nil, false, false
 	}
 	m := donor.removeAt(bestIdx)
 	keep, give := m.Split(m.Count() - move)
 	donor.add(keep)
 	recip.add(give)
-	return true
+	return give, false, true
 }
 
-// mergePair is a candidate merge in the Stage 1 heap.
+// mergePair is a candidate merge in the Stage 1 heap. It is kept to 16
+// bytes (indices as int32) because the seeded heap holds every weight ≥ 1
+// pair and its memory traffic dominates the merge stage.
 type mergePair struct {
+	dot  int64
+	a, b int32
+}
+
+// densePair is the dense reference engine's heap entry; it additionally
+// carries the endpoint version stamps that invalidate superseded entries
+// (the sparse engine replaces stamps with push-on-increase semantics).
+type densePair struct {
 	dot    int64
 	a, b   int
 	va, vb int
@@ -625,16 +993,60 @@ func (h *pairHeap) less(x, y mergePair) bool {
 	return x.b < y.b
 }
 
+// The heap is 4-ary: pops dominate the merge loop and a wider node halves
+// the sift depth with better cache locality. Arity cannot change the pop
+// order — every entry is distinct under the total (dot, a, b) order (seeded
+// pairs are unique by (a, b) and re-pushes happen only on a strict weight
+// increase), so the max sequence is unique.
+const heapArity = 4
+
 func (h *pairHeap) push(p mergePair) {
 	h.items = append(h.items, p)
 	i := len(h.items) - 1
 	for i > 0 {
-		parent := (i - 1) / 2
+		parent := (i - 1) / heapArity
 		if !h.less(h.items[i], h.items[parent]) {
 			break
 		}
 		h.items[i], h.items[parent] = h.items[parent], h.items[i]
 		i = parent
+	}
+}
+
+// init establishes the heap invariant over the current items in O(n)
+// (Floyd's bottom-up heapify), replacing n individual sift-up pushes when
+// the heap is bulk-seeded.
+func (h *pairHeap) init() {
+	if len(h.items) < 2 {
+		return
+	}
+	for i := (len(h.items) - 2) / heapArity; i >= 0; i-- {
+		h.siftDown(i)
+	}
+}
+
+func (h *pairHeap) siftDown(i int) {
+	n := len(h.items)
+	for {
+		first := heapArity*i + 1
+		if first >= n {
+			break
+		}
+		last := first + heapArity
+		if last > n {
+			last = n
+		}
+		m := i
+		for c := first; c < last; c++ {
+			if h.less(h.items[c], h.items[m]) {
+				m = c
+			}
+		}
+		if m == i {
+			break
+		}
+		h.items[i], h.items[m] = h.items[m], h.items[i]
+		i = m
 	}
 }
 
@@ -646,21 +1058,29 @@ func (h *pairHeap) pop() (mergePair, bool) {
 	last := len(h.items) - 1
 	h.items[0] = h.items[last]
 	h.items = h.items[:last]
-	i := 0
-	for {
-		l, r := 2*i+1, 2*i+2
-		m := i
-		if l < len(h.items) && h.less(h.items[l], h.items[m]) {
-			m = l
-		}
-		if r < len(h.items) && h.less(h.items[r], h.items[m]) {
-			m = r
-		}
-		if m == i {
-			break
-		}
-		h.items[i], h.items[m] = h.items[m], h.items[i]
-		i = m
-	}
+	h.siftDown(0)
 	return top, true
+}
+
+// denseHeap is the dense reference engine's max-heap over densePair, with
+// the same (dot desc, a asc, b asc) order as pairHeap.
+type denseHeap []densePair
+
+func (h denseHeap) Len() int { return len(h) }
+func (h denseHeap) Less(i, j int) bool {
+	if h[i].dot != h[j].dot {
+		return h[i].dot > h[j].dot
+	}
+	if h[i].a != h[j].a {
+		return h[i].a < h[j].a
+	}
+	return h[i].b < h[j].b
+}
+func (h denseHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *denseHeap) Push(x any)   { *h = append(*h, x.(densePair)) }
+func (h *denseHeap) Pop() any {
+	old := *h
+	x := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return x
 }

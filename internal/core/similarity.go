@@ -1,0 +1,247 @@
+package core
+
+// Sparse similarity engine. The Figure 5 merge stage is seeded by the
+// similarity graph ω(γi, γj) = popcount(Λi ∧ Λj). Real tags are sparse (an
+// iteration chunk touches a handful of the r data chunks), so the
+// overwhelming majority of the n(n−1)/2 pairs have weight 0 — and a
+// zero-weight pair can never outrank a positive one in the merge heap, nor
+// can merging two zero-overlap clusters create overlap. The engine
+// therefore builds an inverted index (data-chunk bit → ascending list of
+// cluster indices whose tag sets that bit) and generates only the pairs
+// that co-occur in at least one posting list, accumulating each pair's
+// weight with a per-row counting pass instead of a per-pair AndPopCount.
+// Zero-weight pairs are seeded lazily: only if the heap runs dry before the
+// merge reaches k clusters (see the drain path in mergeClusters), which
+// reproduces the dense algorithm's tie-break order exactly.
+
+import (
+	"context"
+	"slices"
+	"sync"
+
+	"repro/internal/bitvec"
+)
+
+// simPairStats quantifies the sparsity win of one similarity seeding.
+type simPairStats struct {
+	generated int64 // pairs materialized (weight ≥ 1)
+	dense     int64 // n(n−1)/2, what the dense engine would enumerate
+}
+
+// PairStatsRecorder is optionally implemented by Options.Clock; when it is,
+// the distributor reports how many similarity pairs were generated versus
+// the dense bound, accumulated across the recursive hierarchy walk.
+type PairStatsRecorder interface {
+	RecordSimilarityPairs(generated, dense int64)
+}
+
+// simScratch is the reusable per-worker state of the counting pass.
+type simScratch struct {
+	counts  []int32     // per-cluster weight accumulator, all-zero between rows
+	touched []int32     // clusters with counts > 0 in the current row
+	bits    []int32     // set-bit scratch for the current row's tag
+	cur     []int32     // per-posting-list cursor past the current row index
+	pairs   []mergePair // per-shard output buffer
+}
+
+var simScratchPool = sync.Pool{New: func() any { return new(simScratch) }}
+
+func getSimScratch(n, r int) *simScratch {
+	s := simScratchPool.Get().(*simScratch)
+	if cap(s.counts) < n {
+		s.counts = make([]int32, n)
+	} else {
+		s.counts = s.counts[:n]
+		for i := range s.counts {
+			s.counts[i] = 0
+		}
+	}
+	if cap(s.cur) < r {
+		s.cur = make([]int32, r)
+	} else {
+		s.cur = s.cur[:r]
+		for i := range s.cur {
+			s.cur[i] = 0
+		}
+	}
+	s.touched = s.touched[:0]
+	s.bits = s.bits[:0]
+	s.pairs = s.pairs[:0]
+	return s
+}
+
+func putSimScratch(s *simScratch) { simScratchPool.Put(s) }
+
+// sparsePairs generates every pair (i, j), i < j, whose tags share at least
+// one "1" bit, with its similarity weight, in row-major order. It also
+// returns the adjacency lists of the sparse graph (adj[i] = the js of i's
+// generated pairs, both directions), which the merge loop uses to re-push
+// only reachable pairs after an absorb. Rows are sharded across workers;
+// the shard outputs concatenate in row order, so the result is
+// byte-identical at any worker count.
+func sparsePairs(ctx context.Context, tagOf []bitvec.Vector, r, workers int) ([]mergePair, [][]int32, error) {
+	n := len(tagOf)
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+
+	// The counting pass pays an r-length posting table per call; at the deep
+	// recursion nodes, where only a handful of clusters remain, that table
+	// dominates the n²/2 word-wide popcounts it would save. Scan rows
+	// directly there. When tags are dense the counting pass also degrades to
+	// O(Σ_b |P_b|²) single-bit increments, which can exceed the dense
+	// engine's popcounts; estimate both and fall back likewise. Either
+	// generator emits the identical weight ≥ 1 pair list, so the choice is
+	// invisible to the plan.
+	var posts [][]int32
+	useCounting := false
+	if n > 32 {
+		posts = bitvec.Postings(r, tagOf)
+		var postWork int64
+		for _, p := range posts {
+			l := int64(len(p))
+			postWork += l * (l - 1) / 2
+		}
+		denseWork := int64(n) * int64(n-1) / 2 * int64((r+63)/64)
+		useCounting = postWork <= 4*denseWork
+	}
+
+	curLen := 0
+	if useCounting {
+		curLen = r
+	}
+	fill := func(lo, hi int) ([]mergePair, error) {
+		s := getSimScratch(n, curLen)
+		for i := lo; i < hi; i++ {
+			if ctx.Err() != nil {
+				putSimScratch(s)
+				return nil, ctx.Err()
+			}
+			ti := tagOf[i]
+			s.touched = s.touched[:0]
+			if useCounting {
+				s.bits = ti.AppendSetBits(s.bits[:0])
+				for _, b := range s.bits {
+					p := posts[b]
+					// Skip to the entries after i (lists are ascending and
+					// contain i itself). Rows ascend within a shard, so each
+					// list's skip point only moves forward: a monotone cursor
+					// replaces a per-(row, bit) binary search, costing O(|p|)
+					// total advance per shard.
+					c := s.cur[b]
+					for int(c) < len(p) && p[c] <= int32(i) {
+						c++
+					}
+					s.cur[b] = c
+					for _, j := range p[c:] {
+						if s.counts[j] == 0 {
+							s.touched = append(s.touched, j)
+						}
+						s.counts[j]++
+					}
+				}
+				slices.Sort(s.touched)
+				for _, j := range s.touched {
+					s.pairs = append(s.pairs, mergePair{dot: int64(s.counts[j]), a: int32(i), b: j})
+					s.counts[j] = 0
+				}
+			} else {
+				for j := i + 1; j < n; j++ {
+					if w := int64(ti.AndPopCount(tagOf[j])); w > 0 {
+						s.pairs = append(s.pairs, mergePair{dot: w, a: int32(i), b: int32(j)})
+					}
+				}
+			}
+		}
+		out := append([]mergePair(nil), s.pairs...)
+		putSimScratch(s)
+		return out, nil
+	}
+
+	var shards [][]mergePair
+	if workers <= 1 {
+		p, err := fill(0, n)
+		if err != nil {
+			return nil, nil, err
+		}
+		shards = [][]mergePair{p}
+	} else {
+		shards = make([][]mergePair, workers)
+		errs := make([]error, workers)
+		step := (n + workers - 1) / workers
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			lo, hi := w*step, (w+1)*step
+			if hi > n {
+				hi = n
+			}
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func(w, lo, hi int) {
+				defer wg.Done()
+				shards[w], errs[w] = fill(lo, hi)
+			}(w, lo, hi)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+
+	total := 0
+	for _, s := range shards {
+		total += len(s)
+	}
+	var pairs []mergePair
+	if len(shards) == 1 {
+		pairs = shards[0] // already exact; skip the concat copy
+	} else {
+		pairs = make([]mergePair, 0, total)
+		for _, s := range shards {
+			pairs = append(pairs, s...)
+		}
+	}
+	// Adjacency lists in one flat backing array: size by degree first, so
+	// the whole graph costs two allocations instead of per-list growth.
+	deg := make([]int32, n)
+	for _, p := range pairs {
+		deg[p.a]++
+		deg[p.b]++
+	}
+	adj := make([][]int32, n)
+	backing := make([]int32, 2*total)
+	off := 0
+	for i, dg := range deg {
+		if dg > 0 {
+			adj[i] = backing[off : off : off+int(dg)]
+			off += int(dg)
+		}
+	}
+	for _, p := range pairs {
+		adj[p.a] = append(adj[p.a], p.b)
+		adj[p.b] = append(adj[p.b], p.a)
+	}
+	return pairs, adj, nil
+}
+
+// tagOverlapPairs returns every chunk pair sharing at least one tag bit, in
+// row-major order — the conservative dependence approximation, routed
+// through the same inverted index as the similarity seeding.
+func tagOverlapPairs(tagOf []bitvec.Vector, r int) [][2]int {
+	pairs, _, err := sparsePairs(context.Background(), tagOf, r, 1)
+	if err != nil { // unreachable: background ctx never cancels
+		panic("core: " + err.Error())
+	}
+	out := make([][2]int, len(pairs))
+	for i, p := range pairs {
+		out[i] = [2]int{int(p.a), int(p.b)}
+	}
+	return out
+}

@@ -228,6 +228,18 @@ func (t *Tree) LeavesUnder(n *Node) []int {
 	return out
 }
 
+// NumLeavesUnder reports how many clients are beneath node n without
+// materializing the client list.
+func (t *Tree) NumLeavesUnder(n *Node) int {
+	count := 0
+	for _, leaf := range t.leaves {
+		if AncestorAt(leaf, n.Level) == n {
+			count++
+		}
+	}
+	return count
+}
+
 // PathToRoot returns the nodes from the i-th client up to the root,
 // inclusive — the caches a client's access stream traverses bottom-up.
 func (t *Tree) PathToRoot(i int) []*Node {

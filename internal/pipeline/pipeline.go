@@ -80,6 +80,12 @@ type StageStats struct {
 	// each other's numbers) and recorded only for stages the pipeline
 	// drives directly, not for sub-phases reported via StartPhase.
 	AllocBytes uint64
+	// PairsGenerated and PairsDense quantify the sparse similarity
+	// engine's work on the similarity stage: pairs actually materialized
+	// (tag overlap, ω ≥ 1) versus the dense n(n−1)/2 bound, accumulated
+	// across the recursive hierarchy walk. Zero on every other stage.
+	PairsGenerated int64
+	PairsDense     int64
 }
 
 // StageTiming is the serializable per-stage breakdown attached to results
@@ -88,6 +94,10 @@ type StageTiming struct {
 	Stage      string  `json:"stage"`
 	DurationMS float64 `json:"duration_ms"`
 	AllocBytes uint64  `json:"alloc_bytes,omitempty"`
+	// Similarity-stage pair generation: pairs the sparse engine seeded
+	// versus the dense n(n−1)/2 bound it replaced.
+	PairsGenerated int64 `json:"pairs_generated,omitempty"`
+	PairsDense     int64 `json:"pairs_dense,omitempty"`
 }
 
 // Run is the shared state of one pipeline execution: the caller's context
@@ -135,6 +145,22 @@ func (r *Run) StartPhase(name string) (stop func()) {
 		r.add(name, d, 0)
 		obs.Record(r.ctx, name, start, d)
 	}
+}
+
+// RecordSimilarityPairs implements core.PairStatsRecorder: the distributor
+// reports, for each hierarchy node it clusters, how many similarity pairs
+// the sparse engine generated versus the dense bound. The counts accumulate
+// on the similarity stage's ledger entry.
+func (r *Run) RecordSimilarityPairs(generated, dense int64) {
+	r.mu.Lock()
+	s := r.stats[StageSimilarity]
+	if s == nil {
+		s = &StageStats{}
+		r.stats[StageSimilarity] = s
+	}
+	s.PairsGenerated += generated
+	s.PairsDense += dense
+	r.mu.Unlock()
 }
 
 // heapAllocs reads cumulative heap allocation cheaply (no stop-the-world).
@@ -199,9 +225,11 @@ func (r *Run) Timings() []StageTiming {
 			continue
 		}
 		out = append(out, StageTiming{
-			Stage:      name,
-			DurationMS: float64(s.Duration) / float64(time.Millisecond),
-			AllocBytes: s.AllocBytes,
+			Stage:          name,
+			DurationMS:     float64(s.Duration) / float64(time.Millisecond),
+			AllocBytes:     s.AllocBytes,
+			PairsGenerated: s.PairsGenerated,
+			PairsDense:     s.PairsDense,
 		})
 	}
 	return out

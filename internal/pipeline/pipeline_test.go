@@ -186,3 +186,35 @@ func TestMapEmitsStageSpans(t *testing.T) {
 		}
 	}
 }
+
+// TestMapSimilarityPairLedger checks that the inter-processor scheme's
+// result surfaces the sparse similarity engine's pair statistics on the
+// similarity stage: some pairs were generated, and never more than the
+// dense n(n−1)/2 bound the engine replaced. This (plus the core smoke
+// test) is the CI gate that the sparse path is actually selected.
+func TestMapSimilarityPairLedger(t *testing.T) {
+	res, err := Map(context.Background(), InterProcessorSched, stencilProgram(16), Config{Tree: testTree()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sim *StageTiming
+	for i := range res.Stages {
+		if res.Stages[i].Stage == StageSimilarity {
+			sim = &res.Stages[i]
+		}
+	}
+	if sim == nil {
+		t.Fatalf("no similarity stage in %v", res.Stages)
+	}
+	if sim.PairsDense <= 0 {
+		t.Fatal("pairs_dense not recorded: sparse engine did not report stats")
+	}
+	if sim.PairsGenerated <= 0 || sim.PairsGenerated > sim.PairsDense {
+		t.Fatalf("pairs_generated = %d, want in (0, %d]", sim.PairsGenerated, sim.PairsDense)
+	}
+	for _, st := range res.Stages {
+		if st.Stage != StageSimilarity && (st.PairsGenerated != 0 || st.PairsDense != 0) {
+			t.Fatalf("stage %s carries pair stats %d/%d", st.Stage, st.PairsGenerated, st.PairsDense)
+		}
+	}
+}

@@ -116,6 +116,8 @@ type Server struct {
 	cacheCoalesced *metrics.Counter
 	cacheReelect   *metrics.Counter
 	slowRequests   *metrics.Counter
+	simPairsGen    *metrics.Counter
+	simPairsDense  *metrics.Counter
 	clusterDur     *metrics.Histogram
 	reqDur         *metrics.Histogram
 	stageDur       *metrics.HistogramVec
@@ -155,6 +157,10 @@ func New(cfg Config) *Server {
 		"singleflight waiters that re-elected a leader after a canceled one")
 	s.slowRequests = s.reg.Counter("cachemapd_slow_requests_total",
 		"requests slower than the configured slow-request threshold")
+	s.simPairsGen = s.reg.Counter("cachemapd_similarity_pairs_generated",
+		"similarity pairs materialized by the sparse inverted-index engine (tag overlap, weight >= 1)")
+	s.simPairsDense = s.reg.Counter("cachemapd_similarity_pairs_dense_bound",
+		"similarity pairs the dense n(n-1)/2 enumeration would have generated for the same workloads")
 	s.cache.OnHit = s.cacheHits.Inc
 	s.cache.OnMiss = s.cacheMisses.Inc
 	s.cache.OnEvict = func(plancache.Key, cachedPlan) { s.cacheEvictions.Inc() }
@@ -232,6 +238,10 @@ func (s *Server) computePlan(ctx context.Context, j *job) (cachedPlan, plancache
 		s.clusterDur.Observe(time.Since(start).Seconds())
 		for _, st := range res.Stages {
 			s.stageDur.Observe(st.Stage, st.DurationMS/1e3)
+			if st.Stage == pipeline.StageSimilarity {
+				s.simPairsGen.Add(st.PairsGenerated)
+				s.simPairsDense.Add(st.PairsDense)
+			}
 		}
 		return cachedPlan{Plan: mapping.PlanOf(res), Stages: res.Stages}, nil
 	})

@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -268,6 +269,30 @@ func TestHealthzAndMetrics(t *testing.T) {
 			t.Errorf("metrics missing %q:\n%s", want, out)
 		}
 	}
+
+	// The sparse similarity engine's counters: the one cold mapping must
+	// report a dense bound, and generated pairs can never exceed it. (A
+	// strided synth stream never revisits data, so its tags are pairwise
+	// disjoint and zero generated pairs is the correct count here; the
+	// core and pipeline suites cover the overlapping-workload case.)
+	counter := func(name string) int64 {
+		for _, line := range strings.Split(out, "\n") {
+			if rest, ok := strings.CutPrefix(line, name+" "); ok {
+				v, err := strconv.ParseInt(strings.TrimSpace(rest), 10, 64)
+				if err != nil {
+					t.Fatalf("parse %s: %v", name, err)
+				}
+				return v
+			}
+		}
+		t.Fatalf("metrics missing %q:\n%s", name, out)
+		return 0
+	}
+	gen := counter("cachemapd_similarity_pairs_generated")
+	dense := counter("cachemapd_similarity_pairs_dense_bound")
+	if dense <= 0 || gen < 0 || gen > dense {
+		t.Errorf("pair counters generated=%d dense=%d, want 0 <= generated <= dense", gen, dense)
+	}
 }
 
 // TestConcurrentMapRequests drives 64 concurrent mixed-spec requests — the
@@ -476,7 +501,10 @@ func TestTimeoutReleasesWorkers(t *testing.T) {
 	before := runtime.NumGoroutine()
 	timeouts := 0
 	for i := 0; i < 50; i++ {
-		req := synthReq(int64(8192 + i)) // distinct specs: every request computes cold
+		// Distinct specs: every request computes cold. The extent is sized
+		// so the mapping outruns the 20ms deadline even with the sparse
+		// similarity engine (the tag stage alone scans ~1.6M iterations).
+		req := synthReq(int64(800000 + i))
 		resp, body := postJSON(t, ts.Client(), ts.URL+"/v1/map", req)
 		switch resp.StatusCode {
 		case http.StatusGatewayTimeout:

@@ -267,3 +267,32 @@ func (g *Graph) Degree(i int) int {
 	}
 	return d
 }
+
+// Postings returns the inverted index of the graph's tags: entry b lists,
+// in ascending order, the chunks whose tag marks data chunk b. This is the
+// transpose view the sparse similarity engine seeds from — only chunks
+// co-listed under some data chunk can have a nonzero edge weight.
+func (g *Graph) Postings() [][]int32 {
+	if len(g.Chunks) == 0 {
+		return nil
+	}
+	vecs := make([]bitvec.Vector, len(g.Chunks))
+	for i, c := range g.Chunks {
+		vecs[i] = c.Tag
+	}
+	return bitvec.Postings(g.Chunks[0].Tag.Len(), vecs)
+}
+
+// Density returns the fraction of set bits in the tag matrix — the
+// occupancy that decides how far the sparse pair generation undercuts the
+// dense n(n−1)/2 enumeration. Zero for an empty graph.
+func (g *Graph) Density() float64 {
+	if len(g.Chunks) == 0 {
+		return 0
+	}
+	set := 0
+	for _, c := range g.Chunks {
+		set += c.Tag.PopCount()
+	}
+	return float64(set) / (float64(len(g.Chunks)) * float64(g.Chunks[0].Tag.Len()))
+}

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/bitvec"
 	"repro/internal/chunking"
+	"repro/internal/itset"
 	"repro/internal/polyhedral"
 )
 
@@ -268,5 +269,53 @@ func TestComputeCtxCanceled(t *testing.T) {
 	cancel()
 	if _, err := ComputeCtx(ctx, nest, refs, data, 2); err != context.Canceled {
 		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestGraphPostingsAndDensity(t *testing.T) {
+	chunks := []*IterationChunk{
+		{Tag: bitvec.FromIndices(4, 0, 2), Iters: itset.Interval(0, 2)},
+		{Tag: bitvec.FromIndices(4, 2, 3), Iters: itset.Interval(2, 4)},
+		{Tag: bitvec.FromIndices(4, 2), Iters: itset.Interval(4, 6)},
+	}
+	g := BuildGraph(chunks)
+	posts := g.Postings()
+	if len(posts) != 4 {
+		t.Fatalf("got %d posting lists, want 4", len(posts))
+	}
+	want := [][]int32{{0}, nil, {0, 1, 2}, {1}}
+	for b := range want {
+		if len(posts[b]) != len(want[b]) {
+			t.Fatalf("postings[%d] = %v, want %v", b, posts[b], want[b])
+		}
+		for k := range want[b] {
+			if posts[b][k] != want[b][k] {
+				t.Fatalf("postings[%d] = %v, want %v", b, posts[b], want[b])
+			}
+		}
+	}
+	// Postings must agree with the dense weights: chunks co-listed under
+	// some data chunk iff Weight > 0.
+	coListed := make(map[[2]int]bool)
+	for _, list := range posts {
+		for x := range list {
+			for y := x + 1; y < len(list); y++ {
+				coListed[[2]int{int(list[x]), int(list[y])}] = true
+			}
+		}
+	}
+	for i := 0; i < len(chunks); i++ {
+		for j := i + 1; j < len(chunks); j++ {
+			if (g.Weight(i, j) > 0) != coListed[[2]int{i, j}] {
+				t.Fatalf("postings disagree with Weight(%d,%d)=%d", i, j, g.Weight(i, j))
+			}
+		}
+	}
+	if d := g.Density(); d != 5.0/12.0 {
+		t.Fatalf("density = %v, want %v", d, 5.0/12.0)
+	}
+	empty := BuildGraph(nil)
+	if empty.Postings() != nil || empty.Density() != 0 {
+		t.Fatal("empty graph should have nil postings and zero density")
 	}
 }
