@@ -1,6 +1,8 @@
 #!/bin/sh
-# Lightweight CI: formatting, build, vet, race-enabled tests, and the
-# short-mode reproduction-fidelity gate — the tier-1 gate.
+# Lightweight CI: formatting, build, vet, linters, race-enabled tests, the
+# short-mode reproduction-fidelity gate, the bench regression gate, and
+# end-to-end daemon smoke tests (tracing + overload/chaos) — the tier-1
+# gate. Run by .github/workflows/ci.yml and locally as ./ci.sh.
 set -eu
 
 echo "==> gofmt"
@@ -17,6 +19,44 @@ go build ./...
 echo "==> go vet ./..."
 go vet ./...
 
+# Optional linters: pinned installs when absent; offline environments skip
+# them gracefully (the pinned `go install` needs the module proxy).
+STATICCHECK_VERSION=2024.1.1
+GOVULNCHECK_VERSION=v1.1.3
+have_tool() {
+	command -v "$1" >/dev/null 2>&1 || [ -x "$(go env GOPATH)/bin/$1" ]
+}
+run_tool() {
+	tool=$1
+	shift
+	if command -v "$tool" >/dev/null 2>&1; then
+		"$tool" "$@"
+	else
+		"$(go env GOPATH)/bin/$tool" "$@"
+	fi
+}
+
+echo "==> staticcheck"
+if ! have_tool staticcheck; then
+	GOFLAGS= go install "honnef.co/go/tools/cmd/staticcheck@${STATICCHECK_VERSION}" 2>/dev/null || true
+fi
+if have_tool staticcheck; then
+	run_tool staticcheck ./...
+else
+	echo "staticcheck unavailable (offline?); skipping" >&2
+fi
+
+echo "==> govulncheck"
+if ! have_tool govulncheck; then
+	GOFLAGS= go install "golang.org/x/vuln/cmd/govulncheck@${GOVULNCHECK_VERSION}" 2>/dev/null || true
+fi
+if have_tool govulncheck; then
+	# The vuln DB needs network too; tolerate fetch failures offline.
+	run_tool govulncheck ./... || echo "govulncheck failed (offline vuln DB fetch?); continuing" >&2
+else
+	echo "govulncheck unavailable (offline?); skipping" >&2
+fi
+
 echo "==> go test -race ./..."
 go test -race ./...
 
@@ -27,20 +67,73 @@ echo "==> sparse similarity engine smoke (sparse path selected, pairs_generated 
 go test -short -count=1 -run TestSparseSimilaritySmoke ./internal/core
 go test -short -count=1 -run TestMapSimilarityPairLedger ./internal/pipeline
 
-echo "==> cachemapd trace smoke test"
-# Boot the daemon, send a request carrying a caller-minted traceparent, and
-# assert the trace comes back out: X-Trace-Id echoes the trace ID, the trace
-# is listed in /debug/traces, the Chrome export renders, and pprof answers
-# on the private debug listener.
+echo "==> bench regression gate (vs BENCH_4.json)"
+# Short mode: fixed iteration counts keep this quick; the 60% tolerance
+# absorbs shared-runner noise (the committed ledger's own entries spread
+# ~20%) while still catching the order-of-magnitude regressions the
+# ledger exists to prevent (dense-similarity fallback, O(n^2) relapses).
 tmp=$(mktemp -d)
-trap 'kill $daemon_pid 2>/dev/null; rm -rf "$tmp"' EXIT
+daemon_pid=
+trap 'if [ -n "$daemon_pid" ]; then kill $daemon_pid 2>/dev/null || true; fi; rm -rf "$tmp"' EXIT
+go build -o "$tmp/benchjson" ./cmd/benchjson
+go test -run '^$' -bench 'BenchmarkDistribute$' -benchtime 100x . >"$tmp/bench.out" 2>&1 || {
+	cat "$tmp/bench.out" >&2
+	exit 1
+}
+go test -run '^$' -bench 'BenchmarkPipelineParallelism' -benchtime 1x . >>"$tmp/bench.out" 2>&1 || {
+	cat "$tmp/bench.out" >&2
+	exit 1
+}
+"$tmp/benchjson" -compare BENCH_4.json -tolerance 60 <"$tmp/bench.out" >/dev/null
+
+echo "==> cachemapd trace smoke test"
+# Boot the daemon on ephemeral ports (parsed from its own log, so parallel
+# CI runs never collide), send a request carrying a caller-minted
+# traceparent, and assert the trace comes back out: X-Trace-Id echoes the
+# trace ID, the trace is listed in /debug/traces, the Chrome export
+# renders, and pprof answers on the private debug listener.
 go build -o "$tmp/cachemapd" ./cmd/cachemapd
-"$tmp/cachemapd" -addr 127.0.0.1:18642 -debug-addr 127.0.0.1:18643 \
+go build -o "$tmp/loadgen" ./cmd/loadgen
+"$tmp/cachemapd" -addr 127.0.0.1:0 -debug-addr 127.0.0.1:0 \
 	-mutex-fraction 5 -slow 1us 2>"$tmp/daemon.log" &
 daemon_pid=$!
 
+# parse_addr <log> <msg>: the actual bound address a "listening" log line
+# reports (the daemon binds :0, so only the log knows the port).
+parse_addr() {
+	sed -n "s/.*msg=$2 addr=\([0-9.:]*\).*/\1/p" "$1" | head -n 1
+}
 i=0
-until curl -fsS -o /dev/null http://127.0.0.1:18642/healthz 2>/dev/null; do
+addr=
+while [ -z "$addr" ]; do
+	addr=$(parse_addr "$tmp/daemon.log" listening)
+	i=$((i + 1))
+	if [ "$i" -gt 50 ]; then
+		echo "cachemapd never logged its listen address" >&2
+		cat "$tmp/daemon.log" >&2
+		exit 1
+	fi
+	[ -n "$addr" ] || sleep 0.1
+done
+debug_addr=$(parse_addr "$tmp/daemon.log" '"pprof listening"')
+if [ -z "$debug_addr" ]; then
+	echo "cachemapd never logged its pprof address" >&2
+	cat "$tmp/daemon.log" >&2
+	exit 1
+fi
+
+# ccurl: curl that dumps the daemon log on any failure, so a CI break
+# shows the server side, not just an opaque exit code.
+ccurl() {
+	if ! curl -fsS "$@"; then
+		echo "curl $* failed; daemon log:" >&2
+		cat "$tmp/daemon.log" >&2
+		exit 1
+	fi
+}
+
+i=0
+until curl -fsS -o /dev/null "http://$addr/healthz" 2>/dev/null; do
 	i=$((i + 1))
 	if [ "$i" -gt 50 ]; then
 		echo "cachemapd did not become healthy" >&2
@@ -51,28 +144,27 @@ until curl -fsS -o /dev/null http://127.0.0.1:18642/healthz 2>/dev/null; do
 done
 
 trace_id=4bf92f3577b34da6a3ce929d0e0e4736
-curl -fsS -D "$tmp/headers" -o "$tmp/plan.json" \
+ccurl -D "$tmp/headers" -o "$tmp/plan.json" \
 	-H "traceparent: 00-${trace_id}-00f067aa0ba902b7-01" \
 	-H 'Content-Type: application/json' \
 	-d '{"workload":{"synth":{"name":"ci","passes":2,"extent":256,"streams":[{"stride":1}]}},"topology":"2/4/8@16,8,4","scheme":"inter"}' \
-	http://127.0.0.1:18642/v1/map
+	"http://$addr/v1/map"
 grep -i "x-trace-id: ${trace_id}" "$tmp/headers" >/dev/null || {
 	echo "X-Trace-Id does not echo the caller trace ID" >&2
 	cat "$tmp/headers" >&2
 	exit 1
 }
-curl -fsS http://127.0.0.1:18642/debug/traces | grep "$trace_id" >/dev/null || {
+ccurl -o "$tmp/traces.json" "http://$addr/debug/traces"
+grep "$trace_id" "$tmp/traces.json" >/dev/null || {
 	echo "trace $trace_id missing from /debug/traces" >&2
 	exit 1
 }
-curl -fsS "http://127.0.0.1:18642/debug/traces/$trace_id" | grep '"ph":"X"' >/dev/null || {
+ccurl -o "$tmp/chrome.json" "http://$addr/debug/traces/$trace_id"
+grep '"ph":"X"' "$tmp/chrome.json" >/dev/null || {
 	echo "Chrome export for $trace_id has no complete events" >&2
 	exit 1
 }
-curl -fsS http://127.0.0.1:18643/debug/pprof/cmdline >/dev/null || {
-	echo "pprof debug listener not answering" >&2
-	exit 1
-}
+ccurl -o /dev/null "http://$debug_addr/debug/pprof/cmdline"
 grep "slow request" "$tmp/daemon.log" >/dev/null || {
 	echo "no slow-request log line despite -slow 1us" >&2
 	cat "$tmp/daemon.log" >&2
@@ -80,5 +172,44 @@ grep "slow request" "$tmp/daemon.log" >/dev/null || {
 }
 kill "$daemon_pid"
 wait "$daemon_pid" 2>/dev/null || true
+daemon_pid=
+
+echo "==> overload & chaos smoke (admission control, degraded serving, fault injection)"
+# A deliberately overloadable daemon: 2 workers, a tiny admission queue,
+# degraded serving on, and the deterministic fault injector armed. The
+# chaos client floods it and fails on any outcome outside the overload
+# contract (non-429/503/504 errors) or an unbounded p99.
+"$tmp/cachemapd" -addr 127.0.0.1:0 -workers 2 -queue 8 -timeout 5s \
+	-degraded -faults 'latency:pipeline/tags:0.1:20ms;error:pipeline/cluster:0.05;crash:plancache/leader:0.05' \
+	-fault-seed 42 2>"$tmp/daemon.log" &
+daemon_pid=$!
+i=0
+addr=
+while [ -z "$addr" ]; do
+	addr=$(parse_addr "$tmp/daemon.log" listening)
+	i=$((i + 1))
+	if [ "$i" -gt 50 ]; then
+		echo "chaos cachemapd never logged its listen address" >&2
+		cat "$tmp/daemon.log" >&2
+		exit 1
+	fi
+	[ -n "$addr" ] || sleep 0.1
+done
+"$tmp/loadgen" -chaos -base "http://$addr" -n 200 -c 16 -p99-budget 30s || {
+	echo "chaos run failed; daemon log:" >&2
+	cat "$tmp/daemon.log" >&2
+	exit 1
+}
+# The injector must actually have fired during the run, or the chaos pass
+# proves nothing about fault handling.
+ccurl -o "$tmp/faults.json" "http://$addr/debug/faults"
+grep -E '"fired":[1-9]' "$tmp/faults.json" >/dev/null || {
+	echo "no fault fired during the chaos run:" >&2
+	cat "$tmp/faults.json" >&2
+	exit 1
+}
+kill "$daemon_pid"
+wait "$daemon_pid" 2>/dev/null || true
+daemon_pid=
 
 echo "==> ci ok"

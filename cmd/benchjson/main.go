@@ -8,6 +8,14 @@
 // Input lines are echoed to stdout, so the command composes as a filter:
 //
 //	go test -run '^$' -bench . -benchmem ./... | benchjson -o BENCH_4.json -label after
+//
+// Compare mode turns a committed ledger into a regression gate: instead of
+// writing a file, fresh results on stdin are compared against the ledger's
+// entries under -label, and the command fails if any benchmark's ns/op —
+// or any of its time-like custom metrics (…ms/op) — regressed by more than
+// -tolerance percent:
+//
+//	go test -run '^$' -bench BenchmarkDistribute ./internal/core | benchjson -compare BENCH_4.json -tolerance 25
 package main
 
 import (
@@ -15,7 +23,9 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -116,11 +126,119 @@ func run(out, label string) error {
 	return nil
 }
 
+// comparison is the outcome of checking one measured value against the
+// ledger.
+type comparison struct {
+	bench  string  // benchmark name
+	what   string  // "ns/op" or a custom metric unit
+	old    float64 // ledger value
+	new    float64 // measured value
+	deltaP float64 // percent change, positive = slower
+	failed bool
+}
+
+// compare parses benchmark output from in (echoing to echo) and checks
+// every parsed benchmark that the ledger records under label: ns/op and
+// any time-like custom metric (unit containing "ms/op") must not exceed
+// the ledger value by more than tolerance percent. Benchmarks absent from
+// the ledger are skipped; zero overlap is an error (an empty gate guards
+// nothing).
+func compare(in io.Reader, echo io.Writer, ledgerPath, label string, tolerance float64) ([]comparison, error) {
+	raw, err := os.ReadFile(ledgerPath)
+	if err != nil {
+		return nil, err
+	}
+	var ledger File
+	if err := json.Unmarshal(raw, &ledger); err != nil {
+		return nil, fmt.Errorf("%s is not a benchjson file: %v", ledgerPath, err)
+	}
+
+	var comps []comparison
+	check := func(bench, what string, old, new float64) {
+		if old <= 0 {
+			return
+		}
+		deltaP := 100 * (new - old) / old
+		comps = append(comps, comparison{
+			bench: bench, what: what, old: old, new: new,
+			deltaP: deltaP, failed: deltaP > tolerance,
+		})
+	}
+
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Fprintln(echo, line)
+		name, res, ok := parseLine(line)
+		if !ok {
+			continue
+		}
+		old, ok := ledger.Benchmarks[name][label]
+		if !ok {
+			continue
+		}
+		check(name, "ns/op", old.NsPerOp, res.NsPerOp)
+		// Time-like custom metrics (e.g. the pipeline's similarity-ms/op)
+		// gate too; counts and ratios are informational only.
+		units := make([]string, 0, len(old.Metrics))
+		for unit := range old.Metrics {
+			units = append(units, unit)
+		}
+		sort.Strings(units)
+		for _, unit := range units {
+			if !strings.Contains(unit, "ms/op") {
+				continue
+			}
+			if v, ok := res.Metrics[unit]; ok {
+				check(name, unit, old.Metrics[unit], v)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(comps) == 0 {
+		return nil, fmt.Errorf("no benchmark on stdin matched ledger %s under label %q", ledgerPath, label)
+	}
+	return comps, nil
+}
+
+func runCompare(ledgerPath, label string, tolerance float64) error {
+	comps, err := compare(os.Stdin, os.Stdout, ledgerPath, label, tolerance)
+	if err != nil {
+		return err
+	}
+	failures := 0
+	for _, c := range comps {
+		verdict := "ok"
+		if c.failed {
+			verdict = "REGRESSION"
+			failures++
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: %-11s %s %s: %.4g -> %.4g (%+.1f%%, tolerance %+.0f%%)\n",
+			verdict, c.bench, c.what, c.old, c.new, c.deltaP, tolerance)
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d of %d checks regressed beyond %.0f%% of ledger %s", failures, len(comps), tolerance, ledgerPath)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %d checks within tolerance of %s\n", len(comps), ledgerPath)
+	return nil
+}
+
 func main() {
 	out := flag.String("o", "BENCH.json", "output JSON file (merged if it exists)")
-	label := flag.String("label", "after", "label to record results under (e.g. before, after)")
+	label := flag.String("label", "after", "label to record results under (or compare against, with -compare)")
+	compareTo := flag.String("compare", "", "compare stdin results against this ledger instead of writing a file")
+	tolerance := flag.Float64("tolerance", 25, "compare mode: max allowed ns/op (and …ms/op) regression, percent")
 	flag.Parse()
-	if err := run(*out, *label); err != nil {
+	var err error
+	if *compareTo != "" {
+		err = runCompare(*compareTo, *label, *tolerance)
+	} else {
+		err = run(*out, *label)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}

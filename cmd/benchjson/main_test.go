@@ -1,6 +1,13 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
 
 func TestParseLine(t *testing.T) {
 	name, res, ok := parseLine("BenchmarkDistribute          \t       2\t   7993885 ns/op\t 8315672 B/op\t    6068 allocs/op")
@@ -40,5 +47,152 @@ func TestParseLineRejectsNonBenchLines(t *testing.T) {
 		if _, _, ok := parseLine(line); ok {
 			t.Fatalf("accepted %q", line)
 		}
+	}
+}
+
+// writeLedger materializes a benchjson File for compare-mode tests.
+func writeLedger(t *testing.T, f File) string {
+	t.Helper()
+	b, err := json.Marshal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func ledgerWith(ns float64, metrics map[string]float64) File {
+	return File{Benchmarks: map[string]map[string]*Result{
+		"BenchmarkDistribute": {
+			"after": {Iterations: 300, NsPerOp: ns, Metrics: metrics},
+		},
+	}}
+}
+
+func TestCompareWithinTolerance(t *testing.T) {
+	path := writeLedger(t, ledgerWith(1000000, nil))
+	in := strings.NewReader("BenchmarkDistribute \t 300\t 1100000 ns/op\n")
+	comps, err := compare(in, io.Discard, path, "after", 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comps) != 1 || comps[0].failed {
+		t.Fatalf("comps = %+v", comps)
+	}
+	if comps[0].deltaP < 9.9 || comps[0].deltaP > 10.1 {
+		t.Fatalf("deltaP = %v, want ~10", comps[0].deltaP)
+	}
+}
+
+func TestCompareFlagsRegression(t *testing.T) {
+	path := writeLedger(t, ledgerWith(1000000, nil))
+	in := strings.NewReader("BenchmarkDistribute \t 300\t 1500000 ns/op\n")
+	comps, err := compare(in, io.Discard, path, "after", 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comps) != 1 || !comps[0].failed {
+		t.Fatalf("50%% slower not flagged at 25%% tolerance: %+v", comps)
+	}
+}
+
+// TestCompareInvertedTolerance verifies the gate actually trips: with a
+// negative tolerance even an identical result must fail (the check the
+// CI gate's wiring is validated with).
+func TestCompareInvertedTolerance(t *testing.T) {
+	path := writeLedger(t, ledgerWith(1000000, nil))
+	in := strings.NewReader("BenchmarkDistribute \t 300\t 1000000 ns/op\n")
+	comps, err := compare(in, io.Discard, path, "after", -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comps) != 1 || !comps[0].failed {
+		t.Fatalf("identical result passed a -1%% tolerance: %+v", comps)
+	}
+}
+
+func TestCompareCustomMetricsGate(t *testing.T) {
+	path := writeLedger(t, ledgerWith(1000000, map[string]float64{
+		"similarity-ms/op": 10,
+		"pairs-ratio":      0.01, // not time-like: never gates
+	}))
+	in := strings.NewReader(
+		"BenchmarkDistribute \t 300\t 1000000 ns/op\t 20 similarity-ms/op\t 0.5 pairs-ratio\n")
+	comps, err := compare(in, io.Discard, path, "after", 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comps) != 2 {
+		t.Fatalf("want ns/op + similarity-ms/op checks, got %+v", comps)
+	}
+	var simFailed, ratioChecked bool
+	for _, c := range comps {
+		if c.what == "similarity-ms/op" && c.failed {
+			simFailed = true
+		}
+		if c.what == "pairs-ratio" {
+			ratioChecked = true
+		}
+	}
+	if !simFailed {
+		t.Fatalf("2x similarity-ms/op not flagged: %+v", comps)
+	}
+	if ratioChecked {
+		t.Fatalf("pairs-ratio gated but should be informational: %+v", comps)
+	}
+}
+
+func TestCompareSkipsUnknownAndRequiresOverlap(t *testing.T) {
+	path := writeLedger(t, ledgerWith(1000000, nil))
+	// A benchmark the ledger does not record is skipped…
+	in := strings.NewReader(
+		"BenchmarkNovel \t 10\t 999 ns/op\nBenchmarkDistribute \t 300\t 900000 ns/op\n")
+	comps, err := compare(in, io.Discard, path, "after", 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comps) != 1 || comps[0].bench != "BenchmarkDistribute" {
+		t.Fatalf("comps = %+v", comps)
+	}
+	// …but zero overlap is an error, not a silent pass.
+	if _, err := compare(strings.NewReader("BenchmarkNovel \t 10\t 999 ns/op\n"),
+		io.Discard, path, "after", 25); err == nil {
+		t.Fatal("empty comparison did not fail")
+	}
+	// Unknown label behaves like zero overlap.
+	if _, err := compare(strings.NewReader("BenchmarkDistribute \t 300\t 1 ns/op\n"),
+		io.Discard, path, "nosuch", 25); err == nil {
+		t.Fatal("unknown label did not fail")
+	}
+}
+
+// TestCompareAgainstCommittedLedger keeps the CI gate honest: the
+// committed BENCH_4.json must contain the two entries ci.sh gates on.
+func TestCompareAgainstCommittedLedger(t *testing.T) {
+	raw, err := os.ReadFile("../../BENCH_4.json")
+	if err != nil {
+		t.Skipf("no committed ledger: %v", err)
+	}
+	var f File
+	if err := json.Unmarshal(raw, &f); err != nil {
+		t.Fatalf("BENCH_4.json does not parse: %v", err)
+	}
+	d, ok := f.Benchmarks["BenchmarkDistribute"]["after"]
+	if !ok || d.NsPerOp <= 0 {
+		t.Fatal("BENCH_4.json lacks BenchmarkDistribute/after")
+	}
+	found := false
+	for name, labels := range f.Benchmarks {
+		if strings.HasPrefix(name, "BenchmarkPipelineParallelism") {
+			if r, ok := labels["after"]; ok && r.Metrics["similarity-ms/op"] > 0 {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("BENCH_4.json lacks a pipeline similarity-ms/op entry under after")
 	}
 }

@@ -6,7 +6,10 @@
 //
 //	cachemapd                          # listen on :8642
 //	cachemapd -addr :9000 -workers 8 -cache 1024 -timeout 10s
+//	cachemapd -addr :0                 # ephemeral port; read it from the "listening" log line
 //	cachemapd -debug-addr 127.0.0.1:8643 -mutex-fraction 5 -block-rate 10000
+//	cachemapd -queue 128 -degraded -stale-tolerance 0.3
+//	cachemapd -faults 'latency:pipeline/tags:0.2:50ms;crash:plancache/leader:0.05' -fault-seed 42
 //
 // Endpoints:
 //
@@ -16,6 +19,16 @@
 //	GET  /metrics             Prometheus text exposition
 //	GET  /debug/traces        recent request traces as JSON (?min_ms=N to filter)
 //	GET  /debug/traces/{id}   one trace in Chrome trace_event format
+//	GET  /debug/faults        armed fault rules with evaluation counters (with -faults)
+//	POST /debug/faults        replace the armed fault rules (JSON array)
+//
+// Overload behaviour: a bounded admission queue (-queue, -queue-cost)
+// fronts the worker pool; saturated arrivals are shed with 429 and a
+// Retry-After hint. With -degraded, shed and timed-out requests are
+// instead answered by a stale-but-valid plan (same workload, topology
+// drift within -stale-tolerance) or the cheap lexicographic fallback,
+// marked in the response. -faults arms the deterministic fault injector
+// (kind:site:prob[:delay] rules, seeded by -fault-seed) for chaos testing.
 //
 // Every request runs under a trace span; callers may propagate W3C
 // trace-context via the traceparent header and correlate responses through
@@ -31,6 +44,7 @@ import (
 	"errors"
 	"flag"
 	"log/slog"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -39,6 +53,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/server"
 )
 
@@ -53,9 +68,30 @@ func main() {
 	debugAddr := flag.String("debug-addr", "", "separate listen address for net/http/pprof (empty disables)")
 	mutexFraction := flag.Int("mutex-fraction", 0, "runtime mutex profile fraction (0 leaves profiling off)")
 	blockRate := flag.Int("block-rate", 0, "runtime block profile rate in ns (0 leaves profiling off)")
+	queue := flag.Int("queue", 64, "admission queue depth; beyond it requests are shed with 429 (negative: shed whenever no worker is free)")
+	queueCost := flag.Int64("queue-cost", 0, "admission queue summed-cost bound, in iterations x topology nodes (0 = unbounded)")
+	degraded := flag.Bool("degraded", false, "serve stale or fallback plans instead of failing shed/timed-out requests")
+	staleTol := flag.Float64("stale-tolerance", 0.25, "relative per-layer topology drift under which a stale plan still serves")
+	faultSpec := flag.String("faults", "", "arm the fault injector: semicolon-separated kind:site:prob[:delay] rules")
+	faultSeed := flag.Uint64("fault-seed", 1, "seed for the deterministic fault injector")
 	flag.Parse()
 
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+
+	var injector *faults.Injector
+	if *faultSpec != "" {
+		rules, err := faults.ParseSpec(*faultSpec)
+		if err != nil {
+			logger.Error("bad -faults spec", "err", err)
+			os.Exit(2)
+		}
+		injector = faults.New(*faultSeed)
+		if err := injector.SetRules(rules); err != nil {
+			logger.Error("bad -faults spec", "err", err)
+			os.Exit(2)
+		}
+		logger.Info("fault injection armed", "seed", *faultSeed, "rules", len(rules))
+	}
 
 	if *mutexFraction > 0 {
 		runtime.SetMutexProfileFraction(*mutexFraction)
@@ -75,9 +111,15 @@ func main() {
 		TraceBufferSize:      traceBuf,
 		Logger:               logger,
 		SlowRequestThreshold: *slow,
+		AdmissionQueueDepth:  *queue,
+		AdmissionQueueCost:   *queueCost,
+		Degraded: server.DegradedConfig{
+			Enabled:        *degraded,
+			StaleTolerance: *staleTol,
+		},
+		Faults: injector,
 	})
 	hs := &http.Server{
-		Addr:              *addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
@@ -85,11 +127,20 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer stop()
 
+	// Listen explicitly (rather than ListenAndServe) so -addr :0 works for
+	// test harnesses: the "listening" log line always carries the actual
+	// bound address, which ci.sh parses to find the ephemeral port.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Error("listen", "addr", *addr, "err", err)
+		os.Exit(1)
+	}
 	errCh := make(chan error, 1)
-	go func() { errCh <- hs.ListenAndServe() }()
+	go func() { errCh <- hs.Serve(ln) }()
 	logger.Info("listening",
-		"addr", *addr, "workers", *workers, "cache", *cacheSize,
-		"timeout", *timeout, "traces", *traces)
+		"addr", ln.Addr().String(), "workers", *workers, "cache", *cacheSize,
+		"timeout", *timeout, "traces", *traces,
+		"queue", *queue, "degraded", *degraded)
 
 	// pprof on its own listener: an explicit mux, so nothing inherits the
 	// DefaultServeMux side-effect registrations on the public address.
@@ -101,13 +152,18 @@ func main() {
 		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-		ds = &http.Server{Addr: *debugAddr, Handler: dmux, ReadHeaderTimeout: 5 * time.Second}
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			logger.Error("debug listen", "addr", *debugAddr, "err", err)
+			os.Exit(1)
+		}
+		ds = &http.Server{Handler: dmux, ReadHeaderTimeout: 5 * time.Second}
 		go func() {
-			if err := ds.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			if err := ds.Serve(dln); err != nil && !errors.Is(err, http.ErrServerClosed) {
 				logger.Error("debug listener", "err", err)
 			}
 		}()
-		logger.Info("pprof listening", "addr", *debugAddr,
+		logger.Info("pprof listening", "addr", dln.Addr().String(),
 			"mutex_fraction", *mutexFraction, "block_rate", *blockRate)
 	}
 

@@ -8,6 +8,16 @@
 //	loadgen                                  # 512 requests, 64 concurrent
 //	loadgen -n 2000 -c 128 -simulate 0.25    # quarter of the stream simulates
 //	loadgen -base http://host:8642 -specs 16
+//	loadgen -chaos -n 400 -c 32              # overload contract check (see below)
+//
+// Chaos mode (-chaos) floods the daemon with bursts of mixed hot/cold
+// specs under a deadline lottery and asserts the overload contract: every
+// response must be a completed 200 (possibly degraded), a 429 shed with
+// Retry-After, a 503/504 overload status, or a lottery-induced client
+// timeout — anything else (or a completed-request p99 beyond -p99-budget)
+// fails the run. Point it at a cachemapd started with -queue/-degraded/
+// -faults to exercise admission control, degraded serving and fault
+// injection together.
 package main
 
 import (
@@ -36,6 +46,9 @@ func main() {
 	specs := flag.Int("specs", 8, "distinct workload specs in the mix (cache hot set)")
 	simulate := flag.Float64("simulate", 0, "fraction of requests sent to /v1/simulate instead of /v1/map")
 	timeout := flag.Duration("timeout", 60*time.Second, "per-request client timeout")
+	chaos := flag.Bool("chaos", false, "chaos mode: bursty hot/cold mix with a deadline lottery; fail on any outcome outside the overload contract")
+	burst := flag.Int("burst", 0, "chaos mode: requests per burst (0 = 2x concurrency)")
+	p99Budget := flag.Duration("p99-budget", 30*time.Second, "chaos mode: hard bound on the p99 latency of completed requests")
 	flag.Parse()
 
 	if *n < 1 || *c < 1 || *specs < 1 || *simulate < 0 || *simulate > 1 {
@@ -59,6 +72,18 @@ func main() {
 	}
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
+
+	if *chaos {
+		os.Exit(runChaos(chaosOpts{
+			base:      *base,
+			client:    client,
+			n:         *n,
+			c:         *c,
+			specs:     *specs,
+			burst:     *burst,
+			p99Budget: *p99Budget,
+		}))
+	}
 
 	reqs := buildMix(*specs)
 	var (

@@ -98,6 +98,18 @@ func (r *Registry) CounterFunc(name, help string, fn func() float64) {
 	}
 }
 
+// CounterVec registers (or returns the existing) family of counters
+// partitioned by one label. Counters for new label values materialize on
+// first use and render as `name{label="value"}` series.
+func (r *Registry) CounterVec(name, help, label string) *CounterVec {
+	in := r.register(name, help, newCounterVec(help, label))
+	cv, ok := in.(*CounterVec)
+	if !ok {
+		panic(fmt.Sprintf("metrics: %q already registered with a different type", name))
+	}
+	return cv
+}
+
 // HistogramVec registers (or returns the existing) family of histograms
 // partitioned by one label. Histograms for new label values materialize on
 // first use and render as `name_bucket{label="value",le="..."}` series.
@@ -265,6 +277,72 @@ func (h *Histogram) write(w io.Writer, name, help string) {
 }
 
 func formatBound(b float64) string { return strconv.FormatFloat(b, 'g', -1, 64) }
+
+// CounterVec is a family of Counters partitioned by a single label (e.g.
+// degradation mode, fault site). Lookups take a read lock only; the
+// returned Counter's Inc/Add are single atomics.
+type CounterVec struct {
+	mu      sync.RWMutex
+	label   string
+	help    string
+	curves  map[string]*Counter
+	ordered []string // label values in first-use order, for stable output
+}
+
+func newCounterVec(help, label string) *CounterVec {
+	return &CounterVec{label: label, help: help, curves: map[string]*Counter{}}
+}
+
+// With returns the counter for the given label value, creating it on first
+// use.
+func (cv *CounterVec) With(value string) *Counter {
+	cv.mu.RLock()
+	c, ok := cv.curves[value]
+	cv.mu.RUnlock()
+	if ok {
+		return c
+	}
+	cv.mu.Lock()
+	defer cv.mu.Unlock()
+	if c, ok := cv.curves[value]; ok {
+		return c
+	}
+	c = &Counter{help: cv.help}
+	cv.curves[value] = c
+	cv.ordered = append(cv.ordered, value)
+	return c
+}
+
+// Inc adds one under the given label value.
+func (cv *CounterVec) Inc(value string) { cv.With(value).Inc() }
+
+// Total sums the counts across all label values.
+func (cv *CounterVec) Total() int64 {
+	cv.mu.RLock()
+	defer cv.mu.RUnlock()
+	var sum int64
+	for _, c := range cv.curves {
+		sum += c.Value()
+	}
+	return sum
+}
+
+func (cv *CounterVec) helpText() string { return cv.help }
+
+func (cv *CounterVec) write(w io.Writer, name, help string) {
+	cv.mu.RLock()
+	values := append([]string(nil), cv.ordered...)
+	counts := make([]int64, len(values))
+	for i, v := range values {
+		counts[i] = cv.curves[v].Value()
+	}
+	label := cv.label
+	cv.mu.RUnlock()
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+	for i, value := range values {
+		fmt.Fprintf(w, "%s{%s=%q} %d\n", name, label, value, counts[i])
+	}
+}
 
 // HistogramVec is a family of Histograms sharing one bucket layout,
 // partitioned by a single label (e.g. per pipeline stage). With scrapes

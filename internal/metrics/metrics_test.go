@@ -137,6 +137,54 @@ func TestHistogramVec(t *testing.T) {
 	}
 }
 
+func TestCounterVec(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("degraded_total", "degraded responses by mode", "mode")
+	cv.Inc("stale")
+	cv.Inc("stale")
+	cv.With("fallback").Add(3)
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE degraded_total counter",
+		`degraded_total{mode="stale"} 2`,
+		`degraded_total{mode="fallback"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if cv.Total() != 5 {
+		t.Errorf("Total = %d, want 5", cv.Total())
+	}
+	if cv.With("stale") != cv.With("stale") {
+		t.Error("With not idempotent")
+	}
+	if r.CounterVec("degraded_total", "x", "mode") != cv {
+		t.Error("re-registration returned a different instrument")
+	}
+}
+
+func TestCounterVecConcurrent(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("cvc", "c", "l")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				cv.Inc(fmt.Sprintf("v%d", i%4))
+			}
+		}()
+	}
+	wg.Wait()
+	if cv.Total() != 8*500 {
+		t.Fatalf("total = %d, want %d", cv.Total(), 8*500)
+	}
+}
+
 func TestHistogramVecConcurrent(t *testing.T) {
 	r := NewRegistry()
 	hv := r.HistogramVec("hv", "h", "l", DefaultLatencyBuckets())

@@ -107,9 +107,20 @@ type StageTiming struct {
 // into the same ledger.
 type Run struct {
 	ctx   context.Context
+	hook  StageHook
 	mu    sync.Mutex
 	stats map[string]*StageStats
 }
+
+// StageHook runs at the start of every top-level stage, before the stage's
+// work. A non-nil error aborts the stage (wrapped in a *StageError naming
+// it). The serving layer uses it for fault injection — latency spikes and
+// stage errors — without the pipeline depending on the injector.
+type StageHook func(ctx context.Context, stage string) error
+
+// SetHook installs the run's stage hook (nil clears it). It must be set
+// before stages execute.
+func (r *Run) SetHook(h StageHook) { r.hook = h }
 
 // NewRun starts a pipeline run under ctx (nil means context.Background()).
 func NewRun(ctx context.Context) *Run {
@@ -182,6 +193,14 @@ func heapAllocs() uint64 {
 func (r *Run) stage(name string, fn func(ctx context.Context) error) error {
 	if err := r.ctx.Err(); err != nil {
 		return &StageError{Stage: name, Err: err}
+	}
+	if r.hook != nil {
+		if err := r.hook(r.ctx, name); err != nil {
+			if se, ok := err.(*StageError); ok {
+				return se
+			}
+			return &StageError{Stage: name, Err: err}
+		}
 	}
 	a0 := heapAllocs()
 	start := time.Now()

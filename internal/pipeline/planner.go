@@ -80,6 +80,10 @@ type Config struct {
 	// similarity weighting). 0 uses GOMAXPROCS. Results are byte-identical
 	// at any worker count, so Workers never belongs in a cache key.
 	Workers int
+	// StageHook, when non-nil, runs at the start of every stage; a non-nil
+	// error aborts the stage. Used for fault injection; never part of a
+	// cache key.
+	StageHook StageHook
 }
 
 func (c *Config) normalize() error {
@@ -128,6 +132,7 @@ func Map(ctx context.Context, scheme Scheme, prog iosim.Program, cfg Config) (*R
 		return nil, err
 	}
 	r := NewRun(ctx)
+	r.SetHook(cfg.StageHook)
 	var res *Result
 	var err error
 	switch scheme {
@@ -290,6 +295,13 @@ func chunkOrderKey(c *tags.IterationChunk) int64 {
 // similarity/cluster/balance stages land in the run's ledger; errors are
 // attributed to the cluster stage (the phase the context checks live in).
 func distribute(r *Run, chunks []*tags.IterationChunk, cfg Config) ([][]*tags.IterationChunk, error) {
+	// The distributor drives its own phases, so the cluster stage's hook
+	// fires here rather than through r.stage.
+	if r.hook != nil {
+		if err := r.hook(r.Context(), StageCluster); err != nil {
+			return nil, &StageError{Stage: StageCluster, Err: err}
+		}
+	}
 	opts := cfg.Options
 	opts.Workers = cfg.Workers
 	opts.Clock = r

@@ -1,0 +1,99 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/hierarchy"
+	"repro/internal/workloads"
+)
+
+// TestStageHookObservesEveryStage: the hook fires once per executed stage
+// (including the cluster stage, which the distributor drives itself), in
+// canonical order, and a passing hook leaves the result untouched.
+func TestStageHookObservesEveryStage(t *testing.T) {
+	w, err := workloads.Synthesize(workloads.SynthSpec{
+		Name: "hook", Passes: 2, Extent: 128,
+		Streams: []workloads.StreamSpec{{Stride: 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := hierarchy.NewLayered(
+		hierarchy.LayerSpec{Count: 1, CacheChunks: 16},
+		hierarchy.LayerSpec{Count: 2, CacheChunks: 8},
+		hierarchy.LayerSpec{Count: 4, CacheChunks: 4},
+	)
+
+	var mu sync.Mutex
+	var seen []string
+	cfg := Config{Tree: tree, StageHook: func(_ context.Context, stage string) error {
+		mu.Lock()
+		seen = append(seen, stage)
+		mu.Unlock()
+		return nil
+	}}
+	res, err := Map(context.Background(), InterProcessorSched, w.Prog, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Assignment == nil {
+		t.Fatal("no assignment")
+	}
+	want := []string{StageTags, StageChunks, StageCluster, StageSchedule, StageEncode}
+	if len(seen) != len(want) {
+		t.Fatalf("hook fired for %v, want %v", seen, want)
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("hook order %v, want %v", seen, want)
+		}
+	}
+
+	// An unhooked run produces the identical plan.
+	cfg.StageHook = nil
+	res2, err := Map(context.Background(), InterProcessorSched, w.Prog, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Assignment) != len(res.Assignment) {
+		t.Fatal("hooked and unhooked assignments differ")
+	}
+}
+
+// TestStageHookErrorAbortsStage: a hook error aborts the run with a
+// StageError naming the stage the hook refused.
+func TestStageHookErrorAbortsStage(t *testing.T) {
+	w, err := workloads.Synthesize(workloads.SynthSpec{
+		Name: "hookerr", Passes: 2, Extent: 64,
+		Streams: []workloads.StreamSpec{{Stride: 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := hierarchy.NewLayered(
+		hierarchy.LayerSpec{Count: 1, CacheChunks: 16},
+		hierarchy.LayerSpec{Count: 2, CacheChunks: 4},
+	)
+	boom := errors.New("injected")
+	for _, stage := range []string{StageTags, StageCluster, StageEncode} {
+		cfg := Config{Tree: tree, StageHook: func(_ context.Context, s string) error {
+			if s == stage {
+				return boom
+			}
+			return nil
+		}}
+		_, err := Map(context.Background(), InterProcessor, w.Prog, cfg)
+		if err == nil {
+			t.Fatalf("stage %s: hook error did not abort", stage)
+		}
+		if !errors.Is(err, boom) {
+			t.Fatalf("stage %s: error %v does not wrap the hook's", stage, err)
+		}
+		if got := FailedStage(err); got != stage {
+			t.Fatalf("FailedStage = %q, want %q (err %v)", got, stage, err)
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package server
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// admission is the bounded queue in front of the worker pool. Requests
+// that find every worker busy wait here for a slot; arrivals beyond the
+// queue's depth — or beyond its summed cost budget — are shed immediately
+// with 429, so a burst of cache-missing work degrades into fast rejections
+// instead of an unbounded pile of blocked goroutines.
+//
+// Cost is the request's work estimate (iteration count × topology size),
+// so one queue slot of a huge clustering job weighs more than one slot of
+// a trivial one: the cost bound sheds early when the queue holds few but
+// expensive requests. An empty queue always accepts one waiter regardless
+// of its cost — otherwise a single over-budget request could never run.
+type admission struct {
+	depth   int
+	maxCost int64
+
+	mu         sync.Mutex
+	queued     int
+	queuedCost int64
+}
+
+// tryEnqueue reserves a queue slot for a request of the given cost,
+// reporting false when the queue is saturated.
+func (a *admission) tryEnqueue(cost int64) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.queued >= a.depth {
+		return false
+	}
+	if a.maxCost > 0 && a.queued > 0 && a.queuedCost+cost > a.maxCost {
+		return false
+	}
+	a.queued++
+	a.queuedCost += cost
+	return true
+}
+
+// dequeue releases a reserved slot (whether the request was admitted to a
+// worker or gave up waiting).
+func (a *admission) dequeue(cost int64) {
+	a.mu.Lock()
+	a.queued--
+	a.queuedCost -= cost
+	a.mu.Unlock()
+}
+
+// snapshot returns the current queue occupancy.
+func (a *admission) snapshot() (queued int, cost int64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.queued, a.queuedCost
+}
+
+// shedError is the 429 outcome: the admission queue was full. retryAfter
+// is the backoff hint for the Retry-After header.
+type shedError struct {
+	retryAfter time.Duration
+}
+
+func (e *shedError) Error() string {
+	return fmt.Sprintf("admission queue full; retry after %s", e.retryAfter)
+}
+
+// seconds renders the hint for the Retry-After header (whole seconds,
+// rounded up, at least 1).
+func (e *shedError) seconds() int {
+	s := int(math.Ceil(e.retryAfter.Seconds()))
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// jobClock tracks an exponentially weighted moving average of job wall
+// times, feeding the Retry-After estimate: with q requests queued ahead
+// over w workers, a shed caller should come back after roughly
+// ewma × (q+1) / w.
+type jobClock struct {
+	bits atomic.Uint64 // float64 seconds
+}
+
+func (c *jobClock) observe(d time.Duration) {
+	s := d.Seconds()
+	for {
+		old := c.bits.Load()
+		prev := math.Float64frombits(old)
+		next := s
+		if old != 0 {
+			next = 0.8*prev + 0.2*s
+		}
+		if c.bits.CompareAndSwap(old, math.Float64bits(next)) {
+			return
+		}
+	}
+}
+
+func (c *jobClock) ewma() time.Duration {
+	return time.Duration(math.Float64frombits(c.bits.Load()) * float64(time.Second))
+}
+
+// retryAfter estimates the backoff for a shed request, clamped to
+// [1s, 60s].
+func (s *Server) retryAfter() time.Duration {
+	queued, _ := s.adm.snapshot()
+	per := s.jobs.ewma()
+	if per <= 0 {
+		per = time.Second
+	}
+	est := time.Duration(float64(per) * float64(queued+1) / float64(s.cfg.Workers))
+	if est < time.Second {
+		est = time.Second
+	}
+	if est > time.Minute {
+		est = time.Minute
+	}
+	return est
+}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/iosim"
 	"repro/internal/mapping"
 	"repro/internal/pipeline"
+	"repro/internal/plancache"
 	"repro/internal/workloads"
 )
 
@@ -63,6 +64,15 @@ type MapResponse struct {
 	Cached bool `json:"cached"`
 	// ElapsedMS is the server-side time to produce the plan.
 	ElapsedMS float64 `json:"elapsed_ms"`
+	// Degraded, when non-empty, marks a response served under overload:
+	// "stale" (a cached plan for the same workload whose topology drifts
+	// within tolerance) or "fallback" (the cheap lexicographic mapping).
+	Degraded string `json:"degraded,omitempty"`
+	// DegradedCause names the overload symptom that triggered degradation:
+	// queue_full, admission_timeout, deadline or fault.
+	DegradedCause string `json:"degraded_cause,omitempty"`
+	// StaleAgeMS is the age of the stale plan served (Degraded == "stale").
+	StaleAgeMS float64 `json:"stale_age_ms,omitempty"`
 }
 
 // SimRequest is the body of `POST /v1/simulate`: a mapping request plus
@@ -113,6 +123,15 @@ type job struct {
 	tree   *hierarchy.Tree
 	scheme pipeline.Scheme
 	cfg    pipeline.Config
+
+	// cost estimates the job's work for admission accounting: iteration
+	// count × topology size.
+	cost int64
+	// wkKey is the workload-only content address (the request with its
+	// topology cleared) and topoSig the topology summary — together the
+	// stale tier's lookup key for degraded serving.
+	wkKey   plancache.Key
+	topoSig plancache.TopoSig
 }
 
 // normalize applies defaults in place so that equivalent requests share
@@ -213,7 +232,16 @@ func buildJob(req MapRequest) (*job, error) {
 	cfg.Schedule.Alpha = req.Alpha
 	cfg.Schedule.Beta = req.Beta
 
-	return &job{req: req, work: w, tree: tree, scheme: scheme, cfg: cfg}, nil
+	j := &job{req: req, work: w, tree: tree, scheme: scheme, cfg: cfg}
+	j.cost = w.Prog.Nest.BoxSize() * int64(len(tree.Nodes()))
+	j.topoSig = topoSigOf(tree)
+	wk := req
+	wk.Topology = "" // workload identity only: any topology may serve stale
+	j.wkKey, err = plancache.KeyOf(planKeySpec{Schema: mapping.PlanSchemaVersion, Request: wk})
+	if err != nil {
+		return nil, err
+	}
+	return j, nil
 }
 
 // simParams builds the simulator timing model from the request's knobs.

@@ -7,6 +7,7 @@ import (
 	"strconv"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/metrics"
 	"repro/internal/obs"
 )
@@ -70,6 +71,47 @@ func (s *Server) handleTraceByID(w http.ResponseWriter, r *http.Request) {
 		// Headers are gone; nothing sensible left to do.
 		return
 	}
+}
+
+// faultsResponse is the body of GET/POST /debug/faults: the injector's
+// seed plus every armed rule with its evaluation counters.
+type faultsResponse struct {
+	Seed  uint64              `json:"seed"`
+	Rules []faults.SiteStatus `json:"rules"`
+}
+
+// handleFaultsGet reports the fault injector's armed rules and counters.
+// 404 when the server runs without an injector.
+func (s *Server) handleFaultsGet(w http.ResponseWriter, _ *http.Request) {
+	if s.faults == nil {
+		s.writeError(w, http.StatusNotFound, fmt.Errorf("fault injection disabled (run with -faults)"))
+		return
+	}
+	s.writeJSON(w, http.StatusOK, faultsResponse{Seed: s.faults.Seed(), Rules: s.faults.Status()})
+}
+
+// handleFaultsSet replaces the armed rule set (a JSON array of rules),
+// resetting per-rule counters, and reports the new state.
+func (s *Server) handleFaultsSet(w http.ResponseWriter, r *http.Request) {
+	if s.faults == nil {
+		s.writeError(w, http.StatusNotFound, fmt.Errorf("fault injection disabled (run with -faults)"))
+		return
+	}
+	body, err := readBody(w, r, s.cfg.MaxBodyBytes)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	var rules []faults.Rule
+	if err := decodeStrict(body, &rules); err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.faults.SetRules(rules); err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, faultsResponse{Seed: s.faults.Seed(), Rules: s.faults.Status()})
 }
 
 // registerRuntimeMetrics exports runtime gauges through the registry,

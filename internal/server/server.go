@@ -28,6 +28,20 @@
 // jobs that overrun it return 504 and the pipeline observes the canceled
 // context cooperatively, stopping the computation within one stage
 // boundary or check interval — no worker goroutine outlives its request.
+//
+// Overload hardening: in front of the worker pool sits a bounded
+// admission queue (depth and summed-cost limits; cost ≈ iteration count ×
+// topology size). Requests the queue cannot hold are shed immediately
+// with 429 and a Retry-After hint — a shed request never blocks and never
+// touches a worker. With degraded serving enabled, overload-path failures
+// (shed, admission timeout, deadline overrun, injected fault) are instead
+// answered with a stale-but-valid plan from the plan cache's stale tier
+// (same workload, topology drift within tolerance) or the cheap
+// lexicographic fallback mapping, the degradation mode marked in the
+// response, the request span, and cachemapd_degraded_responses_total. A
+// faults.Injector (see -faults / GET+POST /debug/faults) deterministically
+// injects latency spikes, pipeline-stage errors and plan-cache leader
+// crashes to prove those paths under chaos load.
 package server
 
 import (
@@ -43,6 +57,7 @@ import (
 	"strconv"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/iosim"
 	"repro/internal/mapping"
 	"repro/internal/metrics"
@@ -73,6 +88,20 @@ type Config struct {
 	// SlowRequestThreshold: requests at least this slow are logged at Warn
 	// with their span breakdown (0 disables the slow-request log).
 	SlowRequestThreshold time.Duration
+	// AdmissionQueueDepth bounds requests waiting for a worker slot;
+	// arrivals beyond it are shed with 429 + Retry-After (default 64;
+	// negative sheds whenever no worker is immediately free).
+	AdmissionQueueDepth int
+	// AdmissionQueueCost bounds the summed cost estimate (iteration count
+	// × topology size) of queued requests (0 = unbounded). An empty queue
+	// always accepts one waiter regardless of cost.
+	AdmissionQueueCost int64
+	// Degraded configures graceful degradation under overload.
+	Degraded DegradedConfig
+	// Faults, when non-nil, deterministically injects latency spikes,
+	// pipeline-stage errors and plan-cache leader crashes (see
+	// internal/faults) and enables GET/POST /debug/faults.
+	Faults *faults.Injector
 }
 
 func (c *Config) applyDefaults() {
@@ -94,6 +123,13 @@ func (c *Config) applyDefaults() {
 	if c.TraceBufferSize == 0 {
 		c.TraceBufferSize = 256
 	}
+	if c.AdmissionQueueDepth == 0 {
+		c.AdmissionQueueDepth = 64
+	}
+	if c.AdmissionQueueDepth < 0 {
+		c.AdmissionQueueDepth = 0
+	}
+	c.Degraded.applyDefaults()
 }
 
 // Server is the mapping-as-a-service daemon core. Create with New; it is
@@ -102,7 +138,11 @@ type Server struct {
 	cfg    Config
 	reg    *metrics.Registry
 	cache  *plancache.Cache[cachedPlan]
+	stale  *plancache.StaleTier[staleValue]
 	sem    chan struct{}
+	adm    admission
+	jobs   jobClock
+	faults *faults.Injector
 	tracer *obs.Tracer
 
 	reqTotal       *metrics.Counter
@@ -118,6 +158,9 @@ type Server struct {
 	slowRequests   *metrics.Counter
 	simPairsGen    *metrics.Counter
 	simPairsDense  *metrics.Counter
+	admShed        *metrics.Counter
+	degraded       *metrics.CounterVec
+	faultsFired    *metrics.CounterVec
 	clusterDur     *metrics.Histogram
 	reqDur         *metrics.Histogram
 	stageDur       *metrics.HistogramVec
@@ -131,10 +174,13 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg.applyDefaults()
 	s := &Server{
-		cfg:   cfg,
-		reg:   cfg.Registry,
-		cache: plancache.New[cachedPlan](cfg.PlanCacheSize),
-		sem:   make(chan struct{}, cfg.Workers),
+		cfg:    cfg,
+		reg:    cfg.Registry,
+		cache:  plancache.New[cachedPlan](cfg.PlanCacheSize),
+		stale:  plancache.NewStaleTier[staleValue](cfg.Degraded.StaleTierSize),
+		sem:    make(chan struct{}, cfg.Workers),
+		adm:    admission{depth: cfg.AdmissionQueueDepth, maxCost: cfg.AdmissionQueueCost},
+		faults: cfg.Faults,
 	}
 	s.reqTotal = s.reg.Counter("cachemapd_requests_total", "API requests received")
 	s.reqMap = s.reg.Counter("cachemapd_map_requests_total", "POST /v1/map requests received")
@@ -161,6 +207,27 @@ func New(cfg Config) *Server {
 		"similarity pairs materialized by the sparse inverted-index engine (tag overlap, weight >= 1)")
 	s.simPairsDense = s.reg.Counter("cachemapd_similarity_pairs_dense_bound",
 		"similarity pairs the dense n(n-1)/2 enumeration would have generated for the same workloads")
+	s.admShed = s.reg.Counter("cachemapd_admission_shed_total",
+		"requests shed with 429 because the admission queue was saturated")
+	s.degraded = s.reg.CounterVec("cachemapd_degraded_responses_total",
+		"degraded responses served under overload, by degradation mode", "mode")
+	s.faultsFired = s.reg.CounterVec("cachemapd_faults_injected_total",
+		"faults injected by the chaos harness, by site", "site")
+	s.reg.GaugeFunc("cachemapd_admission_queue_depth",
+		"requests currently waiting in the admission queue for a worker slot",
+		func() float64 { q, _ := s.adm.snapshot(); return float64(q) })
+	s.reg.GaugeFunc("cachemapd_admission_queue_cost",
+		"summed cost estimate (iterations x topology size) of queued requests",
+		func() float64 { _, c := s.adm.snapshot(); return float64(c) })
+	s.reg.GaugeFunc("cachemapd_admission_queue_limit",
+		"configured admission queue depth bound",
+		func() float64 { return float64(s.adm.depth) })
+	s.reg.CounterFunc("cachemapd_stale_tier_hits_total",
+		"degraded lookups answered by the stale plan tier",
+		func() float64 { h, _ := s.stale.Stats(); return float64(h) })
+	s.reg.CounterFunc("cachemapd_stale_tier_misses_total",
+		"degraded lookups the stale plan tier could not answer (missing workload or topology drift beyond tolerance)",
+		func() float64 { _, m := s.stale.Stats(); return float64(m) })
 	s.cache.OnHit = s.cacheHits.Inc
 	s.cache.OnMiss = s.cacheMisses.Inc
 	s.cache.OnEvict = func(plancache.Key, cachedPlan) { s.cacheEvictions.Inc() }
@@ -188,6 +255,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /debug/traces", s.handleTraces)
 	mux.HandleFunc("GET /debug/traces/{id}", s.handleTraceByID)
+	mux.HandleFunc("GET /debug/faults", s.handleFaultsGet)
+	mux.HandleFunc("POST /debug/faults", s.handleFaultsSet)
 	return mux
 }
 
@@ -220,18 +289,42 @@ type cachedPlan struct {
 // computePlan resolves a validated job through the plan cache, computing
 // the mapping on a miss. The computation runs under ctx and stops
 // cooperatively when it is canceled; a canceled leader never poisons the
-// cache (see plancache.Do).
+// cache (see plancache.Do). Successful plans are also recorded in the
+// stale tier under the job's workload-only key, feeding degraded serving.
+//
+// With a fault injector armed, the computation passes the injector's
+// pipeline sites through a stage hook, and the plancache/leader site can
+// crash the leader: the leader cancels its own Do context and abandons
+// the key, waiting followers re-elect a successor (the production crash
+// path), and the crashed request itself reports an *faults.InjectedError.
 func (s *Server) computePlan(ctx context.Context, j *job) (cachedPlan, plancache.Key, bool, error) {
 	key, err := plancache.KeyOf(planKeySpec{Schema: mapping.PlanSchemaVersion, Request: j.req})
 	if err != nil {
 		return cachedPlan{}, plancache.Key{}, false, err
 	}
-	v, hit, err := s.cache.Do(ctx, key, func(ctx context.Context) (cachedPlan, error) {
+	dctx := ctx
+	var crash context.CancelFunc
+	if s.faults != nil {
+		dctx, crash = context.WithCancel(ctx)
+		defer crash()
+	}
+	v, hit, err := s.cache.Do(dctx, key, func(cctx context.Context) (cachedPlan, error) {
+		if crash != nil {
+			if d := s.faults.Evaluate("plancache/leader"); d.Crash {
+				s.faultsFired.Inc("plancache/leader")
+				crash()
+				return cachedPlan{}, &faults.InjectedError{Site: "plancache/leader"}
+			}
+		}
 		if s.onJobStart != nil {
 			s.onJobStart()
 		}
+		cfg := j.cfg
+		if s.faults != nil {
+			cfg.StageHook = s.stageHook
+		}
 		start := time.Now()
-		res, err := pipeline.Map(ctx, j.scheme, j.work.Prog, j.cfg)
+		res, err := pipeline.Map(cctx, j.scheme, j.work.Prog, cfg)
 		if err != nil {
 			return cachedPlan{}, err
 		}
@@ -245,7 +338,31 @@ func (s *Server) computePlan(ctx context.Context, j *job) (cachedPlan, plancache
 		}
 		return cachedPlan{Plan: mapping.PlanOf(res), Stages: res.Stages}, nil
 	})
+	if err != nil && ctx.Err() == nil && dctx.Err() != nil {
+		// The injected leader crash canceled dctx, not the caller: surface
+		// it as the injected fault it is, not as a cancellation.
+		err = &faults.InjectedError{Site: "plancache/leader"}
+	}
+	if err == nil {
+		s.stale.Put(j.wkKey, j.topoSig, staleValue{plan: v, key: key})
+	}
 	return v, key, hit, err
+}
+
+// stageHook adapts the fault injector to the pipeline: each stage start
+// evaluates the injector's pipeline/<stage> site, applying latency spikes
+// and injected errors.
+func (s *Server) stageHook(ctx context.Context, stage string) error {
+	d := s.faults.Evaluate("pipeline/" + stage)
+	if d.Fired() {
+		s.faultsFired.Inc("pipeline/" + stage)
+	}
+	if d.Delay > 0 {
+		if err := faults.Sleep(ctx, d.Delay); err != nil {
+			return err
+		}
+	}
+	return d.Err
 }
 
 // ComputePlan runs a mapping request in process (no HTTP), through the
@@ -271,30 +388,54 @@ func (s *Server) ComputePlan(req MapRequest) (*MapResponse, error) {
 	}, nil
 }
 
-// admit blocks until a worker slot is free or the context expires.
-func (s *Server) admit(ctx context.Context) error {
-	select {
-	case s.sem <- struct{}{}:
-		return nil
-	case <-ctx.Done():
-		return ctx.Err()
-	}
-}
-
-func (s *Server) release() { <-s.sem }
-
 // runJob executes fn on a pooled worker slot under the request deadline.
+//
+// Admission: a free worker slot is taken immediately; otherwise the
+// request must first reserve a spot in the bounded admission queue —
+// saturation (by depth or summed cost) sheds it at once with a *shedError
+// (429 + Retry-After upstream), so a shed request never blocks and never
+// consumes a worker. A queued request that cannot reach a worker before
+// its deadline gives up with errBusy, still without having run.
+//
 // fn observes ctx and returns cooperatively when it expires (the pipeline
 // checks between stages and inside its long loops), so a timed-out request
 // frees its worker instead of leaking a detached goroutine that keeps
 // computing after the 504 went out.
-func runJob[T any](s *Server, ctx context.Context, fn func(ctx context.Context) (T, error)) (T, error) {
+func runJob[T any](s *Server, ctx context.Context, cost int64, fn func(ctx context.Context) (T, error)) (T, error) {
 	var zero T
-	if err := s.admit(ctx); err != nil {
-		return zero, errBusy
+	if s.faults != nil {
+		d := s.faults.Evaluate("server/admit")
+		if d.Fired() {
+			s.faultsFired.Inc("server/admit")
+		}
+		if d.Delay > 0 {
+			if err := faults.Sleep(ctx, d.Delay); err != nil {
+				return zero, errDeadline
+			}
+		}
+		if d.Err != nil {
+			return zero, d.Err
+		}
 	}
-	defer s.release()
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		if !s.adm.tryEnqueue(cost) {
+			s.admShed.Inc()
+			return zero, &shedError{retryAfter: s.retryAfter()}
+		}
+		select {
+		case s.sem <- struct{}{}:
+			s.adm.dequeue(cost)
+		case <-ctx.Done():
+			s.adm.dequeue(cost)
+			return zero, errBusy
+		}
+	}
+	defer func() { <-s.sem }()
+	start := time.Now()
 	v, err := fn(ctx)
+	s.jobs.observe(time.Since(start))
 	if err != nil && ctx.Err() != nil {
 		return zero, errDeadline
 	}
@@ -318,16 +459,20 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 			return nil, badRequest(err)
 		}
 		start := time.Now()
+		elapsed := func() float64 { return float64(time.Since(start)) / float64(time.Millisecond) }
 		type planOut struct {
 			plan cachedPlan
 			key  plancache.Key
 			hit  bool
 		}
-		out, err := runJob(s, ctx, func(ctx context.Context) (planOut, error) {
+		out, err := runJob(s, ctx, j.cost, func(ctx context.Context) (planOut, error) {
 			plan, key, hit, err := s.computePlan(ctx, j)
 			return planOut{plan, key, hit}, err
 		})
 		if err != nil {
+			if resp, ok := s.tryDegrade(ctx, j, err, elapsed); ok {
+				return resp, nil
+			}
 			return nil, err
 		}
 		return &MapResponse{
@@ -335,7 +480,7 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 			Stages:    out.plan.Stages,
 			CacheKey:  out.key.String(),
 			Cached:    out.hit,
-			ElapsedMS: float64(time.Since(start)) / float64(time.Millisecond),
+			ElapsedMS: elapsed(),
 		}, nil
 	})
 }
@@ -356,7 +501,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 			return nil, badRequest(err)
 		}
 		start := time.Now()
-		return runJob(s, ctx, func(ctx context.Context) (any, error) {
+		return runJob(s, ctx, j.cost, func(ctx context.Context) (any, error) {
 			out, key, hit, err := s.computePlan(ctx, j)
 			if err != nil {
 				return nil, err
@@ -429,14 +574,21 @@ func (s *Server) serve(w http.ResponseWriter, r *http.Request, fn func(ctx conte
 	}()
 	if err != nil {
 		var he *httpError
+		var se *shedError
+		var ie *faults.InjectedError
 		switch {
 		case errors.As(err, &he):
 			status = he.status
 			err = he.err
+		case errors.As(err, &se):
+			status = http.StatusTooManyRequests
+			w.Header().Set("Retry-After", strconv.Itoa(se.seconds()))
 		case errors.Is(err, errBusy):
 			status = http.StatusServiceUnavailable
 		case errors.Is(err, errDeadline):
 			status = http.StatusGatewayTimeout
+		case errors.As(err, &ie):
+			status = http.StatusServiceUnavailable
 		default:
 			status = http.StatusInternalServerError
 		}
