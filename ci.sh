@@ -1,8 +1,9 @@
 #!/bin/sh
 # Lightweight CI: formatting, build, vet, linters, race-enabled tests, the
 # short-mode reproduction-fidelity gate, the bench regression gate, and
-# end-to-end daemon smoke tests (tracing + overload/chaos) — the tier-1
-# gate. Run by .github/workflows/ci.yml and locally as ./ci.sh.
+# end-to-end daemon smoke tests (tracing, overload/chaos, and the 3-node
+# ring) — the tier-1 gate. Run by .github/workflows/ci.yml and locally as
+# ./ci.sh.
 set -eu
 
 echo "==> gofmt"
@@ -68,23 +69,27 @@ go test -short -count=1 -run TestSparseSimilaritySmoke ./internal/core
 go test -short -count=1 -run TestMapSimilarityPairLedger ./internal/pipeline
 
 echo "==> bench regression gate (vs BENCH_4.json)"
-# Short mode: fixed iteration counts keep this quick; the 60% tolerance
-# absorbs shared-runner noise (the committed ledger's own entries spread
-# ~20%) while still catching the order-of-magnitude regressions the
-# ledger exists to prevent (dense-similarity fallback, O(n^2) relapses).
+# Short mode: fixed iteration counts keep this quick; three samples per
+# benchmark are folded to their minimum by benchjson (interference only
+# slows a run down), and the 100% tolerance absorbs shared-runner noise —
+# observed minute-to-minute drift on 1-CPU CI boxes reaches +80% with no
+# code change — while still catching the order-of-magnitude regressions
+# the ledger exists to prevent (dense-similarity fallback at ~+470%,
+# O(n^2) relapses).
 tmp=$(mktemp -d)
 daemon_pid=
-trap 'if [ -n "$daemon_pid" ]; then kill $daemon_pid 2>/dev/null || true; fi; rm -rf "$tmp"' EXIT
+ring_pids=
+trap 'if [ -n "$daemon_pid" ]; then kill $daemon_pid 2>/dev/null || true; fi; if [ -n "$ring_pids" ]; then kill $ring_pids 2>/dev/null || true; fi; rm -rf "$tmp"' EXIT
 go build -o "$tmp/benchjson" ./cmd/benchjson
-go test -run '^$' -bench 'BenchmarkDistribute$' -benchtime 100x . >"$tmp/bench.out" 2>&1 || {
+go test -run '^$' -bench 'BenchmarkDistribute$' -benchtime 100x -count=3 . >"$tmp/bench.out" 2>&1 || {
 	cat "$tmp/bench.out" >&2
 	exit 1
 }
-go test -run '^$' -bench 'BenchmarkPipelineParallelism' -benchtime 1x . >>"$tmp/bench.out" 2>&1 || {
+go test -run '^$' -bench 'BenchmarkPipelineParallelism' -benchtime 1x -count=3 . >>"$tmp/bench.out" 2>&1 || {
 	cat "$tmp/bench.out" >&2
 	exit 1
 }
-"$tmp/benchjson" -compare BENCH_4.json -tolerance 60 <"$tmp/bench.out" >/dev/null
+"$tmp/benchjson" -compare BENCH_4.json -tolerance 100 <"$tmp/bench.out" >/dev/null
 
 echo "==> cachemapd trace smoke test"
 # Boot the daemon on ephemeral ports (parsed from its own log, so parallel
@@ -211,5 +216,172 @@ grep -E '"fired":[1-9]' "$tmp/faults.json" >/dev/null || {
 kill "$daemon_pid"
 wait "$daemon_pid" 2>/dev/null || true
 daemon_pid=
+
+echo "==> 3-node ring smoke (peer fill, fleet-wide singleflight, owner kill, degraded stale)"
+# Boot a 3-node consistent-hash ring and prove the distributed plan cache
+# end to end: one spec posted through every node computes exactly once
+# fleet-wide (the misses peer-fill from the key's owner), killing the
+# owner mid-load leaves only contract outcomes, and a survivor then
+# serves the workload degraded-stale from the replica its fill created.
+go build -o "$tmp/freeport" ./cmd/freeport
+ring_ports=$("$tmp/freeport" -n 3)
+ra0="127.0.0.1:$(echo "$ring_ports" | sed -n 1p)"
+ra1="127.0.0.1:$(echo "$ring_ports" | sed -n 2p)"
+ra2="127.0.0.1:$(echo "$ring_ports" | sed -n 3p)"
+ring_peers="$ra0,$ra1,$ra2"
+
+dump_ring_logs() {
+	for ri in 0 1 2; do
+		echo "--- ring node $ri log ---" >&2
+		cat "$tmp/ring$ri.log" >&2 || true
+	done
+}
+# rcurl: curl that dumps all three ring logs on failure.
+rcurl() {
+	if ! curl -fsS "$@"; then
+		echo "curl $* failed; ring logs:" >&2
+		dump_ring_logs
+		exit 1
+	fi
+}
+
+ri=0
+for ra in "$ra0" "$ra1" "$ra2"; do
+	# A zero-probability rule arms the injector so POST /debug/faults is
+	# live for the degraded-stale step without perturbing the load phase.
+	"$tmp/cachemapd" -addr "$ra" -self "$ra" -peers "$ring_peers" \
+		-degraded -faults 'error:pipeline/tags:0' -fault-seed 7 \
+		2>"$tmp/ring$ri.log" &
+	ring_pids="$ring_pids $!"
+	eval "ring_pid$ri=$!"
+	ri=$((ri + 1))
+done
+for ra in "$ra0" "$ra1" "$ra2"; do
+	i=0
+	until curl -fsS -o /dev/null "http://$ra/healthz" 2>/dev/null; do
+		i=$((i + 1))
+		if [ "$i" -gt 100 ]; then
+			echo "ring node $ra did not become healthy" >&2
+			dump_ring_logs
+			exit 1
+		fi
+		sleep 0.1
+	done
+done
+
+ring_spec='{"workload":{"synth":{"name":"ring-ci","passes":2,"extent":320,"streams":[{"stride":1}]}},"topology":"2/4/8@16,8,4","scheme":"inter"}'
+ri=0
+for ra in "$ra0" "$ra1" "$ra2"; do
+	rcurl -o "$tmp/ring-resp$ri.json" -H 'Content-Type: application/json' \
+		-d "$ring_spec" "http://$ra/v1/map"
+	ri=$((ri + 1))
+done
+
+# Exactly one pipeline compute fleet-wide: the two non-owner nodes must
+# have peer-filled instead of computing.
+computes_total=0
+owner_idx=
+ri=0
+for ra in "$ra0" "$ra1" "$ra2"; do
+	c=$(rcurl "http://$ra/metrics" | sed -n 's/^cachemapd_pipeline_computes_total //p')
+	computes_total=$((computes_total + ${c:-0}))
+	if [ "${c:-0}" -eq 1 ]; then
+		owner_idx=$ri
+	fi
+	ri=$((ri + 1))
+done
+if [ "$computes_total" -ne 1 ] || [ -z "$owner_idx" ]; then
+	echo "fleet ran $computes_total pipeline computes for one spec (want 1)" >&2
+	dump_ring_logs
+	exit 1
+fi
+grep -h '"filled_from":"' "$tmp/ring-resp0.json" "$tmp/ring-resp1.json" "$tmp/ring-resp2.json" >/dev/null || {
+	echo "no response carries peer-fill provenance (filled_from)" >&2
+	dump_ring_logs
+	exit 1
+}
+fills_total=0
+for ra in "$ra0" "$ra1" "$ra2"; do
+	f=$(rcurl "http://$ra/metrics" | sed -n 's/^cachemapd_peer_fill_total{outcome="hit"} //p')
+	fills_total=$((fills_total + ${f:-0}))
+done
+if [ "$fills_total" -lt 1 ]; then
+	echo "no peer fill hit recorded in cachemapd_peer_fill_total" >&2
+	dump_ring_logs
+	exit 1
+fi
+# The same plan, byte for byte, from every serving path.
+k0=$(grep -o '"cache_key":"[0-9a-f]*"' "$tmp/ring-resp0.json")
+k1=$(grep -o '"cache_key":"[0-9a-f]*"' "$tmp/ring-resp1.json")
+k2=$(grep -o '"cache_key":"[0-9a-f]*"' "$tmp/ring-resp2.json")
+p0=$(sed -n 's/.*"plan":\(.*\),"stages".*/\1/p' "$tmp/ring-resp0.json")
+p1=$(sed -n 's/.*"plan":\(.*\),"stages".*/\1/p' "$tmp/ring-resp1.json")
+p2=$(sed -n 's/.*"plan":\(.*\),"stages".*/\1/p' "$tmp/ring-resp2.json")
+if [ "$k0" != "$k1" ] || [ "$k1" != "$k2" ] || [ -z "$k0" ] ||
+	[ "$p0" != "$p1" ] || [ "$p1" != "$p2" ]; then
+	echo "plan or cache key diverged across ring nodes" >&2
+	dump_ring_logs
+	exit 1
+fi
+# The fill fetch ran under a cluster.fetch span on some requester.
+found_span=
+for ra in "$ra0" "$ra1" "$ra2"; do
+	if rcurl "http://$ra/debug/traces" | grep -q 'cluster.fetch'; then
+		found_span=1
+	fi
+done
+if [ -z "$found_span" ]; then
+	echo "no cluster.fetch span in any node's /debug/traces" >&2
+	dump_ring_logs
+	exit 1
+fi
+
+# Kill the owner mid-load: the ring loadgen must see only contract
+# outcomes (200 incl. degraded, 429, 503/504, or unreachable).
+"$tmp/loadgen" -ring "$ring_peers" -n 400 -c 8 -pace 10ms >"$tmp/ring-loadgen.out" 2>&1 &
+lg_pid=$!
+sleep 0.5
+eval "owner_pid=\$ring_pid$owner_idx"
+kill -9 "$owner_pid" 2>/dev/null || true
+if ! wait "$lg_pid"; then
+	echo "ring loadgen failed across an owner kill:" >&2
+	cat "$tmp/ring-loadgen.out" >&2
+	dump_ring_logs
+	exit 1
+fi
+grep 'ring:        PASS' "$tmp/ring-loadgen.out" >/dev/null || {
+	cat "$tmp/ring-loadgen.out" >&2
+	exit 1
+}
+
+# A survivor must keep serving the workload degraded when both its fill
+# path and its own pipeline are broken: the stale replica the peer fill
+# (or its own serve) created answers a drifted-topology request.
+survivor_idx=$(((owner_idx + 1) % 3))
+eval "survivor=\$ra$survivor_idx"
+rcurl -o /dev/null -H 'Content-Type: application/json' \
+	-d '[{"kind":"error","site":"pipeline/tags","prob":1},{"kind":"error","site":"cluster/fetch","prob":1}]' \
+	"http://$survivor/debug/faults"
+drifted_spec='{"workload":{"synth":{"name":"ring-ci","passes":2,"extent":320,"streams":[{"stride":1}]}},"topology":"2/4/7@16,8,4","scheme":"inter"}'
+rcurl -o "$tmp/ring-stale.json" -H 'Content-Type: application/json' \
+	-d "$drifted_spec" "http://$survivor/v1/map"
+grep '"degraded":"stale"' "$tmp/ring-stale.json" >/dev/null || {
+	echo "survivor did not serve degraded-stale from its replica:" >&2
+	cat "$tmp/ring-stale.json" >&2
+	dump_ring_logs
+	exit 1
+}
+# The dead owner must be visible in the survivor's ring health.
+rcurl "http://$survivor/healthz" | grep -q '"state":"down"' || {
+	echo "dead owner not reported down in the survivor's /healthz" >&2
+	dump_ring_logs
+	exit 1
+}
+echo "ring smoke: node $owner_idx owned the spec (1 fleet-wide compute, $fills_total peer fills); loadgen survived its kill; degraded-stale served from node $survivor_idx"
+kill $ring_pids 2>/dev/null || true
+for rp in $ring_pids; do
+	wait "$rp" 2>/dev/null || true
+done
+ring_pids=
 
 echo "==> ci ok"

@@ -13,9 +13,11 @@
 // writing a file, fresh results on stdin are compared against the ledger's
 // entries under -label, and the command fails if any benchmark's ns/op —
 // or any of its time-like custom metrics (…ms/op) — regressed by more than
-// -tolerance percent:
+// -tolerance percent. Repeated samples of the same benchmark (go test
+// -count=N) are folded by taking the per-metric minimum before comparing,
+// so a single noisy sample on a busy machine does not trip the gate:
 //
-//	go test -run '^$' -bench BenchmarkDistribute ./internal/core | benchjson -compare BENCH_4.json -tolerance 25
+//	go test -run '^$' -bench BenchmarkDistribute -count 3 ./internal/core | benchjson -compare BENCH_4.json -tolerance 25
 package main
 
 import (
@@ -137,12 +139,15 @@ type comparison struct {
 	failed bool
 }
 
-// compare parses benchmark output from in (echoing to echo) and checks
-// every parsed benchmark that the ledger records under label: ns/op and
-// any time-like custom metric (unit containing "ms/op") must not exceed
-// the ledger value by more than tolerance percent. Benchmarks absent from
-// the ledger are skipped; zero overlap is an error (an empty gate guards
-// nothing).
+// compare parses benchmark output from in (echoing to echo), folds
+// repeated samples of the same benchmark (go test -count=N) into one
+// result by taking the per-metric minimum — on a shared machine
+// interference only ever slows a run down, so the fastest sample is the
+// least contaminated — and checks every folded benchmark that the ledger
+// records under label: ns/op and any time-like custom metric (unit
+// containing "ms/op") must not exceed the ledger value by more than
+// tolerance percent. Benchmarks absent from the ledger are skipped; zero
+// overlap is an error (an empty gate guards nothing).
 func compare(in io.Reader, echo io.Writer, ledgerPath, label string, tolerance float64) ([]comparison, error) {
 	raw, err := os.ReadFile(ledgerPath)
 	if err != nil {
@@ -151,6 +156,39 @@ func compare(in io.Reader, echo io.Writer, ledgerPath, label string, tolerance f
 	var ledger File
 	if err := json.Unmarshal(raw, &ledger); err != nil {
 		return nil, fmt.Errorf("%s is not a benchjson file: %v", ledgerPath, err)
+	}
+
+	best := make(map[string]*Result)
+	var order []string
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Fprintln(echo, line)
+		name, res, ok := parseLine(line)
+		if !ok {
+			continue
+		}
+		b, seen := best[name]
+		if !seen {
+			best[name] = res
+			order = append(order, name)
+			continue
+		}
+		if res.NsPerOp < b.NsPerOp {
+			b.NsPerOp = res.NsPerOp
+		}
+		for unit, v := range res.Metrics {
+			if prev, ok := b.Metrics[unit]; !ok || v < prev {
+				if b.Metrics == nil {
+					b.Metrics = make(map[string]float64)
+				}
+				b.Metrics[unit] = v
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
 	}
 
 	var comps []comparison
@@ -164,20 +202,12 @@ func compare(in io.Reader, echo io.Writer, ledgerPath, label string, tolerance f
 			deltaP: deltaP, failed: deltaP > tolerance,
 		})
 	}
-
-	sc := bufio.NewScanner(in)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	for sc.Scan() {
-		line := sc.Text()
-		fmt.Fprintln(echo, line)
-		name, res, ok := parseLine(line)
-		if !ok {
-			continue
-		}
+	for _, name := range order {
 		old, ok := ledger.Benchmarks[name][label]
 		if !ok {
 			continue
 		}
+		res := best[name]
 		check(name, "ns/op", old.NsPerOp, res.NsPerOp)
 		// Time-like custom metrics (e.g. the pipeline's similarity-ms/op)
 		// gate too; counts and ratios are informational only.
@@ -194,9 +224,6 @@ func compare(in io.Reader, echo io.Writer, ledgerPath, label string, tolerance f
 				check(name, unit, old.Metrics[unit], v)
 			}
 		}
-	}
-	if err := sc.Err(); err != nil {
-		return nil, err
 	}
 	if len(comps) == 0 {
 		return nil, fmt.Errorf("no benchmark on stdin matched ledger %s under label %q", ledgerPath, label)

@@ -145,6 +145,44 @@ func TestCompareCustomMetricsGate(t *testing.T) {
 	}
 }
 
+// TestCompareFoldsRepeatedSamplesByMin: with go test -count=N the same
+// benchmark appears N times; one interference-slowed sample must not trip
+// the gate as long as the fastest sample is within tolerance.
+func TestCompareFoldsRepeatedSamplesByMin(t *testing.T) {
+	path := writeLedger(t, ledgerWith(1000000, map[string]float64{
+		"similarity-ms/op": 10,
+	}))
+	in := strings.NewReader(strings.Join([]string{
+		"BenchmarkDistribute \t 300\t 2400000 ns/op\t 9 similarity-ms/op",
+		"BenchmarkDistribute \t 300\t 1050000 ns/op\t 30 similarity-ms/op",
+		"BenchmarkDistribute \t 300\t 1900000 ns/op\t 11 similarity-ms/op",
+	}, "\n") + "\n")
+	comps, err := compare(in, io.Discard, path, "after", 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One folded benchmark → one ns/op check + one similarity check, both
+	// against the minimum across the three samples.
+	if len(comps) != 2 {
+		t.Fatalf("want 2 folded checks, got %+v", comps)
+	}
+	for _, c := range comps {
+		if c.failed {
+			t.Fatalf("min-folded %s flagged: %+v", c.what, c)
+		}
+		switch c.what {
+		case "ns/op":
+			if c.new != 1050000 {
+				t.Fatalf("ns/op min = %v, want 1050000", c.new)
+			}
+		case "similarity-ms/op":
+			if c.new != 9 {
+				t.Fatalf("similarity min = %v, want 9", c.new)
+			}
+		}
+	}
+}
+
 func TestCompareSkipsUnknownAndRequiresOverlap(t *testing.T) {
 	path := writeLedger(t, ledgerWith(1000000, nil))
 	// A benchmark the ledger does not record is skipped…

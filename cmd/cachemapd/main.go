@@ -10,12 +10,15 @@
 //	cachemapd -debug-addr 127.0.0.1:8643 -mutex-fraction 5 -block-rate 10000
 //	cachemapd -queue 128 -degraded -stale-tolerance 0.3
 //	cachemapd -faults 'latency:pipeline/tags:0.2:50ms;crash:plancache/leader:0.05' -fault-seed 42
+//	cachemapd -addr :8642 -self 127.0.0.1:8642 \
+//	          -peers 127.0.0.1:8642,127.0.0.1:8643,127.0.0.1:8644
 //
 // Endpoints:
 //
 //	POST /v1/map              {"workload":{"app":"apsi"},"topology":"16/32/64@16,8,4","scheme":"inter"}
 //	POST /v1/simulate         same body plus optional simulator knobs (policy, prefetch_depth, …)
-//	GET  /healthz             liveness probe
+//	POST /internal/plan/{key} peer-fill protocol between ring members
+//	GET  /healthz             liveness, admission-queue and ring health (JSON)
 //	GET  /metrics             Prometheus text exposition
 //	GET  /debug/traces        recent request traces as JSON (?min_ms=N to filter)
 //	GET  /debug/traces/{id}   one trace in Chrome trace_event format
@@ -29,6 +32,16 @@
 // drift within -stale-tolerance) or the cheap lexicographic fallback,
 // marked in the response. -faults arms the deterministic fault injector
 // (kind:site:prob[:delay] rules, seeded by -fault-seed) for chaos testing.
+//
+// Clustering: -peers (the full fleet, comma-separated) and -self (this
+// node's address exactly as listed in -peers) join the daemon to a
+// consistent-hash ring over which the fleet shares one logical plan
+// cache: each plan key has one owner, local misses peer-fill from it
+// (POST /internal/plan/{key}), and the owner's singleflight makes its
+// computation the fleet-wide one. Every node must be started with the
+// same -peers, -ring-vnodes and -ring-seed for ownership to agree. A
+// failed or slow fill (bounded by -fill-timeout) falls back to local
+// computation, so a dead owner degrades throughput, not availability.
 //
 // Every request runs under a trace span; callers may propagate W3C
 // trace-context via the traceparent header and correlate responses through
@@ -50,10 +63,13 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/faults"
+	"repro/internal/metrics"
 	"repro/internal/server"
 )
 
@@ -74,6 +90,11 @@ func main() {
 	staleTol := flag.Float64("stale-tolerance", 0.25, "relative per-layer topology drift under which a stale plan still serves")
 	faultSpec := flag.String("faults", "", "arm the fault injector: semicolon-separated kind:site:prob[:delay] rules")
 	faultSeed := flag.Uint64("fault-seed", 1, "seed for the deterministic fault injector")
+	peers := flag.String("peers", "", "comma-separated ring peer addresses, identical fleet-wide (empty: standalone)")
+	self := flag.String("self", "", "this node's address exactly as it appears in -peers (required with -peers)")
+	ringVNodes := flag.Int("ring-vnodes", 64, "virtual points per peer on the consistent-hash ring")
+	ringSeed := flag.Uint64("ring-seed", 1, "ring placement seed, identical fleet-wide")
+	fillTimeout := flag.Duration("fill-timeout", 10*time.Second, "deadline for one peer-fill fetch")
 	flag.Parse()
 
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
@@ -100,11 +121,44 @@ func main() {
 		runtime.SetBlockProfileRate(*blockRate)
 	}
 
+	// One registry shared by the server and the cluster node, so ring
+	// metrics surface on the same /metrics exposition.
+	reg := metrics.NewRegistry()
+	var node *cluster.Node
+	if *peers != "" {
+		var list []string
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				list = append(list, p)
+			}
+		}
+		var err error
+		node, err = cluster.New(cluster.Config{
+			Self:        *self,
+			Peers:       list,
+			VNodes:      *ringVNodes,
+			Seed:        *ringSeed,
+			FillTimeout: *fillTimeout,
+			Registry:    reg,
+			Faults:      injector,
+		})
+		if err != nil {
+			logger.Error("bad ring configuration", "err", err)
+			os.Exit(2)
+		}
+		logger.Info("joined ring", "self", *self, "peers", len(list),
+			"vnodes", *ringVNodes, "seed", *ringSeed, "fill_timeout", *fillTimeout)
+	} else if *self != "" {
+		logger.Error("-self is set but -peers is empty")
+		os.Exit(2)
+	}
+
 	traceBuf := *traces
 	if traceBuf == 0 {
 		traceBuf = -1 // Config treats 0 as "default"; negative disables.
 	}
 	srv := server.New(server.Config{
+		Registry:             reg,
 		Workers:              *workers,
 		PlanCacheSize:        *cacheSize,
 		RequestTimeout:       *timeout,
@@ -117,7 +171,8 @@ func main() {
 			Enabled:        *degraded,
 			StaleTolerance: *staleTol,
 		},
-		Faults: injector,
+		Faults:  injector,
+		Cluster: node,
 	})
 	hs := &http.Server{
 		Handler:           srv.Handler(),

@@ -1,0 +1,393 @@
+package main
+
+// Multi-process ring integration test: builds the real cachemapd binary,
+// boots a 3-node ring on ephemeral ports, and proves the distributed
+// plan cache end to end — peer fill, fleet-wide singleflight, owner-kill
+// failover to local compute, and degraded-stale serving from a replica
+// that only ever saw the plan via a fill.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/server"
+	"repro/internal/workloads"
+)
+
+const (
+	ringVNodes = 64
+	ringSeed   = 1
+	ringTopo   = "2/4/8@16,8,4"
+)
+
+type ringFleet struct {
+	addrs   []string
+	cmds    []*exec.Cmd
+	logs    []string // one log file per node
+	dumped  bool
+	baseReq func(extent int64) server.MapRequest
+}
+
+func synthMapReq(extent int64) server.MapRequest {
+	return server.MapRequest{
+		Workload: server.WorkloadSpec{Synth: &workloads.SynthSpec{
+			Name:    "ring",
+			Passes:  2,
+			Extent:  extent,
+			Streams: []workloads.StreamSpec{{Stride: 1}},
+		}},
+		Topology: ringTopo,
+	}
+}
+
+// startFleet builds the binary once and boots n daemons that all know the
+// full peer list. Ports are reserved with :0 listeners and released just
+// before spawning, so the fleet addresses are known up front.
+func startFleet(t *testing.T, n int) *ringFleet {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "cachemapd")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building cachemapd: %v\n%s", err, out)
+	}
+
+	f := &ringFleet{baseReq: synthMapReq}
+	lns := make([]net.Listener, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		f.addrs = append(f.addrs, ln.Addr().String())
+	}
+	peers := strings.Join(f.addrs, ",")
+	for i, ln := range lns {
+		ln.Close()
+		logPath := filepath.Join(t.TempDir(), fmt.Sprintf("node%d.log", i))
+		logFile, err := os.Create(logPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cmd := exec.Command(bin,
+			"-addr", f.addrs[i],
+			"-self", f.addrs[i],
+			"-peers", peers,
+			"-ring-vnodes", strconv.Itoa(ringVNodes),
+			"-ring-seed", strconv.FormatUint(ringSeed, 10),
+			"-fill-timeout", "5s",
+			"-degraded",
+			// A zero-probability rule arms the injector so POST /debug/faults
+			// is live without perturbing anything until a scenario uses it.
+			"-faults", "error:pipeline/tags:0",
+			"-fault-seed", "7",
+		)
+		cmd.Stdout = logFile
+		cmd.Stderr = logFile
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		f.cmds = append(f.cmds, cmd)
+		f.logs = append(f.logs, logPath)
+		t.Cleanup(func() {
+			cmd.Process.Kill()
+			cmd.Wait()
+			logFile.Close()
+		})
+	}
+	for i := range f.addrs {
+		f.waitUp(t, i)
+	}
+	t.Cleanup(func() {
+		if t.Failed() {
+			f.dumpLogs(t)
+		}
+	})
+	return f
+}
+
+func (f *ringFleet) waitUp(t *testing.T, i int) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get("http://" + f.addrs[i] + "/healthz")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	f.dumpLogs(t)
+	t.Fatalf("node %d (%s) never became healthy", i, f.addrs[i])
+}
+
+func (f *ringFleet) dumpLogs(t *testing.T) {
+	t.Helper()
+	if f.dumped {
+		return
+	}
+	f.dumped = true
+	for i, p := range f.logs {
+		b, _ := os.ReadFile(p)
+		t.Logf("--- node %d (%s) log ---\n%s", i, f.addrs[i], b)
+	}
+}
+
+// ownerIndex resolves which fleet member owns req's plan key, using the
+// same exported primitives a client-side ring router would.
+func (f *ringFleet) ownerIndex(t *testing.T, req server.MapRequest) int {
+	t.Helper()
+	key, err := server.PlanKey(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring, err := cluster.NewRing(f.addrs, ringVNodes, ringSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner := ring.Owner(key)
+	for i, a := range f.addrs {
+		if a == owner {
+			return i
+		}
+	}
+	t.Fatalf("owner %q not a fleet member %v", owner, f.addrs)
+	return -1
+}
+
+// reqOwnedBy searches synth extents until one's plan key is owned by the
+// fleet member at index want and is distinct from the taken extents.
+func (f *ringFleet) reqOwnedBy(t *testing.T, want int, taken map[int64]bool) server.MapRequest {
+	t.Helper()
+	for ext := int64(32); ext < 4096; ext++ {
+		if taken[ext] {
+			continue
+		}
+		req := f.baseReq(ext)
+		if f.ownerIndex(t, req) == want {
+			taken[ext] = true
+			return req
+		}
+	}
+	t.Fatal("no synth extent hashed to the wanted owner")
+	return server.MapRequest{}
+}
+
+func (f *ringFleet) postMap(t *testing.T, i int, req server.MapRequest) (int, server.MapResponse, []byte) {
+	t.Helper()
+	b, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post("http://"+f.addrs[i]+"/v1/map", "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatalf("POST to node %d: %v", i, err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var mr server.MapResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(body, &mr); err != nil {
+			t.Fatalf("decoding node %d response %s: %v", i, body, err)
+		}
+	}
+	return resp.StatusCode, mr, body
+}
+
+// metric scrapes one exposition value from a node; series absent = 0.
+func (f *ringFleet) metric(t *testing.T, i int, series string) float64 {
+	t.Helper()
+	resp, err := http.Get("http://" + f.addrs[i] + "/metrics")
+	if err != nil {
+		t.Fatalf("scraping node %d: %v", i, err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, line := range strings.Split(string(body), "\n") {
+		if rest, ok := strings.CutPrefix(line, series+" "); ok {
+			v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+			if err != nil {
+				t.Fatalf("bad sample %q: %v", line, err)
+			}
+			return v
+		}
+	}
+	return 0
+}
+
+func (f *ringFleet) fleetComputes(t *testing.T, skip int) float64 {
+	t.Helper()
+	var total float64
+	for i := range f.addrs {
+		if i == skip {
+			continue
+		}
+		total += f.metric(t, i, "cachemapd_pipeline_computes_total")
+	}
+	return total
+}
+
+func TestRingCluster(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process test")
+	}
+	f := startFleet(t, 3)
+	taken := map[int64]bool{}
+
+	// The scenarios share fleet state (caches, counters, a killed node),
+	// so they must run in order; each uses fresh keys where it matters.
+	var fillReq server.MapRequest
+	const fillOwner, replica = 0, 1
+
+	t.Run("PeerFill", func(t *testing.T) {
+		fillReq = f.reqOwnedBy(t, fillOwner, taken)
+		status, mr, body := f.postMap(t, replica, fillReq)
+		if status != http.StatusOK {
+			t.Fatalf("fill request: %d: %s", status, body)
+		}
+		if mr.FilledFrom != f.addrs[fillOwner] {
+			t.Fatalf("filled_from = %q, want owner %q", mr.FilledFrom, f.addrs[fillOwner])
+		}
+		if got := f.metric(t, fillOwner, "cachemapd_pipeline_computes_total"); got != 1 {
+			t.Fatalf("owner computes = %v, want 1", got)
+		}
+		if got := f.metric(t, replica, "cachemapd_pipeline_computes_total"); got != 0 {
+			t.Fatalf("replica computed locally: %v", got)
+		}
+		if got := f.metric(t, replica, `cachemapd_peer_fill_total{outcome="hit"}`); got != 1 {
+			t.Fatalf("peer_fill hit = %v, want 1", got)
+		}
+
+		// Plan bytes must be identical however the plan is served: the
+		// owner's local copy, the replica's fill, and a fresh fill on the
+		// third node.
+		_, mrOwner, _ := f.postMap(t, fillOwner, fillReq)
+		_, mrThird, _ := f.postMap(t, 2, fillReq)
+		filled, _ := json.Marshal(mr.Plan)
+		local, _ := json.Marshal(mrOwner.Plan)
+		third, _ := json.Marshal(mrThird.Plan)
+		if !bytes.Equal(filled, local) || !bytes.Equal(filled, third) {
+			t.Fatalf("plan bytes diverged across serving paths:\nfilled: %s\nowner:  %s\nthird:  %s", filled, local, third)
+		}
+		if mrOwner.FilledFrom != "" || !mrOwner.Cached {
+			t.Fatalf("owner self-serve: filled_from=%q cached=%v", mrOwner.FilledFrom, mrOwner.Cached)
+		}
+
+		// The fill fetch ran under a cluster.fetch span on the requester.
+		resp, err := http.Get("http://" + f.addrs[replica] + "/debug/traces")
+		if err != nil {
+			t.Fatal(err)
+		}
+		traces, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if !strings.Contains(string(traces), "cluster.fetch") {
+			t.Fatal("no cluster.fetch span in the requester's traces")
+		}
+	})
+
+	t.Run("FleetWideSingleflight", func(t *testing.T) {
+		req := f.reqOwnedBy(t, fillOwner, taken)
+		before := f.fleetComputes(t, -1)
+		var wg sync.WaitGroup
+		errs := make(chan string, 9)
+		for i := 0; i < 3; i++ {
+			for c := 0; c < 3; c++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					if status, _, body := f.postMap(t, i, req); status != http.StatusOK {
+						errs <- fmt.Sprintf("node %d: %d: %s", i, status, body)
+					}
+				}(i)
+			}
+		}
+		wg.Wait()
+		close(errs)
+		for e := range errs {
+			t.Fatal(e)
+		}
+		if delta := f.fleetComputes(t, -1) - before; delta != 1 {
+			t.Fatalf("concurrent identical misses on 3 nodes ran %v pipeline computes, want exactly 1", delta)
+		}
+	})
+
+	t.Run("OwnerKillFailover", func(t *testing.T) {
+		// A key owned by the node we are about to kill, not yet cached
+		// anywhere.
+		req := f.reqOwnedBy(t, fillOwner, taken)
+		if err := f.cmds[fillOwner].Process.Kill(); err != nil {
+			t.Fatal(err)
+		}
+		f.cmds[fillOwner].Wait()
+
+		status, mr, body := f.postMap(t, replica, req)
+		if status != http.StatusOK {
+			t.Fatalf("request during owner outage: %d: %s", status, body)
+		}
+		if mr.FilledFrom != "" || mr.Degraded != "" {
+			t.Fatalf("failover mislabeled: filled_from=%q degraded=%q", mr.FilledFrom, mr.Degraded)
+		}
+		if got := f.metric(t, replica, "cachemapd_pipeline_computes_total"); got != 1 {
+			t.Fatalf("replica computes = %v, want 1 (local failover)", got)
+		}
+		if got := f.metric(t, replica, `cachemapd_peer_fill_total{outcome="error"}`); got != 1 {
+			t.Fatalf("peer_fill error = %v, want 1", got)
+		}
+
+		// The dead peer shows up in the replica's /healthz ring block.
+		resp, err := http.Get("http://" + f.addrs[replica] + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		hz, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if !strings.Contains(string(hz), `"state":"down"`) {
+			t.Fatalf("dead owner not reported down in healthz: %s", hz)
+		}
+	})
+
+	t.Run("DegradedStaleFromReplica", func(t *testing.T) {
+		// The replica only ever saw fillReq's plan through a peer fill, and
+		// its owner is dead. Force both the fill path and the pipeline to
+		// fail on the replica: the stale tier replicated by the fill must
+		// answer a drifted-topology request in degraded mode.
+		rules := `[{"kind":"error","site":"pipeline/tags","prob":1},` +
+			`{"kind":"error","site":"cluster/fetch","prob":1}]`
+		resp, err := http.Post("http://"+f.addrs[replica]+"/debug/faults",
+			"application/json", strings.NewReader(rules))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("arming faults: %d", resp.StatusCode)
+		}
+
+		drifted := fillReq
+		drifted.Topology = "2/4/7@16,8,4" // one leaf fewer: within stale tolerance
+		status, mr, body := f.postMap(t, replica, drifted)
+		if status != http.StatusOK {
+			t.Fatalf("degraded request: %d: %s", status, body)
+		}
+		if mr.Degraded != "stale" {
+			t.Fatalf("degraded = %q (cause %q), want stale: %s", mr.Degraded, mr.DegradedCause, body)
+		}
+	})
+}

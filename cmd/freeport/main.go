@@ -1,0 +1,42 @@
+// Command freeport prints N free TCP ports on 127.0.0.1, one per line.
+//
+// It exists for shell harnesses (ci.sh's ring smoke) that must know a
+// fleet's addresses before starting any of its members: every cachemapd
+// ring node is configured with the full -peers list up front, so ports
+// cannot be discovered one at a time from "listening" log lines the way
+// the single-daemon checks do. All N listeners are held open until every
+// port is picked, so the kernel cannot hand the same port out twice.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+)
+
+func main() {
+	n := flag.Int("n", 1, "number of ports to reserve and print")
+	flag.Parse()
+	if *n < 1 {
+		fmt.Fprintln(os.Stderr, "freeport: -n must be at least 1")
+		os.Exit(2)
+	}
+	lns := make([]net.Listener, 0, *n)
+	defer func() {
+		for _, ln := range lns {
+			ln.Close()
+		}
+	}()
+	for i := 0; i < *n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "freeport: %v\n", err)
+			os.Exit(1)
+		}
+		lns = append(lns, ln)
+	}
+	for _, ln := range lns {
+		fmt.Println(ln.Addr().(*net.TCPAddr).Port)
+	}
+}

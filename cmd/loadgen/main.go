@@ -9,6 +9,14 @@
 //	loadgen -n 2000 -c 128 -simulate 0.25    # quarter of the stream simulates
 //	loadgen -base http://host:8642 -specs 16
 //	loadgen -chaos -n 400 -c 32              # overload contract check (see below)
+//	loadgen -ring host:8642,host:8643,host:8644 -n 600 -pace 5ms
+//
+// Ring mode (-ring) round-robins the stream across the listed cachemapd
+// ring members and checks the cluster-wide contract: every response is a
+// completed 200 (possibly degraded), an overload status (429/503/504),
+// or a transport error against a node killed mid-run — reported per node
+// with peer-fill (filled_from) and cache-hit refinements. Use it with a
+// kill -9 of one member to watch the survivors keep serving.
 //
 // Chaos mode (-chaos) floods the daemon with bursts of mixed hot/cold
 // specs under a deadline lottery and asserts the overload contract: every
@@ -30,6 +38,7 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -49,6 +58,8 @@ func main() {
 	chaos := flag.Bool("chaos", false, "chaos mode: bursty hot/cold mix with a deadline lottery; fail on any outcome outside the overload contract")
 	burst := flag.Int("burst", 0, "chaos mode: requests per burst (0 = 2x concurrency)")
 	p99Budget := flag.Duration("p99-budget", 30*time.Second, "chaos mode: hard bound on the p99 latency of completed requests")
+	ring := flag.String("ring", "", "comma-separated cachemapd addresses: round-robin ring mode, tolerant of a node dying mid-run (overrides -base)")
+	pace := flag.Duration("pace", 0, "ring mode: per-stream delay between requests (stretches the run so a mid-run kill lands inside it)")
 	flag.Parse()
 
 	if *n < 1 || *c < 1 || *specs < 1 || *simulate < 0 || *simulate > 1 {
@@ -62,6 +73,27 @@ func main() {
 			MaxIdleConns:        *c,
 			MaxIdleConnsPerHost: *c,
 		},
+	}
+
+	if *ring != "" {
+		var nodes []string
+		for _, a := range strings.Split(*ring, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				nodes = append(nodes, a)
+			}
+		}
+		if len(nodes) == 0 {
+			fmt.Fprintln(os.Stderr, "loadgen: -ring lists no addresses")
+			os.Exit(2)
+		}
+		os.Exit(runRing(ringOpts{
+			nodes:  nodes,
+			client: client,
+			n:      *n,
+			c:      *c,
+			specs:  *specs,
+			pace:   *pace,
+		}))
 	}
 
 	// Probe liveness before opening the floodgates.

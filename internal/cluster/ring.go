@@ -1,0 +1,112 @@
+// Package cluster turns N cachemapd processes into one logical plan
+// cache. A seeded, deterministic consistent-hash ring assigns every plan
+// key an owner among the declared peers; a Node is one process's
+// membership — it resolves owners, fetches plans from them over the small
+// internal HTTP protocol (POST /internal/plan/{key}), tracks per-peer
+// reachability, and records fill outcomes in the shared metrics registry.
+//
+// The mapping rationale is the paper's own, applied to the serving plane:
+// a peer's memory is one more cache level between "my memory" and
+// "recompute", and the ring is the placement function that decides which
+// level a key lives in. Ownership is a pure function of (peers, vnodes,
+// seed, key), so every node of a consistently configured fleet agrees on
+// owners with no coordination traffic.
+package cluster
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strconv"
+
+	"repro/internal/plancache"
+)
+
+// Ring is an immutable consistent-hash ring over a set of peers. Each
+// peer projects VNodes virtual points onto a uint64 circle; a key is
+// owned by the peer of the first point at or clockwise after the key's
+// own position. Placement is a pure function of (peers, vnodes, seed):
+// rings built from the same inputs agree everywhere, and removing one
+// peer remaps only the keys that peer owned.
+type Ring struct {
+	peers  []string
+	points []ringPoint // sorted by position
+}
+
+type ringPoint struct {
+	pos  uint64
+	peer int32
+}
+
+// NewRing builds a ring. peers must be non-empty and free of duplicates;
+// vnodes < 1 is raised to 1. The seed perturbs every virtual point, so
+// fleets can re-shuffle placement without renaming peers.
+func NewRing(peers []string, vnodes int, seed uint64) (*Ring, error) {
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one peer")
+	}
+	if vnodes < 1 {
+		vnodes = 1
+	}
+	seen := make(map[string]bool, len(peers))
+	r := &Ring{
+		peers:  append([]string(nil), peers...),
+		points: make([]ringPoint, 0, len(peers)*vnodes),
+	}
+	for i, p := range peers {
+		if p == "" {
+			return nil, fmt.Errorf("cluster: empty peer address")
+		}
+		if seen[p] {
+			return nil, fmt.Errorf("cluster: duplicate peer %q", p)
+		}
+		seen[p] = true
+		for v := 0; v < vnodes; v++ {
+			pos := splitmix64(seed ^ fnv64(p+"#"+strconv.Itoa(v)))
+			r.points = append(r.points, ringPoint{pos: pos, peer: int32(i)})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].pos != r.points[b].pos {
+			return r.points[a].pos < r.points[b].pos
+		}
+		// Tie-break deterministically on peer order so equal positions
+		// (astronomically rare) cannot make two nodes disagree.
+		return r.points[a].peer < r.points[b].peer
+	})
+	return r, nil
+}
+
+// Peers returns the ring's peers in declaration order.
+func (r *Ring) Peers() []string { return append([]string(nil), r.peers...) }
+
+// Owner returns the peer owning k.
+func (r *Ring) Owner(k plancache.Key) string {
+	// The key is already a SHA-256, so its first 8 bytes are a uniform
+	// position on the circle.
+	pos := binary.BigEndian.Uint64(k[:8])
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].pos >= pos })
+	if i == len(r.points) {
+		i = 0 // wrap past the top of the circle
+	}
+	return r.peers[r.points[i].peer]
+}
+
+// splitmix64 is the finalizing mix of the SplitMix64 generator: a cheap,
+// high-quality bijection on uint64 placing virtual points.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// fnv64 is the FNV-1a hash of s.
+func fnv64(s string) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 0x100000001b3
+	}
+	return h
+}

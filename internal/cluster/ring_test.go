@@ -1,0 +1,130 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/plancache"
+)
+
+func testKeys(n int) []plancache.Key {
+	keys := make([]plancache.Key, n)
+	for i := range keys {
+		k, err := plancache.KeyOf(map[string]int{"i": i})
+		if err != nil {
+			panic(err)
+		}
+		keys[i] = k
+	}
+	return keys
+}
+
+func TestRingDeterministic(t *testing.T) {
+	peers := []string{"a:1", "b:2", "c:3"}
+	r1, err := NewRing(peers, 64, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := NewRing(peers, 64, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range testKeys(512) {
+		if r1.Owner(k) != r2.Owner(k) {
+			t.Fatalf("two rings from identical inputs disagree on %s", k)
+		}
+	}
+}
+
+func TestRingSeedAndPeerOrderIndependence(t *testing.T) {
+	keys := testKeys(512)
+	r1, _ := NewRing([]string{"a:1", "b:2", "c:3"}, 64, 7)
+	// Declaration order must not matter: ownership keys on addresses.
+	r2, _ := NewRing([]string{"c:3", "a:1", "b:2"}, 64, 7)
+	for _, k := range keys {
+		if r1.Owner(k) != r2.Owner(k) {
+			t.Fatalf("peer declaration order changed ownership of %s", k)
+		}
+	}
+	// A different seed must reshuffle at least some placement.
+	r3, _ := NewRing([]string{"a:1", "b:2", "c:3"}, 64, 8)
+	moved := 0
+	for _, k := range keys {
+		if r1.Owner(k) != r3.Owner(k) {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("changing the seed moved no keys at all")
+	}
+}
+
+func TestRingConsistency(t *testing.T) {
+	// Removing one peer must remap only the keys that peer owned — the
+	// property that makes the hash "consistent".
+	keys := testKeys(2048)
+	full, _ := NewRing([]string{"a:1", "b:2", "c:3", "d:4"}, 64, 1)
+	reduced, _ := NewRing([]string{"a:1", "b:2", "c:3"}, 64, 1)
+	for _, k := range keys {
+		was, is := full.Owner(k), reduced.Owner(k)
+		if was != "d:4" && was != is {
+			t.Fatalf("key %s moved from surviving peer %s to %s when d:4 left", k, was, is)
+		}
+		if is == "d:4" {
+			t.Fatalf("key %s still owned by the removed peer", k)
+		}
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	keys := testKeys(4096)
+	peers := []string{"a:1", "b:2", "c:3"}
+	r, _ := NewRing(peers, 64, 1)
+	counts := map[string]int{}
+	for _, k := range keys {
+		counts[r.Owner(k)]++
+	}
+	want := len(keys) / len(peers)
+	for _, p := range peers {
+		got := counts[p]
+		// 64 vnodes keeps the spread well inside ±50% of fair share.
+		if got < want/2 || got > want*3/2 {
+			t.Fatalf("peer %s owns %d of %d keys (fair share %d): ring badly unbalanced %v",
+				p, got, len(keys), want, counts)
+		}
+	}
+}
+
+func TestRingValidation(t *testing.T) {
+	if _, err := NewRing(nil, 64, 1); err == nil {
+		t.Error("empty peer list accepted")
+	}
+	if _, err := NewRing([]string{"a:1", "a:1"}, 64, 1); err == nil {
+		t.Error("duplicate peer accepted")
+	}
+	if _, err := NewRing([]string{"a:1", ""}, 64, 1); err == nil {
+		t.Error("empty peer address accepted")
+	}
+	r, err := NewRing([]string{"solo:1"}, 0, 0)
+	if err != nil {
+		t.Fatalf("single-peer ring: %v", err)
+	}
+	for _, k := range testKeys(16) {
+		if r.Owner(k) != "solo:1" {
+			t.Fatal("single-peer ring must own everything")
+		}
+	}
+}
+
+func TestBaseURL(t *testing.T) {
+	for in, want := range map[string]string{
+		"127.0.0.1:8642":         "http://127.0.0.1:8642",
+		"http://h:1":             "http://h:1",
+		"https://h:1/":           "https://h:1",
+		fmt.Sprintf("h%d:9", 10): "http://h10:9",
+	} {
+		if got := BaseURL(in); got != want {
+			t.Errorf("BaseURL(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

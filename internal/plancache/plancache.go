@@ -1,18 +1,23 @@
 // Package plancache memoizes computed mapping plans behind a
-// content-addressed LRU cache, the run-time-decomposition idea of Paulino &
+// content-addressed cache, the run-time-decomposition idea of Paulino &
 // Delgado applied to the paper's mapper: a plan is fully determined by
 // (workload spec, topology, scheme, balance threshold, α/β), so the cache
 // key is a cryptographic hash of the canonical JSON encoding of that tuple
 // and repeated requests are served from memory in microseconds instead of
 // re-running hierarchical clustering.
 //
-// The cache is safe for concurrent use and deduplicates concurrent misses
-// for the same key ("singleflight"): when n requests race on a cold key,
-// one computes and the other n−1 wait for its result.
+// The package is layered: a Cache owns memoization concerns — counters,
+// instrumentation hooks, and deduplication of concurrent misses for the
+// same key ("singleflight": when n requests race on a cold key, one
+// computes and the other n−1 wait for its result) — while the entries
+// themselves live in a pluggable Store (see store.go). The default Store
+// is the in-memory MemStore LRU; disk-backed or remote tiers plug in
+// behind the same seam without touching the singleflight machinery.
+//
+// The cache is safe for concurrent use.
 package plancache
 
 import (
-	"container/list"
 	"context"
 	"crypto/sha256"
 	"encoding/hex"
@@ -31,6 +36,18 @@ type Key [sha256.Size]byte
 // String returns the hexadecimal form of the key.
 func (k Key) String() string { return hex.EncodeToString(k[:]) }
 
+// ParseKey parses the hexadecimal form produced by Key.String.
+func ParseKey(s string) (Key, error) {
+	var k Key
+	if len(s) != 2*sha256.Size {
+		return k, fmt.Errorf("plancache: bad key %q: want %d hex chars", s, 2*sha256.Size)
+	}
+	if _, err := hex.Decode(k[:], []byte(s)); err != nil {
+		return k, fmt.Errorf("plancache: bad key %q: %w", s, err)
+	}
+	return k, nil
+}
+
 // KeyOf computes the content address of spec. The spec is canonicalized by
 // JSON encoding (struct fields encode in declaration order, so equal specs
 // hash equally); it must therefore be JSON-encodable.
@@ -42,16 +59,19 @@ func KeyOf(spec any) (Key, error) {
 	return sha256.Sum256(b), nil
 }
 
-// Cache is a bounded LRU memoization cache from Key to V.
+// Cache is the memoization layer over a Store: bounded storage (delegated
+// to the store), per-event counters and singleflight deduplication of
+// concurrent misses.
 type Cache[V any] struct {
+	// mu guards the inflight table and the counters. Store calls made
+	// while holding it keep lookup-vs-publish atomic: a concurrent Do
+	// either sees the stored entry or the in-flight call, never neither.
 	mu       sync.Mutex
-	capacity int
-	ll       *list.List // front = most recently used
-	entries  map[Key]*list.Element
+	store    Store[V]
 	inflight map[Key]*call[V]
 	hits     int64
 	misses   int64
-	// evictions counts entries pushed out by capacity pressure.
+	// evictions counts entries the store displaced by capacity pressure.
 	evictions int64
 	// coalesced counts Do callers that attached to another caller's
 	// in-flight computation instead of computing themselves.
@@ -85,11 +105,6 @@ type Counters struct {
 	LeaderReelections int64
 }
 
-type entry[V any] struct {
-	key Key
-	val V
-}
-
 type call[V any] struct {
 	done chan struct{}
 	val  V
@@ -100,24 +115,28 @@ type call[V any] struct {
 	canceled bool
 }
 
-// New returns a cache bounded to capacity entries (capacity < 1 is raised
-// to 1).
+// New returns a cache over an in-memory LRU store bounded to capacity
+// entries (capacity < 1 is raised to 1).
 func New[V any](capacity int) *Cache[V] {
-	if capacity < 1 {
-		capacity = 1
-	}
+	return NewWithStore(NewMemStore[V](capacity))
+}
+
+// NewWithStore returns a cache whose entries live in store. The cache adds
+// singleflight and instrumentation on top; the store only holds entries.
+func NewWithStore[V any](store Store[V]) *Cache[V] {
 	return &Cache[V]{
-		capacity: capacity,
-		ll:       list.New(),
-		entries:  make(map[Key]*list.Element),
+		store:    store,
 		inflight: make(map[Key]*call[V]),
 	}
 }
 
+// Store returns the storage tier under the cache.
+func (c *Cache[V]) Store() Store[V] { return c.store }
+
 // Get returns the cached value for k, if present, refreshing its recency.
 func (c *Cache[V]) Get(k Key) (V, bool) {
 	c.mu.Lock()
-	el, ok := c.entries[k]
+	v, ok := c.store.Get(k)
 	if !ok {
 		c.misses++
 		onMiss := c.OnMiss
@@ -128,8 +147,6 @@ func (c *Cache[V]) Get(k Key) (V, bool) {
 		var zero V
 		return zero, false
 	}
-	c.ll.MoveToFront(el)
-	v := el.Value.(*entry[V]).val
 	c.hits++
 	onHit := c.OnHit
 	c.mu.Unlock()
@@ -139,37 +156,22 @@ func (c *Cache[V]) Get(k Key) (V, bool) {
 	return v, true
 }
 
-// Put inserts (or refreshes) k → v, evicting the least recently used entry
-// when over capacity.
+// Put inserts (or refreshes) k → v, evicting stored entries when the store
+// is over capacity.
 func (c *Cache[V]) Put(k Key, v V) {
 	c.mu.Lock()
 	evicted, cb := c.put(k, v)
 	c.mu.Unlock()
-	if cb != nil {
-		for _, e := range evicted {
-			cb(e.key, e.val)
-		}
+	for _, e := range evicted {
+		cb(e.Key, e.Val)
 	}
 }
 
 // put inserts under the lock and returns any evicted entries plus the
-// eviction callback to run outside it.
-func (c *Cache[V]) put(k Key, v V) ([]*entry[V], func(Key, V)) {
-	if el, ok := c.entries[k]; ok {
-		el.Value.(*entry[V]).val = v
-		c.ll.MoveToFront(el)
-		return nil, nil
-	}
-	c.entries[k] = c.ll.PushFront(&entry[V]{key: k, val: v})
-	var evicted []*entry[V]
-	for c.ll.Len() > c.capacity {
-		el := c.ll.Back()
-		e := el.Value.(*entry[V])
-		c.ll.Remove(el)
-		delete(c.entries, e.key)
-		c.evictions++
-		evicted = append(evicted, e)
-	}
+// eviction callback to run outside it (nil callback ⇒ empty slice).
+func (c *Cache[V]) put(k Key, v V) ([]Evicted[V], func(Key, V)) {
+	evicted := c.store.Put(k, v)
+	c.evictions += int64(len(evicted))
 	if len(evicted) == 0 || c.OnEvict == nil {
 		return nil, nil
 	}
@@ -198,9 +200,7 @@ func (c *Cache[V]) Do(ctx context.Context, k Key, fn func(context.Context) (V, e
 		}
 		lookupStart := time.Now()
 		c.mu.Lock()
-		if el, ok := c.entries[k]; ok {
-			c.ll.MoveToFront(el)
-			v = el.Value.(*entry[V]).val
+		if v, ok := c.store.Get(k); ok {
 			c.hits++
 			onHit := c.OnHit
 			c.mu.Unlock()
@@ -289,20 +289,18 @@ func (c *Cache[V]) Do(ctx context.Context, k Key, fn func(context.Context) (V, e
 			csp.End()
 		}
 		c.mu.Lock()
-		delete(c.inflight, k)
-		var evicted []*entry[V]
+		var evicted []Evicted[V]
 		var cb func(Key, V)
 		if cl.err == nil {
 			evicted, cb = c.put(k, cl.val)
 		}
+		delete(c.inflight, k)
 		c.mu.Unlock()
 		// Wake followers only after the call left the inflight table, so a
 		// retrying follower cannot re-adopt the abandoned call.
 		close(cl.done)
-		if cb != nil {
-			for _, e := range evicted {
-				cb(e.key, e.val)
-			}
+		for _, e := range evicted {
+			cb(e.Key, e.Val)
 		}
 		if cl.canceled {
 			return zero, false, ctx.Err()
@@ -313,9 +311,7 @@ func (c *Cache[V]) Do(ctx context.Context, k Key, fn func(context.Context) (V, e
 
 // Len returns the number of cached entries.
 func (c *Cache[V]) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.ll.Len()
+	return c.store.Len()
 }
 
 // Stats returns cumulative hit and miss counts.

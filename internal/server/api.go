@@ -62,6 +62,10 @@ type MapResponse struct {
 	CacheKey string `json:"cache_key"`
 	// Cached reports whether the plan was served from the plan cache.
 	Cached bool `json:"cached"`
+	// FilledFrom, when non-empty, is the ring peer whose cache or pipeline
+	// supplied this plan over the peer-fill protocol (the plan's owner).
+	// It persists while the filled entry lives in the local cache.
+	FilledFrom string `json:"filled_from,omitempty"`
 	// ElapsedMS is the server-side time to produce the plan.
 	ElapsedMS float64 `json:"elapsed_ms"`
 	// Degraded, when non-empty, marks a response served under overload:

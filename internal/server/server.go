@@ -7,7 +7,8 @@
 //
 //	POST /v1/map            compute (or fetch) the plan for a workload+topology+scheme spec
 //	POST /v1/simulate       run the iosim against the plan and report per-level miss rates
-//	GET  /healthz           liveness probe
+//	POST /internal/plan/{key} peer-fill protocol between ring members (see cluster.go)
+//	GET  /healthz           liveness + admission-queue and ring health, as JSON
 //	GET  /metrics           Prometheus text exposition
 //	GET  /debug/traces      recent request traces as JSON (?min_ms= filters by duration)
 //	GET  /debug/traces/{id} one trace in Chrome trace_event format (chrome://tracing, Perfetto)
@@ -57,6 +58,7 @@ import (
 	"strconv"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/faults"
 	"repro/internal/iosim"
 	"repro/internal/mapping"
@@ -102,6 +104,11 @@ type Config struct {
 	// pipeline-stage errors and plan-cache leader crashes (see
 	// internal/faults) and enables GET/POST /debug/faults.
 	Faults *faults.Injector
+	// Cluster, when non-nil, makes this server one member of a
+	// consistent-hash ring of cachemapd processes: local plan-cache misses
+	// first ask the key's owner over the internal fill protocol before
+	// computing (see cluster.go).
+	Cluster *cluster.Node
 }
 
 func (c *Config) applyDefaults() {
@@ -135,15 +142,16 @@ func (c *Config) applyDefaults() {
 // Server is the mapping-as-a-service daemon core. Create with New; it is
 // safe for concurrent use.
 type Server struct {
-	cfg    Config
-	reg    *metrics.Registry
-	cache  *plancache.Cache[cachedPlan]
-	stale  *plancache.StaleTier[staleValue]
-	sem    chan struct{}
-	adm    admission
-	jobs   jobClock
-	faults *faults.Injector
-	tracer *obs.Tracer
+	cfg     Config
+	reg     *metrics.Registry
+	cache   *plancache.Cache[cachedPlan]
+	stale   *plancache.StaleTier[staleValue]
+	sem     chan struct{}
+	adm     admission
+	jobs    jobClock
+	faults  *faults.Injector
+	tracer  *obs.Tracer
+	cluster *cluster.Node
 
 	reqTotal       *metrics.Counter
 	reqMap         *metrics.Counter
@@ -159,6 +167,8 @@ type Server struct {
 	simPairsGen    *metrics.Counter
 	simPairsDense  *metrics.Counter
 	admShed        *metrics.Counter
+	computes       *metrics.Counter
+	reqInternal    *metrics.Counter
 	degraded       *metrics.CounterVec
 	faultsFired    *metrics.CounterVec
 	clusterDur     *metrics.Histogram
@@ -174,13 +184,14 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg.applyDefaults()
 	s := &Server{
-		cfg:    cfg,
-		reg:    cfg.Registry,
-		cache:  plancache.New[cachedPlan](cfg.PlanCacheSize),
-		stale:  plancache.NewStaleTier[staleValue](cfg.Degraded.StaleTierSize),
-		sem:    make(chan struct{}, cfg.Workers),
-		adm:    admission{depth: cfg.AdmissionQueueDepth, maxCost: cfg.AdmissionQueueCost},
-		faults: cfg.Faults,
+		cfg:     cfg,
+		reg:     cfg.Registry,
+		cache:   plancache.New[cachedPlan](cfg.PlanCacheSize),
+		stale:   plancache.NewStaleTier[staleValue](cfg.Degraded.StaleTierSize),
+		sem:     make(chan struct{}, cfg.Workers),
+		adm:     admission{depth: cfg.AdmissionQueueDepth, maxCost: cfg.AdmissionQueueCost},
+		faults:  cfg.Faults,
+		cluster: cfg.Cluster,
 	}
 	s.reqTotal = s.reg.Counter("cachemapd_requests_total", "API requests received")
 	s.reqMap = s.reg.Counter("cachemapd_map_requests_total", "POST /v1/map requests received")
@@ -209,6 +220,10 @@ func New(cfg Config) *Server {
 		"similarity pairs the dense n(n-1)/2 enumeration would have generated for the same workloads")
 	s.admShed = s.reg.Counter("cachemapd_admission_shed_total",
 		"requests shed with 429 because the admission queue was saturated")
+	s.computes = s.reg.Counter("cachemapd_pipeline_computes_total",
+		"cold mapping pipeline computations run on this node (under cross-node singleflight the fleet-wide sum is one per plan key)")
+	s.reqInternal = s.reg.Counter("cachemapd_internal_plan_requests_total",
+		"peer-fill requests received on POST /internal/plan/{key}")
 	s.degraded = s.reg.CounterVec("cachemapd_degraded_responses_total",
 		"degraded responses served under overload, by degradation mode", "mode")
 	s.faultsFired = s.reg.CounterVec("cachemapd_faults_injected_total",
@@ -251,6 +266,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/map", s.handleMap)
 	mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
+	mux.HandleFunc("POST /internal/plan/{key}", s.handleInternalPlan)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /debug/traces", s.handleTraces)
@@ -258,11 +274,6 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /debug/faults", s.handleFaultsGet)
 	mux.HandleFunc("POST /debug/faults", s.handleFaultsSet)
 	return mux
-}
-
-func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintln(w, "ok")
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
@@ -281,24 +292,38 @@ type planKeySpec struct {
 // cachedPlan is the plan cache's value: the wire plan plus the stage
 // breakdown of the computation that produced it. A cache hit returns the
 // original breakdown, so callers can always see what the plan cost.
+// FilledFrom records the ring peer that supplied the plan, when it was
+// peer-filled rather than computed here; the provenance sticks for as
+// long as the entry lives.
 type cachedPlan struct {
-	Plan   mapping.Plan
-	Stages []pipeline.StageTiming
+	Plan       mapping.Plan
+	Stages     []pipeline.StageTiming
+	FilledFrom string
 }
 
 // computePlan resolves a validated job through the plan cache, computing
 // the mapping on a miss. The computation runs under ctx and stops
 // cooperatively when it is canceled; a canceled leader never poisons the
 // cache (see plancache.Do). Successful plans are also recorded in the
-// stale tier under the job's workload-only key, feeding degraded serving.
+// stale tier under the job's workload-only key, feeding degraded serving
+// — including peer-filled plans, so a fill replicates the stale entry
+// onto this node.
+//
+// When clustered and the key belongs to another ring member, the local
+// miss first asks the owner over the fill protocol; the fetch runs
+// inside the local singleflight leader, and the owner's own singleflight
+// makes its compute the fleet-wide one. Any fill failure falls back to
+// computing here. internal marks requests arriving over that protocol:
+// the owner serves them from its cache or pipeline but never re-forwards,
+// so skewed ring views cannot create forwarding loops.
 //
 // With a fault injector armed, the computation passes the injector's
 // pipeline sites through a stage hook, and the plancache/leader site can
 // crash the leader: the leader cancels its own Do context and abandons
 // the key, waiting followers re-elect a successor (the production crash
 // path), and the crashed request itself reports an *faults.InjectedError.
-func (s *Server) computePlan(ctx context.Context, j *job) (cachedPlan, plancache.Key, bool, error) {
-	key, err := plancache.KeyOf(planKeySpec{Schema: mapping.PlanSchemaVersion, Request: j.req})
+func (s *Server) computePlan(ctx context.Context, j *job, internal bool) (cachedPlan, plancache.Key, bool, error) {
+	key, err := PlanKey(j.req)
 	if err != nil {
 		return cachedPlan{}, plancache.Key{}, false, err
 	}
@@ -319,10 +344,19 @@ func (s *Server) computePlan(ctx context.Context, j *job) (cachedPlan, plancache
 		if s.onJobStart != nil {
 			s.onJobStart()
 		}
+		if s.cluster != nil && !internal {
+			if owner, self := s.cluster.Owner(key); !self {
+				if cp, ok := s.peerFill(cctx, owner, key, j); ok {
+					return cp, nil
+				}
+				// Owner down, slow or overloaded: compute locally below.
+			}
+		}
 		cfg := j.cfg
 		if s.faults != nil {
 			cfg.StageHook = s.stageHook
 		}
+		s.computes.Inc()
 		start := time.Now()
 		res, err := pipeline.Map(cctx, j.scheme, j.work.Prog, cfg)
 		if err != nil {
@@ -375,16 +409,17 @@ func (s *Server) ComputePlan(req MapRequest) (*MapResponse, error) {
 	start := time.Now()
 	s.sem <- struct{}{}
 	defer func() { <-s.sem }()
-	out, key, hit, err := s.computePlan(context.Background(), j)
+	out, key, hit, err := s.computePlan(context.Background(), j, false)
 	if err != nil {
 		return nil, err
 	}
 	return &MapResponse{
-		Plan:      out.Plan,
-		Stages:    out.Stages,
-		CacheKey:  key.String(),
-		Cached:    hit,
-		ElapsedMS: float64(time.Since(start)) / float64(time.Millisecond),
+		Plan:       out.Plan,
+		Stages:     out.Stages,
+		CacheKey:   key.String(),
+		Cached:     hit,
+		FilledFrom: out.FilledFrom,
+		ElapsedMS:  float64(time.Since(start)) / float64(time.Millisecond),
 	}, nil
 }
 
@@ -466,7 +501,7 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 			hit  bool
 		}
 		out, err := runJob(s, ctx, j.cost, func(ctx context.Context) (planOut, error) {
-			plan, key, hit, err := s.computePlan(ctx, j)
+			plan, key, hit, err := s.computePlan(ctx, j, false)
 			return planOut{plan, key, hit}, err
 		})
 		if err != nil {
@@ -476,11 +511,12 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 			return nil, err
 		}
 		return &MapResponse{
-			Plan:      out.plan.Plan,
-			Stages:    out.plan.Stages,
-			CacheKey:  out.key.String(),
-			Cached:    out.hit,
-			ElapsedMS: elapsed(),
+			Plan:       out.plan.Plan,
+			Stages:     out.plan.Stages,
+			CacheKey:   out.key.String(),
+			Cached:     out.hit,
+			FilledFrom: out.plan.FilledFrom,
+			ElapsedMS:  elapsed(),
 		}, nil
 	})
 }
@@ -502,7 +538,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		}
 		start := time.Now()
 		return runJob(s, ctx, j.cost, func(ctx context.Context) (any, error) {
-			out, key, hit, err := s.computePlan(ctx, j)
+			out, key, hit, err := s.computePlan(ctx, j, false)
 			if err != nil {
 				return nil, err
 			}

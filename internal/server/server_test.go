@@ -237,8 +237,18 @@ func TestHealthzAndMetrics(t *testing.T) {
 	}
 	body, _ := io.ReadAll(resp.Body)
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK || strings.TrimSpace(string(body)) != "ok" {
+	var hz healthzResponse
+	if err := json.Unmarshal(body, &hz); err != nil {
+		t.Fatalf("healthz is not JSON: %v: %q", err, body)
+	}
+	if resp.StatusCode != http.StatusOK || hz.Status != "ok" {
 		t.Fatalf("healthz: %d %q", resp.StatusCode, body)
+	}
+	if hz.Admission.Limit != s.cfg.AdmissionQueueDepth || hz.Admission.Workers != s.cfg.Workers {
+		t.Fatalf("healthz admission block = %+v", hz.Admission)
+	}
+	if hz.Ring != nil {
+		t.Fatalf("unclustered server reported a ring: %+v", hz.Ring)
 	}
 
 	// Drive one miss and one hit, then check the exposition.
@@ -258,6 +268,7 @@ func TestHealthzAndMetrics(t *testing.T) {
 		"cachemapd_in_flight_requests 0",
 		"cachemapd_plan_cache_hits_total 1",
 		"cachemapd_plan_cache_misses_total 1",
+		"cachemapd_pipeline_computes_total 1",
 		"# TYPE cachemapd_clustering_duration_seconds histogram",
 		"cachemapd_clustering_duration_seconds_count 1",
 		"cachemapd_request_duration_seconds_count",
