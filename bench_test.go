@@ -562,3 +562,53 @@ func BenchmarkPipelineParallelism(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkReplanIncremental measures the incremental re-planning
+// fast-path against the full pipeline it short-circuits: one iteration
+// runs the complete inter-processor pipeline (tags, similarity, cluster,
+// balance, schedule, encode) and then resumes the cached post-balance
+// State through balance/schedule/encode only. The speedup-floor metric is
+// the ratio of the two — the ledger pins it at 5x, which ci.sh gates as a
+// hard lower bound (see benchjson's "-floor" semantics).
+func BenchmarkReplanIncremental(b *testing.B) {
+	w, err := workloads.Synthesize(workloads.SynthSpec{
+		Name:   "replanbench",
+		Passes: 4,
+		Extent: 8192,
+		Streams: []workloads.StreamSpec{
+			{Stride: 1}, {Stride: 1, Offset: 64}, {Stride: 2, Drift: 8},
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := pipeline.Config{Tree: benchConfig().Tree()}
+	prime, err := pipeline.Map(context.Background(), pipeline.InterProcessor, w.Prog, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	st := prime.State()
+	if st == nil {
+		b.Fatal("inter-processor run produced no resumable state")
+	}
+
+	var fullMS, repairMS float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		if _, err := pipeline.Map(context.Background(), pipeline.InterProcessor, w.Prog, cfg); err != nil {
+			b.Fatal(err)
+		}
+		fullMS += float64(time.Since(t0)) / float64(time.Millisecond)
+		t1 := time.Now()
+		if _, err := pipeline.Resume(context.Background(), st, cfg); err != nil {
+			b.Fatal(err)
+		}
+		repairMS += float64(time.Since(t1)) / float64(time.Millisecond)
+	}
+	b.ReportMetric(fullMS/float64(b.N), "full-ms/op")
+	b.ReportMetric(repairMS/float64(b.N), "repair-ms/op")
+	if repairMS > 0 {
+		b.ReportMetric(fullMS/repairMS, "speedup-floor")
+	}
+}

@@ -91,6 +91,18 @@ go test -run '^$' -bench 'BenchmarkPipelineParallelism' -benchtime 1x -count=3 .
 }
 "$tmp/benchjson" -compare BENCH_4.json -tolerance 100 <"$tmp/bench.out" >/dev/null
 
+echo "==> replan speedup floor gate (vs BENCH_7.json)"
+# Incremental re-planning must stay at least 5x faster than the full
+# pipeline it short-circuits. The ledger's speedup-floor is a hard lower
+# bound (benchjson "-floor" semantics): runner noise shrinks a measured
+# speedup toward 1, never inflates it, so samples fold by maximum and the
+# floor sits far below the ~100x+ measured on an idle machine.
+go test -run '^$' -bench 'BenchmarkReplanIncremental$' -benchtime 3x -count=3 . >"$tmp/replan-bench.out" 2>&1 || {
+	cat "$tmp/replan-bench.out" >&2
+	exit 1
+}
+"$tmp/benchjson" -compare BENCH_7.json <"$tmp/replan-bench.out" >/dev/null
+
 echo "==> cachemapd trace smoke test"
 # Boot the daemon on ephemeral ports (parsed from its own log, so parallel
 # CI runs never collide), send a request carrying a caller-minted
@@ -175,6 +187,83 @@ grep "slow request" "$tmp/daemon.log" >/dev/null || {
 	cat "$tmp/daemon.log" >&2
 	exit 1
 }
+kill "$daemon_pid"
+wait "$daemon_pid" 2>/dev/null || true
+daemon_pid=
+
+echo "==> batch + incremental re-planning smoke (one pipeline-prefix run per family)"
+# A batch of 8 specs of one workload family — same program, topologies
+# wobbling within the repair tolerance of the leader's 2/4/8@16,8,4 — must
+# run the expensive pipeline prefix exactly once: the leader computes in
+# full, six near-miss siblings repair its clustering, and the duplicate of
+# the leader is a plain cache hit. The stage counters prove it: tags and
+# similarity ran once for the whole batch.
+"$tmp/cachemapd" -addr 127.0.0.1:0 -repair 2>"$tmp/daemon.log" &
+daemon_pid=$!
+i=0
+addr=
+while [ -z "$addr" ]; do
+	addr=$(parse_addr "$tmp/daemon.log" listening)
+	i=$((i + 1))
+	if [ "$i" -gt 50 ]; then
+		echo "batch cachemapd never logged its listen address" >&2
+		cat "$tmp/daemon.log" >&2
+		exit 1
+	fi
+	[ -n "$addr" ] || sleep 0.1
+done
+i=0
+until curl -fsS -o /dev/null "http://$addr/healthz" 2>/dev/null; do
+	i=$((i + 1))
+	if [ "$i" -gt 50 ]; then
+		echo "batch cachemapd did not become healthy" >&2
+		cat "$tmp/daemon.log" >&2
+		exit 1
+	fi
+	sleep 0.1
+done
+batch_reqs=
+for topo in '2/4/8@16,8,4' '2/4/8@16,8,5' '2/4/8@16,8,3' '2/4/8@16,9,4' \
+	'2/4/8@16,7,4' '2/4/8@14,8,4' '2/4/10@16,8,4' '2/4/8@16,8,4'; do
+	batch_reqs="$batch_reqs{\"workload\":{\"synth\":{\"name\":\"batch-ci\",\"passes\":2,\"extent\":256,\"streams\":[{\"stride\":1}]}},\"topology\":\"$topo\",\"scheme\":\"inter\"},"
+done
+ccurl -o "$tmp/batch.json" -H 'Content-Type: application/json' \
+	-d "{\"requests\":[${batch_reqs%,}]}" "http://$addr/v1/map/batch"
+for want in '"families":1' '"full":1' '"incremental":6' '"cached":1' '"errors":0' \
+	'"replanned":"incremental"' '"reused_stages":["tags","chunks","similarity","cluster"]'; do
+	grep -F "$want" "$tmp/batch.json" >/dev/null || {
+		echo "batch response lacks $want:" >&2
+		cat "$tmp/batch.json" >&2
+		exit 1
+	}
+done
+for stage in tags similarity; do
+	runs=$(ccurl "http://$addr/metrics" | sed -n "s/^cachemapd_pipeline_stage_runs_total{stage=\"$stage\"} //p")
+	if [ "${runs:-0}" != "1" ]; then
+		echo "stage $stage ran ${runs:-0} times for an 8-spec single-family batch (want 1)" >&2
+		cat "$tmp/daemon.log" >&2
+		exit 1
+	fi
+done
+# Drift mode end to end: a wobbling-topology stream against the same
+# -repair daemon must report its full/incremental mix and record repairs.
+"$tmp/loadgen" -drift 0.2 -base "http://$addr" -n 80 -c 8 -specs 4 >"$tmp/drift.out" 2>&1 || {
+	echo "loadgen -drift failed:" >&2
+	cat "$tmp/drift.out" >&2
+	cat "$tmp/daemon.log" >&2
+	exit 1
+}
+grep 'replanned:' "$tmp/drift.out" >/dev/null || {
+	echo "loadgen -drift printed no replan mix:" >&2
+	cat "$tmp/drift.out" >&2
+	exit 1
+}
+incr=$(ccurl "http://$addr/metrics" | sed -n 's/^cachemapd_replan_total{outcome="incremental"} //p')
+if [ "${incr:-0}" -lt 7 ]; then
+	echo "cachemapd_replan_total{outcome=incremental} = ${incr:-0} after batch + drift run (want >= 7)" >&2
+	cat "$tmp/daemon.log" >&2
+	exit 1
+fi
 kill "$daemon_pid"
 wait "$daemon_pid" 2>/dev/null || true
 daemon_pid=

@@ -18,6 +18,12 @@
 // so a single noisy sample on a busy machine does not trip the gate:
 //
 //	go test -run '^$' -bench BenchmarkDistribute -count 3 ./internal/core | benchjson -compare BENCH_4.json -tolerance 25
+//
+// Custom metrics whose unit ends in "-floor" invert the gate: the ledger
+// value is a hard lower bound the measurement must meet or exceed (e.g. a
+// speedup-floor of 5 fails any run that measures less than 5x), -tolerance
+// does not soften it, and -count=N samples fold by maximum — interference
+// can only lower a speedup, so the best sample is the least contaminated.
 package main
 
 import (
@@ -135,9 +141,13 @@ type comparison struct {
 	what   string  // "ns/op" or a custom metric unit
 	old    float64 // ledger value
 	new    float64 // measured value
-	deltaP float64 // percent change, positive = slower
+	deltaP float64 // percent change, positive = slower (floors: negative = below)
+	floor  bool    // "-floor" unit: ledger value is a hard lower bound
 	failed bool
 }
+
+// isFloor reports whether a custom metric unit gates as a lower bound.
+func isFloor(unit string) bool { return strings.HasSuffix(unit, "-floor") }
 
 // compare parses benchmark output from in (echoing to echo), folds
 // repeated samples of the same benchmark (go test -count=N) into one
@@ -179,7 +189,12 @@ func compare(in io.Reader, echo io.Writer, ledgerPath, label string, tolerance f
 			b.NsPerOp = res.NsPerOp
 		}
 		for unit, v := range res.Metrics {
-			if prev, ok := b.Metrics[unit]; !ok || v < prev {
+			prev, seen := b.Metrics[unit]
+			better := v < prev
+			if isFloor(unit) {
+				better = v > prev
+			}
+			if !seen || better {
 				if b.Metrics == nil {
 					b.Metrics = make(map[string]float64)
 				}
@@ -202,6 +217,15 @@ func compare(in io.Reader, echo io.Writer, ledgerPath, label string, tolerance f
 			deltaP: deltaP, failed: deltaP > tolerance,
 		})
 	}
+	checkFloor := func(bench, what string, floor, new float64) {
+		if floor <= 0 {
+			return
+		}
+		comps = append(comps, comparison{
+			bench: bench, what: what, old: floor, new: new,
+			deltaP: 100 * (new - floor) / floor, floor: true, failed: new < floor,
+		})
+	}
 	for _, name := range order {
 		old, ok := ledger.Benchmarks[name][label]
 		if !ok {
@@ -217,11 +241,19 @@ func compare(in io.Reader, echo io.Writer, ledgerPath, label string, tolerance f
 		}
 		sort.Strings(units)
 		for _, unit := range units {
-			if !strings.Contains(unit, "ms/op") {
-				continue
-			}
-			if v, ok := res.Metrics[unit]; ok {
-				check(name, unit, old.Metrics[unit], v)
+			v, measured := res.Metrics[unit]
+			switch {
+			case isFloor(unit):
+				// A floor the fresh run never reported is a failure, not a
+				// skip: deleting the metric must not disarm the gate.
+				if !measured {
+					v = 0
+				}
+				checkFloor(name, unit, old.Metrics[unit], v)
+			case strings.Contains(unit, "ms/op"):
+				if measured {
+					check(name, unit, old.Metrics[unit], v)
+				}
 			}
 		}
 	}
@@ -241,7 +273,15 @@ func runCompare(ledgerPath, label string, tolerance float64) error {
 		verdict := "ok"
 		if c.failed {
 			verdict = "REGRESSION"
+			if c.floor {
+				verdict = "BELOW FLOOR"
+			}
 			failures++
+		}
+		if c.floor {
+			fmt.Fprintf(os.Stderr, "benchjson: %-11s %s %s: floor %.4g, measured %.4g (%+.1f%%)\n",
+				verdict, c.bench, c.what, c.old, c.new, c.deltaP)
+			continue
 		}
 		fmt.Fprintf(os.Stderr, "benchjson: %-11s %s %s: %.4g -> %.4g (%+.1f%%, tolerance %+.0f%%)\n",
 			verdict, c.bench, c.what, c.old, c.new, c.deltaP, tolerance)

@@ -183,6 +183,88 @@ func TestCompareFoldsRepeatedSamplesByMin(t *testing.T) {
 	}
 }
 
+// TestCompareFloorMetricGate: a "-floor" unit inverts the gate — the
+// ledger value is a hard lower bound that -tolerance does not soften.
+func TestCompareFloorMetricGate(t *testing.T) {
+	path := writeLedger(t, ledgerWith(1000000, map[string]float64{
+		"speedup-floor": 5,
+	}))
+	find := func(comps []comparison, what string) *comparison {
+		for i := range comps {
+			if comps[i].what == what {
+				return &comps[i]
+			}
+		}
+		return nil
+	}
+
+	// Meeting the floor passes.
+	comps, err := compare(strings.NewReader(
+		"BenchmarkDistribute \t 300\t 1000000 ns/op\t 7.2 speedup-floor\n"),
+		io.Discard, path, "after", 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := find(comps, "speedup-floor")
+	if c == nil || !c.floor || c.failed {
+		t.Fatalf("7.2 >= floor 5 flagged: %+v", comps)
+	}
+
+	// Dipping below fails even though the shortfall is within -tolerance.
+	comps, err = compare(strings.NewReader(
+		"BenchmarkDistribute \t 300\t 1000000 ns/op\t 4.5 speedup-floor\n"),
+		io.Discard, path, "after", 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c = find(comps, "speedup-floor"); c == nil || !c.failed {
+		t.Fatalf("4.5 < floor 5 not flagged: %+v", comps)
+	}
+
+	// A run that stops reporting the metric fails rather than disarming
+	// the gate.
+	comps, err = compare(strings.NewReader(
+		"BenchmarkDistribute \t 300\t 1000000 ns/op\n"),
+		io.Discard, path, "after", 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c = find(comps, "speedup-floor"); c == nil || !c.failed {
+		t.Fatalf("missing floor metric not flagged: %+v", comps)
+	}
+}
+
+// TestCompareFoldsFloorByMax: -count=N samples of a floor metric fold by
+// maximum — interference only ever lowers a speedup, so the best sample
+// is the least contaminated.
+func TestCompareFoldsFloorByMax(t *testing.T) {
+	path := writeLedger(t, ledgerWith(1000000, map[string]float64{
+		"speedup-floor": 5,
+	}))
+	in := strings.NewReader(strings.Join([]string{
+		"BenchmarkDistribute \t 300\t 1000000 ns/op\t 3.1 speedup-floor",
+		"BenchmarkDistribute \t 300\t 1000000 ns/op\t 6.4 speedup-floor",
+		"BenchmarkDistribute \t 300\t 1000000 ns/op\t 4.9 speedup-floor",
+	}, "\n") + "\n")
+	comps, err := compare(in, io.Discard, path, "after", 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range comps {
+		if c.what != "speedup-floor" {
+			continue
+		}
+		if c.new != 6.4 {
+			t.Fatalf("floor folded to %v, want max 6.4", c.new)
+		}
+		if c.failed {
+			t.Fatalf("max sample 6.4 >= 5 flagged: %+v", c)
+		}
+		return
+	}
+	t.Fatalf("no speedup-floor check in %+v", comps)
+}
+
 func TestCompareSkipsUnknownAndRequiresOverlap(t *testing.T) {
 	path := writeLedger(t, ledgerWith(1000000, nil))
 	// A benchmark the ledger does not record is skipped…

@@ -9,6 +9,7 @@
 //	cachemapd -addr :0                 # ephemeral port; read it from the "listening" log line
 //	cachemapd -debug-addr 127.0.0.1:8643 -mutex-fraction 5 -block-rate 10000
 //	cachemapd -queue 128 -degraded -stale-tolerance 0.3
+//	cachemapd -repair -repair-tolerance 0.25
 //	cachemapd -faults 'latency:pipeline/tags:0.2:50ms;crash:plancache/leader:0.05' -fault-seed 42
 //	cachemapd -addr :8642 -self 127.0.0.1:8642 \
 //	          -peers 127.0.0.1:8642,127.0.0.1:8643,127.0.0.1:8644
@@ -16,6 +17,8 @@
 // Endpoints:
 //
 //	POST /v1/map              {"workload":{"app":"apsi"},"topology":"16/32/64@16,8,4","scheme":"inter"}
+//	POST /v1/map/batch        {"requests":[...]} — many specs, one admission unit; same-workload
+//	                          specs share one pipeline-prefix run (see -repair semantics)
 //	POST /v1/simulate         same body plus optional simulator knobs (policy, prefetch_depth, …)
 //	POST /internal/plan/{key} peer-fill protocol between ring members
 //	GET  /healthz             liveness, admission-queue and ring health (JSON)
@@ -32,6 +35,12 @@
 // drift within -stale-tolerance) or the cheap lexicographic fallback,
 // marked in the response. -faults arms the deterministic fault injector
 // (kind:site:prob[:delay] rules, seeded by -fault-seed) for chaos testing.
+//
+// Incremental re-planning: with -repair, a /v1/map miss whose workload has
+// a cached clustering under a topology within -repair-tolerance re-enters
+// the pipeline at the balance stage instead of recomputing from tags; the
+// response reports replanned:"incremental" and the reused stages. Batch
+// requests always repair within their own family, regardless of -repair.
 //
 // Clustering: -peers (the full fleet, comma-separated) and -self (this
 // node's address exactly as listed in -peers) join the daemon to a
@@ -88,6 +97,8 @@ func main() {
 	queueCost := flag.Int64("queue-cost", 0, "admission queue summed-cost bound, in iterations x topology nodes (0 = unbounded)")
 	degraded := flag.Bool("degraded", false, "serve stale or fallback plans instead of failing shed/timed-out requests")
 	staleTol := flag.Float64("stale-tolerance", 0.25, "relative per-layer topology drift under which a stale plan still serves")
+	repair := flag.Bool("repair", false, "answer near-miss /v1/map requests by incrementally re-planning a cached clustering of the same workload")
+	repairTol := flag.Float64("repair-tolerance", 0.25, "relative per-layer topology drift under which a cached clustering is repaired instead of recomputed")
 	faultSpec := flag.String("faults", "", "arm the fault injector: semicolon-separated kind:site:prob[:delay] rules")
 	faultSeed := flag.Uint64("fault-seed", 1, "seed for the deterministic fault injector")
 	peers := flag.String("peers", "", "comma-separated ring peer addresses, identical fleet-wide (empty: standalone)")
@@ -170,6 +181,10 @@ func main() {
 		Degraded: server.DegradedConfig{
 			Enabled:        *degraded,
 			StaleTolerance: *staleTol,
+		},
+		Repair: server.RepairConfig{
+			Enabled:   *repair,
+			Tolerance: *repairTol,
 		},
 		Faults:  injector,
 		Cluster: node,

@@ -60,6 +60,8 @@ func main() {
 	p99Budget := flag.Duration("p99-budget", 30*time.Second, "chaos mode: hard bound on the p99 latency of completed requests")
 	ring := flag.String("ring", "", "comma-separated cachemapd addresses: round-robin ring mode, tolerant of a node dying mid-run (overrides -base)")
 	pace := flag.Duration("pace", 0, "ring mode: per-stream delay between requests (stretches the run so a mid-run kill lands inside it)")
+	drift := flag.Float64("drift", 0, "drift mode: mutate each request's topology capacities by up to ±this fraction and report the incremental-vs-full re-plan mix (0 disables)")
+	driftSeed := flag.Int64("drift-seed", 1, "drift mode: seed for the deterministic capacity mutations")
 	flag.Parse()
 
 	if *n < 1 || *c < 1 || *specs < 1 || *simulate < 0 || *simulate > 1 {
@@ -104,6 +106,18 @@ func main() {
 	}
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
+
+	if *drift > 0 {
+		os.Exit(runDrift(driftOpts{
+			base:   *base,
+			client: client,
+			n:      *n,
+			c:      *c,
+			specs:  *specs,
+			drift:  *drift,
+			seed:   *driftSeed,
+		}))
+	}
 
 	if *chaos {
 		os.Exit(runChaos(chaosOpts{
@@ -151,7 +165,7 @@ func main() {
 					body = server.SimRequest{MapRequest: req}
 				}
 				t0 := time.Now()
-				cached, traceID, err := post(client, *base+path, body)
+				env, traceID, err := post(client, *base+path, body)
 				d := time.Since(t0)
 				mu.Lock()
 				latencies = append(latencies, d)
@@ -166,7 +180,7 @@ func main() {
 					mu.Unlock()
 					continue
 				}
-				if cached {
+				if env.Cached {
 					hitCount.Add(1)
 				}
 			}
@@ -238,39 +252,45 @@ func recordSlowest(top []tracedLatency, tl tracedLatency) []tracedLatency {
 	return top
 }
 
-// post sends one JSON request under a fresh trace context and reports
-// whether the plan came from cache plus the trace ID the daemon echoed.
-func post(client *http.Client, url string, body any) (cached bool, traceID string, err error) {
+// planEnvelope is the provenance slice of a map/simulate response loadgen
+// cares about.
+type planEnvelope struct {
+	Cached       bool     `json:"cached"`
+	Replanned    string   `json:"replanned"`
+	ReusedStages []string `json:"reused_stages"`
+	Degraded     string   `json:"degraded"`
+}
+
+// post sends one JSON request under a fresh trace context and reports the
+// response's provenance envelope plus the trace ID the daemon echoed.
+func post(client *http.Client, url string, body any) (env planEnvelope, traceID string, err error) {
 	b, err := json.Marshal(body)
 	if err != nil {
-		return false, "", err
+		return env, "", err
 	}
 	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(b))
 	if err != nil {
-		return false, "", err
+		return env, "", err
 	}
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set("traceparent", obs.NewTraceContext().TraceParent())
 	resp, err := client.Do(req)
 	if err != nil {
-		return false, "", err
+		return env, "", err
 	}
 	out, err := io.ReadAll(resp.Body)
 	resp.Body.Close()
 	traceID = resp.Header.Get("X-Trace-Id")
 	if err != nil {
-		return false, traceID, err
+		return env, traceID, err
 	}
 	if resp.StatusCode != http.StatusOK {
-		return false, traceID, fmt.Errorf("%s: status %d: %s", url, resp.StatusCode, truncate(out, 200))
+		return env, traceID, fmt.Errorf("%s: status %d: %s", url, resp.StatusCode, truncate(out, 200))
 	}
-	var envelope struct {
-		Cached bool `json:"cached"`
+	if err := json.Unmarshal(out, &env); err != nil {
+		return env, traceID, fmt.Errorf("%s: bad response: %v", url, err)
 	}
-	if err := json.Unmarshal(out, &envelope); err != nil {
-		return false, traceID, fmt.Errorf("%s: bad response: %v", url, err)
-	}
-	return envelope.Cached, traceID, nil
+	return env, traceID, nil
 }
 
 func truncate(b []byte, n int) string {

@@ -55,6 +55,12 @@ type Options struct {
 	// sparse engine is plan-identical to it (property-tested), so this
 	// exists only for the equivalence tests.
 	denseSimilarity bool
+
+	// slackExtra widens every balance slot's slack by a flat iteration
+	// count. Zero in full runs; RebalanceClusters sets it to absorb the
+	// per-level minimum slack a hierarchical run legitimately accumulates,
+	// so a zero-drift repair never sees a donor.
+	slackExtra int64
 }
 
 // PhaseClock receives start callbacks for named algorithm phases; the
@@ -820,6 +826,7 @@ func (d *distributor) balance(clusters []*Cluster, weights []int64) error {
 		if slack < 1 {
 			slack = 1
 		}
+		slack += d.opts.slackExtra
 		uLim[i] = target[i] + slack
 		lLim[i] = target[i] - slack
 		if lLim[i] < 0 {

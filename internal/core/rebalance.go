@@ -1,0 +1,119 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/hierarchy"
+	"repro/internal/tags"
+)
+
+// RebalanceClusters adapts an existing per-client clustering — the
+// post-balance artifact of a previous Distribute run — to a (possibly
+// drifted) hierarchy tree, without re-running tag computation or the
+// similarity/merge stages. It is the re-entry point of incremental
+// re-planning: the caller decodes a cached clustering and this function
+// makes it valid for the new topology.
+//
+// Client counts may differ: surplus clusters are agglomeratively merged by
+// maximal tag dot product (the same Stage 1 machinery as a full run) and
+// missing clusters are created by splitting the largest ones. Cluster i of
+// the result stays on client i wherever counts match, preserving the
+// locality of the prior assignment.
+//
+// Balancing runs under a relaxed threshold: a full hierarchical run bounds
+// each level's imbalance by BalanceThreshold, so a client's final share can
+// legitimately deviate by up to (1+t)^h − 1 (h = tree height) plus the
+// per-level minimum slack of one iteration. Re-balancing a zero-drift
+// clustering against the flat per-client target with the raw threshold
+// would "correct" that legitimate deviation and change the plan; the
+// relaxed limits make zero-drift repair a strict no-op, which is what the
+// byte-identical repair contract requires. The input lists are never
+// modified.
+func RebalanceClusters(ctx context.Context, assign [][]*tags.IterationChunk, tree *hierarchy.Tree, opts Options) ([][]*tags.IterationChunk, error) {
+	if tree == nil {
+		return nil, fmt.Errorf("core: nil tree")
+	}
+	if err := tree.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.BalanceThreshold < 0 || opts.BalanceThreshold > 1 {
+		return nil, fmt.Errorf("core: balance threshold %v outside [0,1]", opts.BalanceThreshold)
+	}
+	r := 0
+	for _, cl := range assign {
+		for _, c := range cl {
+			if r == 0 {
+				r = c.Tag.Len()
+			} else if c.Tag.Len() != r {
+				return nil, fmt.Errorf("core: inconsistent tag widths %d vs %d", c.Tag.Len(), r)
+			}
+		}
+	}
+	h := tree.Height()
+	if h < 1 {
+		h = 1
+	}
+	eff := math.Pow(1+opts.BalanceThreshold, float64(h)) - 1
+	if eff > 1 {
+		eff = 1
+	}
+	opts.BalanceThreshold = eff
+	opts.slackExtra = int64(2*h + 2)
+	d := &distributor{ctx: ctx, opts: opts, tree: tree, r: r}
+
+	clusters := make([]*Cluster, len(assign))
+	for i, cl := range assign {
+		c := newCluster(r)
+		for _, m := range cl {
+			c.add(m)
+		}
+		clusters[i] = c
+	}
+	k := tree.NumClients()
+	if len(clusters) > k {
+		var err error
+		if clusters, err = d.mergeClusters(clusters, k); err != nil {
+			return nil, err
+		}
+	}
+	clusters = d.splitUpTo(clusters, k)
+	// Per-client weights are uniform: every leaf is one client, so the
+	// flat target is total/k regardless of the tree's internal shape.
+	weights := make([]int64, k)
+	for i := range weights {
+		weights[i] = 1
+	}
+	if err := d.balance(clusters, weights); err != nil {
+		return nil, err
+	}
+	out := make([][]*tags.IterationChunk, k)
+	for i, c := range clusters {
+		out[i] = c.Members
+	}
+	return out, nil
+}
+
+// RescheduleStages re-runs the pipeline's scheduling stage on a per-client
+// clustering against a decoded hierarchy: the Figure 15 reuse schedule when
+// sched is true, otherwise the deterministic lexicographic order of first
+// iteration that the plain inter-processor scheme uses. The input lists are
+// never modified; the result holds fresh slices in execution order.
+func RescheduleStages(ctx context.Context, assign [][]*tags.IterationChunk, tree *hierarchy.Tree, opts ScheduleOptions, sched bool) ([][]*tags.IterationChunk, error) {
+	if sched {
+		return ScheduleCtx(ctx, assign, tree, opts)
+	}
+	if tree != nil && len(assign) != tree.NumClients() {
+		return nil, fmt.Errorf("core: assignment for %d clients on a %d-client tree",
+			len(assign), tree.NumClients())
+	}
+	out := make([][]*tags.IterationChunk, len(assign))
+	for i, cl := range assign {
+		s := append([]*tags.IterationChunk(nil), cl...)
+		sort.SliceStable(s, func(a, b int) bool { return chunkKey(s[a]) < chunkKey(s[b]) })
+		out[i] = s
+	}
+	return out, nil
+}

@@ -55,7 +55,7 @@ func PlanOf(r *pipeline.Result) Plan {
 		Clients:         len(r.Assignment),
 		Work:            make([][]PlanBlock, len(r.Assignment)),
 		TotalIterations: r.Assignment.TotalIterations(),
-		IterationChunks: len(r.Chunks),
+		IterationChunks: r.NumChunks,
 		SyncEdges:       r.SyncEdges,
 	}
 	for c, blocks := range r.Assignment {

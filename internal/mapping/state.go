@@ -1,0 +1,110 @@
+package mapping
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+	"repro/internal/itset"
+	"repro/internal/pipeline"
+	"repro/internal/tags"
+)
+
+// StateSchemaVersion is the wire-format version of State. Like
+// PlanSchemaVersion it is bumped on any encoding change existing decoders
+// cannot read, so persisted clusterings stay interpretable across
+// releases (and a stale tier filled by one build is safely ignored, not
+// misread, by the next).
+const StateSchemaVersion = 1
+
+// State is the serializable form of a resumable pipeline artifact
+// (pipeline.State): the balanced, pre-schedule per-client clustering a
+// repair re-enters the pipeline with. Chunk tags encode as set-bit index
+// lists over a shared width, iteration sets as [start, end) run pairs —
+// the same compact conventions as Plan.
+type State struct {
+	Schema int             `json:"schema"`
+	Scheme pipeline.Scheme `json:"scheme"`
+	// TagBits is the bit width of every chunk tag (the workload's data
+	// chunk count).
+	TagBits int `json:"tag_bits"`
+	// NumChunks is the originating run's pre-split chunk count, reported
+	// as iteration_chunks by plans repaired from this state.
+	NumChunks int `json:"num_chunks,omitempty"`
+	// Clients[c] is client c's balanced chunk list, in cluster order.
+	Clients [][]StateChunk `json:"clients"`
+}
+
+// StateChunk is one iteration chunk of a persisted clustering.
+type StateChunk struct {
+	// Tag lists the set bit positions of the chunk's data tag Λ.
+	Tag []int `json:"tag,omitempty"`
+	// Runs are the chunk's iterations as half-open [start, end) pairs.
+	Runs [][2]int64 `json:"runs,omitempty"`
+	// Nest disambiguates multi-nest distributions; omitted when zero.
+	Nest int `json:"nest,omitempty"`
+}
+
+// StateOf converts a pipeline state into its serializable wire form.
+func StateOf(st *pipeline.State) State {
+	s := State{
+		Schema:    StateSchemaVersion,
+		Scheme:    st.Scheme,
+		TagBits:   st.TagWidth,
+		NumChunks: st.NumChunks,
+		Clients:   make([][]StateChunk, len(st.Clustering)),
+	}
+	for c, cl := range st.Clustering {
+		s.Clients[c] = make([]StateChunk, 0, len(cl))
+		for _, ch := range cl {
+			sc := StateChunk{Tag: ch.Tag.Indices(), Nest: ch.Nest}
+			ch.Iters.ForEachRun(func(run itset.Run) {
+				sc.Runs = append(sc.Runs, [2]int64{run.Start, run.End})
+			})
+			s.Clients[c] = append(s.Clients[c], sc)
+		}
+	}
+	return s
+}
+
+// PipelineState reconstructs the resumable artifact from the wire form. It
+// rejects states written under a different schema version, out-of-width
+// tag bits and malformed runs.
+func (s State) PipelineState() (*pipeline.State, error) {
+	if s.Schema != StateSchemaVersion {
+		return nil, fmt.Errorf("mapping: state schema %d, this build reads %d", s.Schema, StateSchemaVersion)
+	}
+	if s.TagBits < 0 {
+		return nil, fmt.Errorf("mapping: state has negative tag width %d", s.TagBits)
+	}
+	st := &pipeline.State{
+		Scheme:     s.Scheme,
+		TagWidth:   s.TagBits,
+		NumChunks:  s.NumChunks,
+		Clustering: make([][]*tags.IterationChunk, len(s.Clients)),
+	}
+	for c, cl := range s.Clients {
+		st.Clustering[c] = make([]*tags.IterationChunk, 0, len(cl))
+		for i, sc := range cl {
+			tag := bitvec.New(s.TagBits)
+			for _, b := range sc.Tag {
+				if b < 0 || b >= s.TagBits {
+					return nil, fmt.Errorf("mapping: state client %d chunk %d tag bit %d outside width %d", c, i, b, s.TagBits)
+				}
+				tag.Set(b)
+			}
+			runs := make([]itset.Run, 0, len(sc.Runs))
+			for _, r := range sc.Runs {
+				if r[1] <= r[0] {
+					return nil, fmt.Errorf("mapping: state client %d chunk %d has empty run [%d,%d)", c, i, r[0], r[1])
+				}
+				runs = append(runs, itset.Run{Start: r[0], End: r[1]})
+			}
+			st.Clustering[c] = append(st.Clustering[c], &tags.IterationChunk{
+				Tag:   tag,
+				Iters: itset.FromRuns(runs...),
+				Nest:  sc.Nest,
+			})
+		}
+	}
+	return st, nil
+}

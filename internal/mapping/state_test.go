@@ -1,0 +1,134 @@
+package mapping
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/pipeline"
+)
+
+func figure6State(t *testing.T) *pipeline.State {
+	t.Helper()
+	prog, tree := figure6Program()
+	res, err := pipeline.Map(context.Background(), pipeline.InterProcessor, prog, pipeline.Config{Tree: tree})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.State()
+	if st == nil {
+		t.Fatal("inter run produced no resumable state")
+	}
+	return st
+}
+
+func TestStateGolden(t *testing.T) {
+	st := figure6State(t)
+	got, err := json.MarshalIndent(StateOf(st), "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+
+	golden := filepath.Join("testdata", "state_v1.golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("state wire encoding drifted from %s.\nIf the change is intentional, bump StateSchemaVersion and regenerate with -update.\ngot:\n%s\nwant:\n%s",
+			golden, got, want)
+	}
+}
+
+func TestStateRoundTrip(t *testing.T) {
+	st := figure6State(t)
+	b, err := json.Marshal(StateOf(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wire State
+	if err := json.Unmarshal(b, &wire); err != nil {
+		t.Fatal(err)
+	}
+	back, err := wire.PipelineState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Scheme != st.Scheme || back.TagWidth != st.TagWidth || back.NumChunks != st.NumChunks {
+		t.Fatalf("metadata drifted: %v/%d/%d want %v/%d/%d",
+			back.Scheme, back.TagWidth, back.NumChunks, st.Scheme, st.TagWidth, st.NumChunks)
+	}
+	if len(back.Clustering) != len(st.Clustering) {
+		t.Fatalf("%d clients, want %d", len(back.Clustering), len(st.Clustering))
+	}
+	for c := range st.Clustering {
+		if len(back.Clustering[c]) != len(st.Clustering[c]) {
+			t.Fatalf("client %d: %d chunks, want %d", c, len(back.Clustering[c]), len(st.Clustering[c]))
+		}
+		for i, ch := range st.Clustering[c] {
+			got := back.Clustering[c][i]
+			if !got.Tag.Equal(ch.Tag) || !got.Iters.Equal(ch.Iters) || got.Nest != ch.Nest {
+				t.Fatalf("client %d chunk %d drifted through the wire", c, i)
+			}
+		}
+	}
+
+	// A round-tripped state must still drive a byte-identical repair.
+	_, tree := figure6Program()
+	rep, err := pipeline.Resume(context.Background(), back, pipeline.Config{Tree: tree})
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, err := pipeline.Resume(context.Background(), st, pipeline.Config{Tree: tree})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gb, _ := json.Marshal(PlanOf(rep))
+	wb, _ := json.Marshal(PlanOf(orig))
+	if string(gb) != string(wb) {
+		t.Error("round-tripped state repairs to a different plan")
+	}
+}
+
+func TestStateRejectsBadWire(t *testing.T) {
+	st := figure6State(t)
+	good := StateOf(st)
+
+	futur := good
+	futur.Schema = StateSchemaVersion + 1
+	if _, err := futur.PipelineState(); err == nil {
+		t.Error("future schema version accepted")
+	}
+
+	b, _ := json.Marshal(good)
+	var wide State
+	if err := json.Unmarshal(b, &wide); err != nil {
+		t.Fatal(err)
+	}
+	wide.Clients[0] = append([]StateChunk(nil), wide.Clients[0]...)
+	wide.Clients[0][0] = StateChunk{Tag: []int{wide.TagBits}, Runs: [][2]int64{{0, 1}}}
+	if _, err := wide.PipelineState(); err == nil {
+		t.Error("out-of-width tag bit accepted")
+	}
+
+	var empty State
+	if err := json.Unmarshal(b, &empty); err != nil {
+		t.Fatal(err)
+	}
+	empty.Clients[0] = append([]StateChunk(nil), empty.Clients[0]...)
+	empty.Clients[0][0] = StateChunk{Runs: [][2]int64{{5, 5}}}
+	if _, err := empty.PipelineState(); err == nil {
+		t.Error("empty run accepted")
+	}
+}

@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"runtime"
-	"sort"
 
 	"repro/internal/core"
 	"repro/internal/hierarchy"
@@ -116,9 +115,23 @@ type Result struct {
 	Chunks []*tags.IterationChunk
 	// SyncEdges counts cross-client dependent chunk pairs under DepSync.
 	SyncEdges int
+	// NumChunks is the length of the original chunk list the distributor
+	// was fed (before dependence pre-merging). It survives a Resume, where
+	// the chunk list itself is gone, so repaired plans report the same
+	// iteration_chunks as their full-compute ancestors.
+	NumChunks int
+	// Clustering is the post-balance, pre-schedule per-client chunk
+	// assignment — the artifact a Resume re-enters the pipeline with. Set
+	// for inter schemes; nil otherwise.
+	Clustering [][]*tags.IterationChunk
 	// Stages is the per-stage timing breakdown of the run that produced
 	// this result, in canonical stage order.
 	Stages []StageTiming
+
+	// resumable marks results whose Clustering can seed a Resume (inter
+	// schemes under DepIgnore; dependence-aware modes need tags/chunks
+	// stage artifacts a State does not carry).
+	resumable bool
 }
 
 // Map computes the iteration-to-processor mapping of prog under the given
@@ -283,14 +296,6 @@ func mapIntraOrder(r *Run, prog iosim.Program, cfg Config, order polyhedral.Orde
 	return res, nil
 }
 
-// chunkOrderKey orders iteration chunks by nest, then first iteration.
-func chunkOrderKey(c *tags.IterationChunk) int64 {
-	if c.Iters.IsEmpty() {
-		return int64(c.Nest) << 40
-	}
-	return int64(c.Nest)<<40 + c.Iters.Min()
-}
-
 // distribute runs core.DistributeCtx with the run as phase clock, so the
 // similarity/cluster/balance stages land in the run's ledger; errors are
 // attributed to the cluster stage (the phase the context checks live in).
@@ -379,21 +384,21 @@ func mapInter(r *Run, scheme Scheme, prog iosim.Program, cfg Config) (*Result, e
 		return nil, err
 	}
 
+	// The pre-schedule clustering is the resumable artifact: a Resume
+	// re-enters here with a drifted tree. RescheduleStages never mutates
+	// its input, so the snapshot needs no copy.
+	res.NumChunks = len(res.Chunks)
+	res.Clustering = perClient
+	res.resumable = cfg.DepMode == DepIgnore
+
 	if err := r.stage(StageSchedule, func(ctx context.Context) error {
-		if scheme == InterProcessorSched {
-			var err error
-			perClient, err = core.ScheduleCtx(ctx, perClient, cfg.Tree, cfg.Schedule)
-			return err
-		}
-		// The paper's plain inter-processor scheme executes a client's
-		// chunks in no particular order; we use lexicographic order of
-		// first iteration as the deterministic neutral choice.
-		for _, cl := range perClient {
-			sort.Slice(cl, func(i, j int) bool {
-				return chunkOrderKey(cl[i]) < chunkOrderKey(cl[j])
-			})
-		}
-		return nil
+		// For the plain inter-processor scheme the paper executes a
+		// client's chunks in no particular order; RescheduleStages uses
+		// lexicographic order of first iteration as the deterministic
+		// neutral choice.
+		var err error
+		perClient, err = core.RescheduleStages(ctx, perClient, cfg.Tree, cfg.Schedule, scheme == InterProcessorSched)
+		return err
 	}); err != nil {
 		return nil, err
 	}
@@ -418,15 +423,7 @@ func mapInter(r *Run, scheme Scheme, prog iosim.Program, cfg Config) (*Result, e
 			}
 			res.SyncEdges = core.CrossClientDependences(pairs, owner)
 		}
-		asg := make(iosim.Assignment, len(perClient))
-		for ci, cl := range perClient {
-			for _, c := range cl {
-				if !c.Iters.IsEmpty() {
-					asg[ci] = append(asg[ci], iosim.Block{Set: c.Iters})
-				}
-			}
-		}
-		res.Assignment = asg
+		res.Assignment = encodeAssignment(perClient)
 		return nil
 	}); err != nil {
 		return nil, err

@@ -1,0 +1,222 @@
+package pipeline
+
+import (
+	"context"
+	"encoding/json"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/hierarchy"
+	"repro/internal/iosim"
+	"repro/internal/itset"
+	"repro/internal/workloads"
+)
+
+// assignJSON is the byte-identity probe: the canonical encoding of the
+// per-client assignment (the part of the plan a repair can change).
+func assignJSON(t *testing.T, res *Result) string {
+	t.Helper()
+	type wire struct {
+		Clients int
+		Blocks  [][]string
+	}
+	w := wire{Clients: len(res.Assignment)}
+	for _, blocks := range res.Assignment {
+		var bs []string
+		for _, b := range blocks {
+			bs = append(bs, b.Set.String())
+		}
+		w.Blocks = append(w.Blocks, bs)
+	}
+	b, err := json.Marshal(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// randomWorkload picks one of the paper's application models pseudo-randomly.
+func randomWorkload(t *testing.T, rr *rand.Rand) iosim.Program {
+	t.Helper()
+	names := workloads.Names()
+	w, err := workloads.Get(names[rr.Intn(len(names))], 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w.Prog
+}
+
+func randomTree(rr *rand.Rand) *hierarchy.Tree {
+	s := 1 + rr.Intn(2)
+	io := s * (1 + rr.Intn(2))
+	cn := io * (1 + rr.Intn(3))
+	return hierarchy.NewLayered(
+		hierarchy.LayerSpec{Count: s, CacheChunks: 8 + rr.Intn(24), Label: "SN"},
+		hierarchy.LayerSpec{Count: io, CacheChunks: 8 + rr.Intn(16), Label: "IO"},
+		hierarchy.LayerSpec{Count: cn, CacheChunks: 4 + rr.Intn(8), Label: "CN"},
+	)
+}
+
+// Property: resuming a run's State against the SAME configuration yields a
+// byte-identical assignment — the zero-drift repair contract — for both
+// inter schemes, across random workloads, trees and balance thresholds.
+func TestPropertyResumeZeroDriftByteIdentical(t *testing.T) {
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		prog := randomWorkload(t, rr)
+		cfg := Config{Tree: randomTree(rr)}
+		cfg.Options.BalanceThreshold = 0.05 + 0.2*rr.Float64()
+		scheme := InterProcessor
+		if rr.Intn(2) == 1 {
+			scheme = InterProcessorSched
+		}
+		full, err := Map(context.Background(), scheme, prog, cfg)
+		if err != nil {
+			return false
+		}
+		st := full.State()
+		if st == nil {
+			return false
+		}
+		rep, err := Resume(context.Background(), st, cfg)
+		if err != nil {
+			return false
+		}
+		return assignJSON(t, rep) == assignJSON(t, full) &&
+			rep.NumChunks == full.NumChunks &&
+			rep.Scheme == full.Scheme
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: resuming against a DRIFTED tree yields a valid plan — the
+// assignment exactly partitions the original iterations onto the new
+// client count and passes the simulator's validation.
+func TestPropertyResumeDriftedValid(t *testing.T) {
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		prog := randomWorkload(t, rr)
+		cfg := Config{Tree: randomTree(rr)}
+		full, err := Map(context.Background(), InterProcessor, prog, cfg)
+		if err != nil {
+			return false
+		}
+		st := full.State()
+		if st == nil {
+			return false
+		}
+		drifted := cfg
+		drifted.Tree = randomTree(rr)
+		rep, err := Resume(context.Background(), st, drifted)
+		if err != nil {
+			return false
+		}
+		if len(rep.Assignment) != drifted.Tree.NumClients() {
+			return false
+		}
+		var covered itset.Set
+		var total int64
+		for _, blocks := range rep.Assignment {
+			for _, b := range blocks {
+				if !covered.Intersect(b.Set).IsEmpty() {
+					return false
+				}
+				covered = covered.Union(b.Set)
+				total += b.Set.Count()
+			}
+		}
+		if total != prog.Nest.Size() || covered.Count() != total {
+			return false
+		}
+		// The simulator accepts the repaired plan against the new tree.
+		_, err = iosim.Run(drifted.Tree, prog, rep.Assignment, iosim.DefaultParams())
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResumeStageLedger(t *testing.T) {
+	prog := stencilProgram(24)
+	cfg := Config{Tree: testTree()}
+	full, err := Map(context.Background(), InterProcessor, prog, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Resume(context.Background(), full.State(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ran := map[string]bool{}
+	for _, s := range rep.Stages {
+		ran[s.Stage] = true
+	}
+	for _, want := range []string{StageBalance, StageSchedule, StageEncode} {
+		if !ran[want] {
+			t.Errorf("stage %q missing from a resumed run (got %v)", want, rep.Stages)
+		}
+	}
+	for _, reused := range ReusedStages() {
+		if ran[reused] {
+			t.Errorf("stage %q ran in a resumed run but is declared reused", reused)
+		}
+	}
+	// A resumed result is itself resumable: its State seeds further repairs.
+	if rep.State() == nil {
+		t.Error("resumed result lost its resumability")
+	}
+}
+
+func TestResumeRejectsBadInputs(t *testing.T) {
+	prog := stencilProgram(24)
+	cfg := Config{Tree: testTree()}
+	full, err := Map(context.Background(), InterProcessor, prog, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := full.State()
+
+	if _, err := Resume(context.Background(), nil, cfg); err == nil {
+		t.Error("nil state accepted")
+	}
+	bad := *st
+	bad.Scheme = Original
+	if _, err := Resume(context.Background(), &bad, cfg); err == nil {
+		t.Error("non-inter scheme accepted")
+	}
+	depCfg := cfg
+	depCfg.DepMode = DepSync
+	if _, err := Resume(context.Background(), st, depCfg); err == nil {
+		t.Error("dependence-aware resume accepted")
+	}
+	noTree := cfg
+	noTree.Tree = nil
+	if _, err := Resume(context.Background(), st, noTree); err == nil {
+		t.Error("nil tree accepted")
+	}
+}
+
+func TestStateOnlyForResumableRuns(t *testing.T) {
+	prog := stencilProgram(24)
+	for _, scheme := range []Scheme{Original, IntraProcessor} {
+		res, err := Map(context.Background(), scheme, prog, Config{Tree: testTree()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.State() != nil {
+			t.Errorf("%s produced a resumable state", scheme)
+		}
+	}
+	dep := Config{Tree: testTree(), DepMode: DepSync}
+	res, err := Map(context.Background(), InterProcessor, prog, dep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.State() != nil {
+		t.Error("dependence-aware run produced a resumable state")
+	}
+}

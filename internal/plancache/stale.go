@@ -71,6 +71,10 @@ type StaleTier[V any] struct {
 	entries  map[Key]*list.Element
 	hits     int64
 	misses   int64
+	// Repair lookups (incremental re-planning) are counted separately from
+	// Get (degraded serving): the two paths have different SLOs.
+	repairHits   int64
+	repairMisses int64
 }
 
 type staleEntry[V any] struct {
@@ -135,6 +139,34 @@ func (s *StaleTier[V]) Get(k Key, sig TopoSig, tol float64) (v V, age time.Durat
 	return e.val, time.Since(e.stored), true
 }
 
+// Repair returns the tier's entry for workload key k if its recorded
+// topology drifts from sig within tol — like Get, but for incremental
+// re-planning rather than degraded serving: alongside the cached value it
+// returns the exact topology signature the value was computed for, so the
+// caller can distinguish zero drift (the repaired plan is byte-identical
+// to a full compute) from a genuine adaptation. Repair lookups keep their
+// own hit/miss counters (RepairStats) and, like Get, refresh the entry's
+// recency on a usable hit.
+func (s *StaleTier[V]) Repair(k Key, sig TopoSig, tol float64) (v V, cached TopoSig, age time.Duration, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, found := s.entries[k]
+	if !found {
+		s.repairMisses++
+		var zero V
+		return zero, TopoSig{}, 0, false
+	}
+	e := el.Value.(*staleEntry[V])
+	if !e.sig.DriftWithin(sig, tol) {
+		s.repairMisses++
+		var zero V
+		return zero, TopoSig{}, 0, false
+	}
+	s.ll.MoveToFront(el)
+	s.repairHits++
+	return e.val, e.sig, time.Since(e.stored), true
+}
+
 // Len returns the number of retained workload entries.
 func (s *StaleTier[V]) Len() int {
 	s.mu.Lock()
@@ -147,4 +179,11 @@ func (s *StaleTier[V]) Stats() (hits, misses int64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.hits, s.misses
+}
+
+// RepairStats returns cumulative Repair usable-hit and miss counts.
+func (s *StaleTier[V]) RepairStats() (hits, misses int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.repairHits, s.repairMisses
 }

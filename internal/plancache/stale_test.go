@@ -148,3 +148,65 @@ func TestStaleTierConcurrent(t *testing.T) {
 		t.Fatalf("Len = %d exceeds capacity", st.Len())
 	}
 }
+
+func TestStaleTierRepair(t *testing.T) {
+	st := NewStaleTier[string](4)
+	k := keyOf(t, "workload-a")
+	sigA := sig([2]int{2, 16}, [2]int{4, 8})
+	sigDrift := sig([2]int{2, 16}, [2]int{5, 8})
+	sigFar := sig([2]int{2, 16}, [2]int{16, 8})
+
+	if _, _, _, ok := st.Repair(k, sigA, 0.25); ok {
+		t.Fatal("empty tier repaired")
+	}
+	st.Put(k, sigA, "clustering-1")
+
+	// Exact lookup returns the recorded signature so the caller can detect
+	// zero drift.
+	v, cached, age, ok := st.Repair(k, sigA, 0.25)
+	if !ok || v != "clustering-1" || age < 0 {
+		t.Fatalf("exact repair lookup: %q %v %v", v, age, ok)
+	}
+	if !cached.DriftWithin(sigA, 0) {
+		t.Fatalf("recorded signature %v, want %v", cached, sigA)
+	}
+	// Drift within tolerance: still usable, and the recorded signature is
+	// the ORIGINAL one, not the probe.
+	v, cached, _, ok = st.Repair(k, sigDrift, 0.25)
+	if !ok || v != "clustering-1" {
+		t.Fatalf("drift-within repair failed: %q %v", v, ok)
+	}
+	if cached.DriftWithin(sigDrift, 0) {
+		t.Fatal("Repair returned the probe signature instead of the recorded one")
+	}
+	if _, _, _, ok := st.Repair(k, sigFar, 0.25); ok {
+		t.Fatal("far topology repaired")
+	}
+
+	// Repair and Get keep separate counters.
+	hits, misses := st.RepairStats()
+	if hits != 2 || misses != 2 {
+		t.Errorf("repair stats = %d/%d, want 2 hits / 2 misses", hits, misses)
+	}
+	if h, m := st.Stats(); h != 0 || m != 0 {
+		t.Errorf("Get stats polluted by Repair: %d/%d", h, m)
+	}
+}
+
+func TestStaleTierRepairRefreshesRecency(t *testing.T) {
+	st := NewStaleTier[int](2)
+	s := sig([2]int{1, 1})
+	a, b, c := keyOf(t, "a"), keyOf(t, "b"), keyOf(t, "c")
+	st.Put(a, s, 1)
+	st.Put(b, s, 2)
+	if _, _, _, ok := st.Repair(a, s, 0); !ok {
+		t.Fatal("a missing")
+	}
+	st.Put(c, s, 3) // evicts b, not the repair-touched a
+	if _, _, _, ok := st.Repair(a, s, 0); !ok {
+		t.Error("repair-touched entry evicted")
+	}
+	if _, _, _, ok := st.Repair(b, s, 0); ok {
+		t.Error("least recently used entry survived")
+	}
+}

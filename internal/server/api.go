@@ -66,6 +66,16 @@ type MapResponse struct {
 	// supplied this plan over the peer-fill protocol (the plan's owner).
 	// It persists while the filled entry lives in the local cache.
 	FilledFrom string `json:"filled_from,omitempty"`
+	// Replanned records how the plan was produced: "full" (the whole
+	// pipeline ran) or "incremental" (a cached clustering of the same
+	// workload was repaired — re-balanced and re-scheduled — for this
+	// topology). When Cached is true it describes the original production,
+	// like Stages. Empty for peer-filled and degraded responses.
+	Replanned string `json:"replanned,omitempty"`
+	// ReusedStages lists the pipeline stages an incremental repair reused
+	// from the cached clustering instead of re-running (the complement of
+	// the entries in Stages).
+	ReusedStages []string `json:"reused_stages,omitempty"`
 	// ElapsedMS is the server-side time to produce the plan.
 	ElapsedMS float64 `json:"elapsed_ms"`
 	// Degraded, when non-empty, marks a response served under overload:

@@ -116,7 +116,7 @@ func (s *Server) handleInternalPlan(w http.ResponseWriter, r *http.Request) {
 		out, err := runJob(s, ctx, j.cost, func(ctx context.Context) (planOut, error) {
 			// internal=true: the owner never re-forwards, so a skewed ring
 			// view degenerates to local compute instead of a forwarding loop.
-			plan, _, hit, err := s.computePlan(ctx, j, true)
+			plan, _, hit, err := s.computePlan(ctx, j, computeOpts{internal: true})
 			return planOut{plan, hit}, err
 		})
 		if err != nil {

@@ -116,6 +116,7 @@ func (s *Server) tryDegrade(ctx context.Context, j *job, cause error, elapsed fu
 
 	if v, age, ok := s.stale.Get(j.wkKey, j.topoSig, s.cfg.Degraded.StaleTolerance); ok {
 		s.markDegraded(ctx, DegradedStale, why)
+		s.replans.Inc(ReplanStaleServed)
 		return &MapResponse{
 			Plan:          v.plan.Plan,
 			Stages:        v.plan.Stages,

@@ -100,6 +100,13 @@ type Config struct {
 	AdmissionQueueCost int64
 	// Degraded configures graceful degradation under overload.
 	Degraded DegradedConfig
+	// Repair configures transparent incremental re-planning on POST
+	// /v1/map: a request whose workload matches a cached clustering and
+	// whose topology drifts within tolerance re-enters the pipeline at the
+	// balance stage instead of recomputing from tags. POST /v1/map/batch
+	// repairs siblings onto their family leader's clustering regardless of
+	// this switch.
+	Repair RepairConfig
 	// Faults, when non-nil, deterministically injects latency spikes,
 	// pipeline-stage errors and plan-cache leader crashes (see
 	// internal/faults) and enables GET/POST /debug/faults.
@@ -137,7 +144,41 @@ func (c *Config) applyDefaults() {
 		c.AdmissionQueueDepth = 0
 	}
 	c.Degraded.applyDefaults()
+	c.Repair.applyDefaults()
 }
+
+// RepairConfig controls the incremental re-planning fast-path.
+type RepairConfig struct {
+	// Enabled turns the transparent repair path on for POST /v1/map and
+	// /v1/simulate. Default off: under drift a repaired plan is a valid
+	// approximation, not the plan a full compute would produce, so
+	// byte-exact serving paths (e.g. ring members proving plan
+	// byte-equality) must opt in deliberately.
+	Enabled bool
+	// Tolerance is the relative per-layer topology drift under which a
+	// cached clustering is repaired instead of recomputed (default 0.25,
+	// matching the degraded stale tolerance; see plancache.TopoSig).
+	Tolerance float64
+}
+
+func (c *RepairConfig) applyDefaults() {
+	if c.Tolerance <= 0 {
+		c.Tolerance = 0.25
+	}
+}
+
+// Replan outcomes recorded in responses and
+// cachemapd_replan_total{outcome}.
+const (
+	// ReplanFull marks a plan computed by the full pipeline.
+	ReplanFull = "full"
+	// ReplanIncremental marks a plan repaired from a cached clustering:
+	// only balance/schedule/encode ran; tags through cluster were reused.
+	ReplanIncremental = "incremental"
+	// ReplanStaleServed marks a degraded response that served a stale plan
+	// unmodified (no pipeline stage ran at all).
+	ReplanStaleServed = "stale_served"
+)
 
 // Server is the mapping-as-a-service daemon core. Create with New; it is
 // safe for concurrent use.
@@ -169,6 +210,10 @@ type Server struct {
 	admShed        *metrics.Counter
 	computes       *metrics.Counter
 	reqInternal    *metrics.Counter
+	reqBatch       *metrics.Counter
+	batchSpecs     *metrics.Counter
+	replans        *metrics.CounterVec
+	stageRuns      *metrics.CounterVec
 	degraded       *metrics.CounterVec
 	faultsFired    *metrics.CounterVec
 	clusterDur     *metrics.Histogram
@@ -224,6 +269,14 @@ func New(cfg Config) *Server {
 		"cold mapping pipeline computations run on this node (under cross-node singleflight the fleet-wide sum is one per plan key)")
 	s.reqInternal = s.reg.Counter("cachemapd_internal_plan_requests_total",
 		"peer-fill requests received on POST /internal/plan/{key}")
+	s.reqBatch = s.reg.Counter("cachemapd_batch_requests_total",
+		"POST /v1/map/batch requests received")
+	s.batchSpecs = s.reg.Counter("cachemapd_batch_specs_total",
+		"mapping specs carried by batch requests")
+	s.replans = s.reg.CounterVec("cachemapd_replan_total",
+		"plan productions by outcome: full pipeline, incremental repair of a cached clustering, or a stale plan served unmodified under degradation", "outcome")
+	s.stageRuns = s.reg.CounterVec("cachemapd_pipeline_stage_runs_total",
+		"pipeline stage executions by stage (an incremental repair re-runs only balance/schedule/encode)", "stage")
 	s.degraded = s.reg.CounterVec("cachemapd_degraded_responses_total",
 		"degraded responses served under overload, by degradation mode", "mode")
 	s.faultsFired = s.reg.CounterVec("cachemapd_faults_injected_total",
@@ -243,6 +296,12 @@ func New(cfg Config) *Server {
 	s.reg.CounterFunc("cachemapd_stale_tier_misses_total",
 		"degraded lookups the stale plan tier could not answer (missing workload or topology drift beyond tolerance)",
 		func() float64 { _, m := s.stale.Stats(); return float64(m) })
+	s.reg.CounterFunc("cachemapd_repair_lookup_hits_total",
+		"repair lookups answered by the stale tier with a resumable clustering within tolerance",
+		func() float64 { h, _ := s.stale.RepairStats(); return float64(h) })
+	s.reg.CounterFunc("cachemapd_repair_lookup_misses_total",
+		"repair lookups the stale tier could not answer",
+		func() float64 { _, m := s.stale.RepairStats(); return float64(m) })
 	s.cache.OnHit = s.cacheHits.Inc
 	s.cache.OnMiss = s.cacheMisses.Inc
 	s.cache.OnEvict = func(plancache.Key, cachedPlan) { s.cacheEvictions.Inc() }
@@ -265,6 +324,7 @@ func (s *Server) Registry() *metrics.Registry { return s.reg }
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/map", s.handleMap)
+	mux.HandleFunc("POST /v1/map/batch", s.handleBatch)
 	mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
 	mux.HandleFunc("POST /internal/plan/{key}", s.handleInternalPlan)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -299,6 +359,28 @@ type cachedPlan struct {
 	Plan       mapping.Plan
 	Stages     []pipeline.StageTiming
 	FilledFrom string
+	// Replanned records how the plan was produced (ReplanFull or
+	// ReplanIncremental; empty for peer-filled plans, whose production ran
+	// on the owner) and ReusedStages which pipeline stages an incremental
+	// repair reused from the cached clustering. Like FilledFrom, the
+	// provenance sticks for as long as the entry lives.
+	Replanned    string
+	ReusedStages []string
+	// state is the resumable mid-pipeline artifact of the computation
+	// (nil for peer-filled plans and non-resumable schemes/modes); it
+	// rides into the stale tier so later near-miss requests can repair it.
+	state *pipeline.State
+}
+
+// computeOpts tunes one computePlan resolution.
+type computeOpts struct {
+	// internal marks requests arriving over the peer-fill protocol: the
+	// owner serves them locally and never re-forwards or repairs.
+	internal bool
+	// repair allows answering a cache miss by incrementally re-planning a
+	// cached clustering of the same workload (topology drift within the
+	// repair tolerance) instead of running the full pipeline.
+	repair bool
 }
 
 // computePlan resolves a validated job through the plan cache, computing
@@ -322,7 +404,7 @@ type cachedPlan struct {
 // crash the leader: the leader cancels its own Do context and abandons
 // the key, waiting followers re-elect a successor (the production crash
 // path), and the crashed request itself reports an *faults.InjectedError.
-func (s *Server) computePlan(ctx context.Context, j *job, internal bool) (cachedPlan, plancache.Key, bool, error) {
+func (s *Server) computePlan(ctx context.Context, j *job, opt computeOpts) (cachedPlan, plancache.Key, bool, error) {
 	key, err := PlanKey(j.req)
 	if err != nil {
 		return cachedPlan{}, plancache.Key{}, false, err
@@ -344,7 +426,15 @@ func (s *Server) computePlan(ctx context.Context, j *job, internal bool) (cached
 		if s.onJobStart != nil {
 			s.onJobStart()
 		}
-		if s.cluster != nil && !internal {
+		// Repair before peer fill: an in-memory clustering of our own is
+		// cheaper than a network round trip, and a fill would make the
+		// owner run the full pipeline on a cold fleet anyway.
+		if opt.repair && !opt.internal {
+			if cp, ok := s.tryRepair(cctx, j); ok {
+				return cp, nil
+			}
+		}
+		if s.cluster != nil && !opt.internal {
 			if owner, self := s.cluster.Owner(key); !self {
 				if cp, ok := s.peerFill(cctx, owner, key, j); ok {
 					return cp, nil
@@ -357,30 +447,88 @@ func (s *Server) computePlan(ctx context.Context, j *job, internal bool) (cached
 			cfg.StageHook = s.stageHook
 		}
 		s.computes.Inc()
+		s.replans.Inc(ReplanFull)
 		start := time.Now()
 		res, err := pipeline.Map(cctx, j.scheme, j.work.Prog, cfg)
 		if err != nil {
 			return cachedPlan{}, err
 		}
 		s.clusterDur.Observe(time.Since(start).Seconds())
-		for _, st := range res.Stages {
-			s.stageDur.Observe(st.Stage, st.DurationMS/1e3)
-			if st.Stage == pipeline.StageSimilarity {
-				s.simPairsGen.Add(st.PairsGenerated)
-				s.simPairsDense.Add(st.PairsDense)
-			}
-		}
-		return cachedPlan{Plan: mapping.PlanOf(res), Stages: res.Stages}, nil
+		s.observeStages(res.Stages)
+		return cachedPlan{
+			Plan:      mapping.PlanOf(res),
+			Stages:    res.Stages,
+			Replanned: ReplanFull,
+			state:     res.State(),
+		}, nil
 	})
 	if err != nil && ctx.Err() == nil && dctx.Err() != nil {
 		// The injected leader crash canceled dctx, not the caller: surface
 		// it as the injected fault it is, not as a cancellation.
 		err = &faults.InjectedError{Site: "plancache/leader"}
 	}
-	if err == nil {
+	// Anchor the stale tier at full computes (and peer fills): a repaired
+	// plan derives from the entry it was repaired from, and letting it
+	// overwrite that entry would re-base the drift comparison on each
+	// repair — a random walk where A→B→C each stays within tolerance of
+	// its predecessor while C drifts arbitrarily far from the clustering
+	// that was actually computed. Keeping the ancestor makes every repair
+	// measure drift against the last full pipeline run.
+	if err == nil && v.Replanned != ReplanIncremental {
 		s.stale.Put(j.wkKey, j.topoSig, staleValue{plan: v, key: key})
 	}
 	return v, key, hit, err
+}
+
+// observeStages records a pipeline run's per-stage durations, run counts
+// and similarity pair statistics on the server's instruments.
+func (s *Server) observeStages(sts []pipeline.StageTiming) {
+	for _, st := range sts {
+		s.stageRuns.Inc(st.Stage)
+		s.stageDur.Observe(st.Stage, st.DurationMS/1e3)
+		if st.Stage == pipeline.StageSimilarity {
+			s.simPairsGen.Add(st.PairsGenerated)
+			s.simPairsDense.Add(st.PairsDense)
+		}
+	}
+}
+
+// tryRepair attempts incremental re-planning: when the stale tier holds a
+// resumable clustering for the same workload whose topology drifts from
+// the requested one within the repair tolerance, the pipeline re-enters at
+// the balance stage (pipeline.Resume) instead of recomputing from tags.
+// Zero drift reproduces the full compute's plan byte for byte; under drift
+// the repaired plan is valid for the new topology while preserving the
+// cached clustering's locality. Any failure falls through to the full
+// pipeline.
+func (s *Server) tryRepair(ctx context.Context, j *job) (cachedPlan, bool) {
+	if j.cfg.DepMode != pipeline.DepIgnore {
+		return cachedPlan{}, false // dependence modes need tags/chunks artifacts
+	}
+	if j.scheme != pipeline.InterProcessor && j.scheme != pipeline.InterProcessorSched {
+		return cachedPlan{}, false
+	}
+	v, _, _, ok := s.stale.Repair(j.wkKey, j.topoSig, s.cfg.Repair.Tolerance)
+	if !ok || v.plan.state == nil || v.plan.state.Scheme != j.scheme {
+		return cachedPlan{}, false
+	}
+	cfg := j.cfg
+	if s.faults != nil {
+		cfg.StageHook = s.stageHook
+	}
+	res, err := pipeline.Resume(ctx, v.plan.state, cfg)
+	if err != nil {
+		return cachedPlan{}, false
+	}
+	s.replans.Inc(ReplanIncremental)
+	s.observeStages(res.Stages)
+	return cachedPlan{
+		Plan:         mapping.PlanOf(res),
+		Stages:       res.Stages,
+		Replanned:    ReplanIncremental,
+		ReusedStages: pipeline.ReusedStages(),
+		state:        res.State(),
+	}, true
 }
 
 // stageHook adapts the fault injector to the pipeline: each stage start
@@ -409,17 +557,19 @@ func (s *Server) ComputePlan(req MapRequest) (*MapResponse, error) {
 	start := time.Now()
 	s.sem <- struct{}{}
 	defer func() { <-s.sem }()
-	out, key, hit, err := s.computePlan(context.Background(), j, false)
+	out, key, hit, err := s.computePlan(context.Background(), j, computeOpts{repair: s.cfg.Repair.Enabled})
 	if err != nil {
 		return nil, err
 	}
 	return &MapResponse{
-		Plan:       out.Plan,
-		Stages:     out.Stages,
-		CacheKey:   key.String(),
-		Cached:     hit,
-		FilledFrom: out.FilledFrom,
-		ElapsedMS:  float64(time.Since(start)) / float64(time.Millisecond),
+		Plan:         out.Plan,
+		Stages:       out.Stages,
+		CacheKey:     key.String(),
+		Cached:       hit,
+		FilledFrom:   out.FilledFrom,
+		Replanned:    out.Replanned,
+		ReusedStages: out.ReusedStages,
+		ElapsedMS:    float64(time.Since(start)) / float64(time.Millisecond),
 	}, nil
 }
 
@@ -501,7 +651,7 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 			hit  bool
 		}
 		out, err := runJob(s, ctx, j.cost, func(ctx context.Context) (planOut, error) {
-			plan, key, hit, err := s.computePlan(ctx, j, false)
+			plan, key, hit, err := s.computePlan(ctx, j, computeOpts{repair: s.cfg.Repair.Enabled})
 			return planOut{plan, key, hit}, err
 		})
 		if err != nil {
@@ -511,12 +661,14 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 			return nil, err
 		}
 		return &MapResponse{
-			Plan:       out.plan.Plan,
-			Stages:     out.plan.Stages,
-			CacheKey:   out.key.String(),
-			Cached:     out.hit,
-			FilledFrom: out.plan.FilledFrom,
-			ElapsedMS:  elapsed(),
+			Plan:         out.plan.Plan,
+			Stages:       out.plan.Stages,
+			CacheKey:     out.key.String(),
+			Cached:       out.hit,
+			FilledFrom:   out.plan.FilledFrom,
+			Replanned:    out.plan.Replanned,
+			ReusedStages: out.plan.ReusedStages,
+			ElapsedMS:    elapsed(),
 		}, nil
 	})
 }
@@ -538,7 +690,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		}
 		start := time.Now()
 		return runJob(s, ctx, j.cost, func(ctx context.Context) (any, error) {
-			out, key, hit, err := s.computePlan(ctx, j, false)
+			out, key, hit, err := s.computePlan(ctx, j, computeOpts{repair: s.cfg.Repair.Enabled})
 			if err != nil {
 				return nil, err
 			}
