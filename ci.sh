@@ -306,6 +306,99 @@ kill "$daemon_pid"
 wait "$daemon_pid" 2>/dev/null || true
 daemon_pid=
 
+echo "==> plan-quality telemetry smoke (shadow sampling, wide events, exemplars)"
+# A -repair daemon sampling every served plan: a drifting load must leave a
+# ledger with at least two serve modes carrying finite miss rates, wide
+# events backfilled with quality verdicts, and a request-duration exemplar
+# whose trace ID resolves in /debug/traces/{id}.
+"$tmp/cachemapd" -addr 127.0.0.1:0 -repair -quality-sample 1.0 -log-sample 0.1 \
+	2>"$tmp/daemon.log" &
+daemon_pid=$!
+i=0
+addr=
+while [ -z "$addr" ]; do
+	addr=$(parse_addr "$tmp/daemon.log" listening)
+	i=$((i + 1))
+	if [ "$i" -gt 50 ]; then
+		echo "quality cachemapd never logged its listen address" >&2
+		cat "$tmp/daemon.log" >&2
+		exit 1
+	fi
+	[ -n "$addr" ] || sleep 0.1
+done
+i=0
+until curl -fsS -o /dev/null "http://$addr/healthz" 2>/dev/null; do
+	i=$((i + 1))
+	if [ "$i" -gt 50 ]; then
+		echo "quality cachemapd did not become healthy" >&2
+		cat "$tmp/daemon.log" >&2
+		exit 1
+	fi
+	sleep 0.1
+done
+"$tmp/loadgen" -drift 0.2 -base "http://$addr" -n 80 -c 8 -specs 4 -quality >"$tmp/quality.out" 2>&1 || {
+	echo "loadgen -drift -quality failed:" >&2
+	cat "$tmp/quality.out" >&2
+	cat "$tmp/daemon.log" >&2
+	exit 1
+}
+grep '^quality:' "$tmp/quality.out" >/dev/null || {
+	echo "loadgen -quality printed no quality summary:" >&2
+	cat "$tmp/quality.out" >&2
+	exit 1
+}
+# The sampler runs off the request path, so give the ledger a moment to
+# absorb the tail of the run, then require >= 2 serve modes with finite
+# (non-empty numeric) miss-rate windows.
+i=0
+modes=0
+while [ "$modes" -lt 2 ]; do
+	ccurl -o "$tmp/quality.json" "http://$addr/debug/quality"
+	modes=$(grep -o '"\(full\|cached\|incremental\|degraded_stale\|degraded_fallback\)":{"samples"' "$tmp/quality.json" | sort -u | wc -l)
+	i=$((i + 1))
+	if [ "$i" -gt 50 ]; then
+		echo "/debug/quality never showed two serve modes (got $modes):" >&2
+		cat "$tmp/quality.json" >&2
+		exit 1
+	fi
+	[ "$modes" -ge 2 ] || sleep 0.1
+done
+grep '"miss_rates":\[0\.\?[0-9]*' "$tmp/quality.json" >/dev/null || {
+	echo "/debug/quality carries no finite miss rates:" >&2
+	cat "$tmp/quality.json" >&2
+	exit 1
+}
+# Wide events: the ring must hold sampled events with backfilled verdicts.
+ccurl -o "$tmp/events.json" "http://$addr/debug/events?limit=50"
+grep '"quality_sampled":true' "$tmp/events.json" >/dev/null || {
+	echo "/debug/events holds no shadow-sampled events:" >&2
+	head -c 2000 "$tmp/events.json" >&2
+	exit 1
+}
+# Exemplars: the request-duration histogram links a bucket to a trace the
+# daemon still retains.
+ex_trace=$(ccurl "http://$addr/metrics" |
+	sed -n 's/^cachemapd_request_duration_seconds_bucket.* # {trace_id="\([0-9a-f]*\)"}.*/\1/p' | head -n 1)
+if [ -z "$ex_trace" ]; then
+	echo "no exemplar on cachemapd_request_duration_seconds" >&2
+	exit 1
+fi
+ccurl -o "$tmp/exemplar-trace.json" "http://$addr/debug/traces/$ex_trace"
+grep '"ph":"X"' "$tmp/exemplar-trace.json" >/dev/null || {
+	echo "exemplar trace $ex_trace did not resolve to a renderable trace" >&2
+	exit 1
+}
+# -log-sample 0.1 must thin the access log well below one line per request.
+req_lines=$(grep -c 'msg=request' "$tmp/daemon.log" || true)
+if [ "${req_lines:-0}" -gt 60 ]; then
+	echo "access log has $req_lines request lines for ~88 requests despite -log-sample 0.1" >&2
+	exit 1
+fi
+kill "$daemon_pid"
+wait "$daemon_pid" 2>/dev/null || true
+daemon_pid=
+echo "quality smoke: $modes serve modes in the ledger; exemplar trace $ex_trace resolved; $req_lines sampled access-log lines"
+
 echo "==> 3-node ring smoke (peer fill, fleet-wide singleflight, owner kill, degraded stale)"
 # Boot a 3-node consistent-hash ring and prove the distributed plan cache
 # end to end: one spec posted through every node computes exactly once

@@ -23,10 +23,23 @@
 //	POST /internal/plan/{key} peer-fill protocol between ring members
 //	GET  /healthz             liveness, admission-queue and ring health (JSON)
 //	GET  /metrics             Prometheus text exposition
-//	GET  /debug/traces        recent request traces as JSON (?min_ms=N to filter)
+//	GET  /debug/traces        recent request traces as JSON (?min_ms=N, ?limit=N to filter)
 //	GET  /debug/traces/{id}   one trace in Chrome trace_event format
+//	GET  /debug/events        wide per-request events (?family=, ?mode=, ?min_ms=, ?limit=)
+//	GET  /debug/quality       plan-quality ledger; on a ring, the fleet-wide view
 //	GET  /debug/faults        armed fault rules with evaluation counters (with -faults)
 //	POST /debug/faults        replace the armed fault rules (JSON array)
+//
+// Plan-quality telemetry: -quality-sample N shadow-simulates a
+// deterministic fraction of served /v1/map plans on a dedicated worker
+// (never on the request path), recording per-level miss rates, load
+// imbalance and estimated execution time per workload family and serve
+// mode (full, cached, incremental, degraded) into the ledger behind
+// /debug/quality and the cachemapd_plan_quality_missrate gauges. Every
+// request also emits one wide event (trace ID, family, serve mode, reused
+// stages, admission wait, stage timings, sampled quality verdict) into the
+// ring behind /debug/events; -log-sample thins the 200-OK access-log lines
+// without touching error/degraded/slow logging.
 //
 // Overload behaviour: a bounded admission queue (-queue, -queue-cost)
 // fronts the worker pool; saturated arrivals are shed with 429 and a
@@ -79,6 +92,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/faults"
 	"repro/internal/metrics"
+	"repro/internal/quality"
 	"repro/internal/server"
 )
 
@@ -106,6 +120,10 @@ func main() {
 	ringVNodes := flag.Int("ring-vnodes", 64, "virtual points per peer on the consistent-hash ring")
 	ringSeed := flag.Uint64("ring-seed", 1, "ring placement seed, identical fleet-wide")
 	fillTimeout := flag.Duration("fill-timeout", 10*time.Second, "deadline for one peer-fill fetch")
+	qualitySample := flag.Float64("quality-sample", 0, "fraction of served /v1/map responses shadow-simulated off the request path into the /debug/quality ledger (0 disables)")
+	qualitySeed := flag.Uint64("quality-seed", 1, "seed for the deterministic shadow-sampling draw")
+	logSample := flag.Float64("log-sample", 1, "fraction of 200-OK fast-path access-log lines emitted; errors, degraded and slow requests always log")
+	events := flag.Int("events", 256, "wide per-request events retained for /debug/events (0 disables the ring)")
 	flag.Parse()
 
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
@@ -168,6 +186,14 @@ func main() {
 	if traceBuf == 0 {
 		traceBuf = -1 // Config treats 0 as "default"; negative disables.
 	}
+	eventBuf := *events
+	if eventBuf == 0 {
+		eventBuf = -1
+	}
+	logRate := *logSample
+	if logRate <= 0 {
+		logRate = -1 // Config treats 0 as "default 1"; negative: sample none.
+	}
 	srv := server.New(server.Config{
 		Registry:             reg,
 		Workers:              *workers,
@@ -186,9 +212,16 @@ func main() {
 			Enabled:   *repair,
 			Tolerance: *repairTol,
 		},
-		Faults:  injector,
-		Cluster: node,
+		Faults:          injector,
+		Cluster:         node,
+		EventBufferSize: eventBuf,
+		LogSampleRate:   logRate,
+		Quality: quality.Config{
+			Rate: *qualitySample,
+			Seed: *qualitySeed,
+		},
 	})
+	defer srv.Close()
 	hs := &http.Server{
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,

@@ -62,6 +62,7 @@ func main() {
 	pace := flag.Duration("pace", 0, "ring mode: per-stream delay between requests (stretches the run so a mid-run kill lands inside it)")
 	drift := flag.Float64("drift", 0, "drift mode: mutate each request's topology capacities by up to ±this fraction and report the incremental-vs-full re-plan mix (0 disables)")
 	driftSeed := flag.Int64("drift-seed", 1, "drift mode: seed for the deterministic capacity mutations")
+	qualityCol := flag.Bool("quality", false, "after the run, fetch /debug/quality and print per-family miss-rate deltas of each serve mode vs the full pipeline (daemon must run with -quality-sample)")
 	flag.Parse()
 
 	if *n < 1 || *c < 1 || *specs < 1 || *simulate < 0 || *simulate > 1 {
@@ -108,7 +109,7 @@ func main() {
 	resp.Body.Close()
 
 	if *drift > 0 {
-		os.Exit(runDrift(driftOpts{
+		code := runDrift(driftOpts{
 			base:   *base,
 			client: client,
 			n:      *n,
@@ -116,7 +117,11 @@ func main() {
 			specs:  *specs,
 			drift:  *drift,
 			seed:   *driftSeed,
-		}))
+		})
+		if *qualityCol {
+			printQuality(client, *base)
+		}
+		os.Exit(code)
 	}
 
 	if *chaos {
@@ -205,6 +210,9 @@ func main() {
 	}
 	for _, e := range firstErrs {
 		fmt.Printf("error: %s\n", e)
+	}
+	if *qualityCol {
+		printQuality(client, *base)
 	}
 	if errCount.Load() > 0 {
 		os.Exit(1)

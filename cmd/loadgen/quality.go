@@ -1,0 +1,83 @@
+package main
+
+// The -quality summary: after a run, pull the daemon's /debug/quality
+// ledger and print one line per workload family comparing serve modes
+// against the full pipeline — the operator-facing answer to "how much
+// plan quality do cached / incremental / degraded plans actually cost?".
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+
+	"repro/internal/quality"
+)
+
+// qualityView is the slice of GET /debug/quality loadgen reads.
+type qualityView struct {
+	SampleRate float64          `json:"sample_rate"`
+	Ledger     quality.Snapshot `json:"ledger"`
+}
+
+// printQuality renders the per-family, per-mode quality summary. Miss
+// rates and estimated execution times for non-full modes print as deltas
+// against the family's full-pipeline baseline when one was sampled.
+func printQuality(client *http.Client, base string) {
+	resp, err := client.Get(base + "/debug/quality")
+	if err != nil {
+		fmt.Printf("quality:     unavailable (%v)\n", err)
+		return
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		fmt.Printf("quality:     unavailable (status %d)\n", resp.StatusCode)
+		return
+	}
+	var qv qualityView
+	if err := json.Unmarshal(body, &qv); err != nil {
+		fmt.Printf("quality:     unavailable (%v)\n", err)
+		return
+	}
+	if qv.SampleRate <= 0 || len(qv.Ledger) == 0 {
+		fmt.Printf("quality:     no samples (daemon running without -quality-sample?)\n")
+		return
+	}
+	families := make([]string, 0, len(qv.Ledger))
+	for f := range qv.Ledger {
+		families = append(families, f)
+	}
+	sort.Strings(families)
+	for _, fam := range families {
+		modes := qv.Ledger[fam]
+		full, hasFull := modes[quality.ModeFull]
+		line := fmt.Sprintf("quality:     %-12s", fam)
+		for _, mode := range quality.Modes() {
+			st, ok := modes[mode]
+			if !ok || st.Samples == 0 {
+				continue
+			}
+			switch {
+			case mode == quality.ModeFull:
+				line += fmt.Sprintf("  full L1=%.3f exec=%.1fms (n=%d)", l1(st), st.ExecMS, st.Samples)
+			case hasFull && len(st.MissRates) > 0 && len(full.MissRates) > 0:
+				line += fmt.Sprintf("  %s ΔL1=%+.3f Δexec=%+.1fms (n=%d)",
+					mode, l1(st)-l1(full), st.ExecMS-full.ExecMS, st.Samples)
+			default:
+				// No full baseline sampled for this family: absolutes only.
+				line += fmt.Sprintf("  %s L1=%.3f exec=%.1fms (n=%d)", mode, l1(st), st.ExecMS, st.Samples)
+			}
+		}
+		fmt.Println(line)
+	}
+}
+
+// l1 is the family's windowed L1 (client cache) miss-rate mean.
+func l1(st quality.ModeStats) float64 {
+	if len(st.MissRates) == 0 {
+		return 0
+	}
+	return st.MissRates[0]
+}

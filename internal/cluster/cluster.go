@@ -254,6 +254,43 @@ func (n *Node) fetch(ctx context.Context, owner string, key plancache.Key, body 
 	return out, OutcomeHit, nil
 }
 
+// debugFetchTimeout bounds one debug fan-out fetch (FetchDebug): debug
+// views aggregate best-effort, so a slow peer is marked partial quickly
+// instead of holding the whole fleet view to the fill timeout.
+const debugFetchTimeout = 2 * time.Second
+
+// FetchDebug GETs a debug path (e.g. "/debug/quality?local=1") from a
+// peer, bounded by min(ctx deadline, debugFetchTimeout). The caller's
+// trace context propagates via the traceparent header. Debug fetches are
+// best-effort reads: they do not count toward peer fill health and are
+// not fault-injected.
+func (n *Node) FetchDebug(ctx context.Context, peer, path string) ([]byte, error) {
+	fctx, cancel := context.WithTimeout(ctx, debugFetchTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(fctx, http.MethodGet, BaseURL(peer)+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	if sp := obs.SpanFromContext(ctx); sp != nil {
+		tc := obs.TraceContext{TraceID: sp.TraceID(), SpanID: sp.SpanID(), Sampled: true}
+		req.Header.Set("traceparent", tc.TraceParent())
+	}
+	hresp, err := n.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer hresp.Body.Close()
+	out, err := io.ReadAll(io.LimitReader(hresp.Body, 16<<20))
+	if err != nil {
+		return nil, err
+	}
+	if hresp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("cluster: peer %s: debug %s: status %d: %s",
+			peer, path, hresp.StatusCode, truncate(out, 160))
+	}
+	return out, nil
+}
+
 // recordHealth folds one fetch result into the peer's reachability state.
 func (n *Node) recordHealth(owner string, err error) {
 	n.mu.Lock()

@@ -65,6 +65,12 @@ type Params struct {
 	// PeerHitMS is the cost of a cooperative peer-cache hit (defaults to
 	// the L2 round trip when zero).
 	PeerHitMS float64
+	// MaxIterations, when positive, hard-caps the total iterations the
+	// event loop executes across all programs of a run; reaching the cap
+	// stops the simulation and marks Metrics.Truncated. It bounds the cost
+	// of shadow simulations (plan-quality sampling) that only need the
+	// leading per-level miss-rate signal, not a complete run.
+	MaxIterations int64
 }
 
 // WritePolicy selects how write misses behave.
@@ -181,6 +187,9 @@ type Metrics struct {
 	PeerHits int64
 	// Iterations executed.
 	Iterations int64
+	// Truncated marks a run stopped early by Params.MaxIterations; the
+	// aggregates above then cover only the executed prefix.
+	Truncated bool
 }
 
 // MissRateL returns the aggregate miss rate of paper-level Lk
@@ -363,6 +372,7 @@ type sim struct {
 	paths      [][]*hierarchy.Node // per client: leaf → root
 	heap       []*client           // min-heap on (time, id)
 	iters      int64
+	truncated  bool
 	prefetches int64
 	peerHits   int64
 }
@@ -497,6 +507,11 @@ func (s *sim) run(ctx context.Context) error {
 	}
 	var since int
 	for len(s.heap) > 0 {
+		if s.params.MaxIterations > 0 && s.iters >= s.params.MaxIterations {
+			s.truncated = true
+			s.heap = s.heap[:0]
+			return nil
+		}
 		if since++; since >= ctxCheckInterval {
 			since = 0
 			if err := ctx.Err(); err != nil {
@@ -723,6 +738,7 @@ func (s *sim) metrics() *Metrics {
 		Prefetches:     s.prefetches,
 		PeerHits:       s.peerHits,
 		Iterations:     s.iters,
+		Truncated:      s.truncated,
 	}
 	for _, n := range s.tree.Nodes() {
 		if n.CacheChunks <= 0 {

@@ -400,3 +400,38 @@ func TestRunCtxCanceled(t *testing.T) {
 		t.Fatalf("uncancelled run: m=%v err=%v", m, err)
 	}
 }
+
+func TestMaxIterationsTruncates(t *testing.T) {
+	tree := tinyTree(16, 16, 16)
+	prog := scanProgram(100, 8, 32)
+	asg := blockAssign(100, 4)
+	p := DefaultParams()
+	p.MaxIterations = 10
+	m, err := Run(tree, prog, asg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Truncated {
+		t.Fatal("capped run not marked Truncated")
+	}
+	if m.Iterations < p.MaxIterations || m.Iterations >= 100 {
+		t.Fatalf("Iterations = %d, want in [%d, 100)", m.Iterations, p.MaxIterations)
+	}
+	// An uncapped run is unaffected.
+	m, err = Run(tree, prog, asg, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Truncated || m.Iterations != 100 {
+		t.Fatalf("uncapped run: Truncated=%v Iterations=%d", m.Truncated, m.Iterations)
+	}
+	// A cap above the total iteration count does not truncate.
+	p.MaxIterations = 1000
+	m, err = Run(tree, prog, asg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Truncated || m.Iterations != 100 {
+		t.Fatalf("loose cap: Truncated=%v Iterations=%d", m.Truncated, m.Iterations)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"math"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -96,6 +97,18 @@ func (r *Registry) CounterFunc(name, help string, fn func() float64) {
 	if _, ok := in.(*funcInstrument); !ok {
 		panic(fmt.Sprintf("metrics: %q already registered with a different type", name))
 	}
+}
+
+// GaugeVec registers (or returns the existing) family of float-valued
+// gauges partitioned by one or more labels. Gauges for new label tuples
+// materialize on first use and render as `name{l1="v1",l2="v2"}` series.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	in := r.register(name, help, newGaugeVec(help, labels))
+	gv, ok := in.(*GaugeVec)
+	if !ok {
+		panic(fmt.Sprintf("metrics: %q already registered with a different type", name))
+	}
+	return gv
 }
 
 // CounterVec registers (or returns the existing) family of counters
@@ -214,13 +227,24 @@ func formatValue(v float64) string {
 }
 
 // Histogram counts observations into cumulative fixed buckets and tracks
-// their sum, Prometheus-style.
+// their sum, Prometheus-style. Each bucket additionally retains its most
+// recent exemplar — the trace ID and value of the last observation that
+// landed in it — rendered OpenMetrics-style after the bucket line, so a
+// p99 spike in a scrape links directly to a retained request trace.
 type Histogram struct {
-	bounds  []float64 // ascending upper bounds, +Inf implicit
-	counts  []atomic.Int64
-	sumBits atomic.Uint64 // float64 bits, CAS-accumulated
-	count   atomic.Int64
-	help    string
+	bounds    []float64 // ascending upper bounds, +Inf implicit
+	counts    []atomic.Int64
+	exemplars []atomic.Pointer[Exemplar] // per bucket, incl. the +Inf overflow
+	sumBits   atomic.Uint64              // float64 bits, CAS-accumulated
+	count     atomic.Int64
+	help      string
+}
+
+// Exemplar is one observation retained alongside its bucket count: the
+// value observed and the trace ID of the request that produced it.
+type Exemplar struct {
+	TraceID string
+	Value   float64
 }
 
 // DefaultLatencyBuckets spans microseconds to tens of seconds; values are
@@ -235,9 +259,10 @@ func newHistogram(help string, buckets []float64) *Histogram {
 	bounds := append([]float64(nil), buckets...)
 	sort.Float64s(bounds)
 	return &Histogram{
-		bounds: bounds,
-		counts: make([]atomic.Int64, len(bounds)+1),
-		help:   help,
+		bounds:    bounds,
+		counts:    make([]atomic.Int64, len(bounds)+1),
+		exemplars: make([]atomic.Pointer[Exemplar], len(bounds)+1),
+		help:      help,
 	}
 }
 
@@ -255,6 +280,29 @@ func (h *Histogram) Observe(v float64) {
 	}
 }
 
+// ObserveWithExemplar records one value and retains (traceID, v) as the
+// bucket's exemplar, replacing the previous one. An empty traceID degrades
+// to a plain Observe. Lock-free: one extra atomic pointer store.
+func (h *Histogram) ObserveWithExemplar(v float64, traceID string) {
+	if traceID != "" {
+		i := sort.SearchFloat64s(h.bounds, v)
+		h.exemplars[i].Store(&Exemplar{TraceID: traceID, Value: v})
+	}
+	h.Observe(v)
+}
+
+// BucketExemplar returns the retained exemplar of the bucket that values
+// <= bound fall into (math.Inf(1) addresses the overflow bucket), or ok =
+// false when the bucket has not retained one.
+func (h *Histogram) BucketExemplar(bound float64) (Exemplar, bool) {
+	i := sort.SearchFloat64s(h.bounds, bound)
+	e := h.exemplars[i].Load()
+	if e == nil {
+		return Exemplar{}, false
+	}
+	return *e, true
+}
+
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 { return h.count.Load() }
 
@@ -268,12 +316,22 @@ func (h *Histogram) write(w io.Writer, name, help string) {
 	var cum int64
 	for i, b := range h.bounds {
 		cum += h.counts[i].Load()
-		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatBound(b), cum)
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d%s\n", name, formatBound(b), cum, h.exemplarSuffix(i))
 	}
 	cum += h.counts[len(h.bounds)].Load()
-	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d%s\n", name, cum, h.exemplarSuffix(len(h.bounds)))
 	fmt.Fprintf(w, "%s_sum %s\n", name, strconv.FormatFloat(h.Sum(), 'g', -1, 64))
 	fmt.Fprintf(w, "%s_count %d\n", name, h.Count())
+}
+
+// exemplarSuffix renders bucket i's exemplar in the OpenMetrics form
+// ` # {trace_id="..."} value`, or "" when the bucket has none.
+func (h *Histogram) exemplarSuffix(i int) string {
+	e := h.exemplars[i].Load()
+	if e == nil {
+		return ""
+	}
+	return fmt.Sprintf(" # {trace_id=%q} %s", e.TraceID, strconv.FormatFloat(e.Value, 'g', -1, 64))
 }
 
 func formatBound(b float64) string { return strconv.FormatFloat(b, 'g', -1, 64) }
@@ -390,6 +448,12 @@ func (hv *HistogramVec) With(value string) *Histogram {
 // Observe records one value under the given label value.
 func (hv *HistogramVec) Observe(value string, v float64) { hv.With(value).Observe(v) }
 
+// ObserveWithExemplar records one value under the given label value,
+// retaining (traceID, v) as the bucket's exemplar.
+func (hv *HistogramVec) ObserveWithExemplar(value string, v float64, traceID string) {
+	hv.With(value).ObserveWithExemplar(v, traceID)
+}
+
 func (hv *HistogramVec) helpText() string { return hv.help }
 
 func (hv *HistogramVec) write(w io.Writer, name, help string) {
@@ -407,11 +471,99 @@ func (hv *HistogramVec) write(w io.Writer, name, help string) {
 		var cum int64
 		for bi, b := range h.bounds {
 			cum += h.counts[bi].Load()
-			fmt.Fprintf(w, "%s_bucket{%s=%q,le=%q} %d\n", name, label, value, formatBound(b), cum)
+			fmt.Fprintf(w, "%s_bucket{%s=%q,le=%q} %d%s\n", name, label, value, formatBound(b), cum, h.exemplarSuffix(bi))
 		}
 		cum += h.counts[len(h.bounds)].Load()
-		fmt.Fprintf(w, "%s_bucket{%s=%q,le=\"+Inf\"} %d\n", name, label, value, cum)
+		fmt.Fprintf(w, "%s_bucket{%s=%q,le=\"+Inf\"} %d%s\n", name, label, value, cum, h.exemplarSuffix(len(h.bounds)))
 		fmt.Fprintf(w, "%s_sum{%s=%q} %s\n", name, label, value, strconv.FormatFloat(h.Sum(), 'g', -1, 64))
 		fmt.Fprintf(w, "%s_count{%s=%q} %d\n", name, label, value, h.Count())
+	}
+}
+
+// GaugeVec is a family of float-valued gauges partitioned by one or more
+// labels (e.g. cache level × serve mode). Lookups take a read lock only;
+// Set on a materialized tuple is a single atomic store.
+type GaugeVec struct {
+	mu      sync.RWMutex
+	labels  []string
+	help    string
+	curves  map[string]*floatGauge
+	ordered []string // label tuples in first-use order, for stable output
+}
+
+// floatGauge holds float64 bits atomically.
+type floatGauge struct {
+	bits atomic.Uint64
+}
+
+func (g *floatGauge) set(v float64)  { g.bits.Store(math.Float64bits(v)) }
+func (g *floatGauge) value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+func newGaugeVec(help string, labels []string) *GaugeVec {
+	return &GaugeVec{
+		labels: append([]string(nil), labels...),
+		help:   help,
+		curves: map[string]*floatGauge{},
+	}
+}
+
+// tupleKey joins label values with a separator no label value may contain.
+func tupleKey(values []string) string { return strings.Join(values, "\x1f") }
+
+// Set replaces the gauge value for the given label tuple, materializing the
+// series on first use. The number of values must match the label count.
+func (gv *GaugeVec) Set(v float64, labelValues ...string) {
+	if len(labelValues) != len(gv.labels) {
+		panic(fmt.Sprintf("metrics: GaugeVec with labels %v given %d values", gv.labels, len(labelValues)))
+	}
+	key := tupleKey(labelValues)
+	gv.mu.RLock()
+	g, ok := gv.curves[key]
+	gv.mu.RUnlock()
+	if !ok {
+		gv.mu.Lock()
+		if g, ok = gv.curves[key]; !ok {
+			g = &floatGauge{}
+			gv.curves[key] = g
+			gv.ordered = append(gv.ordered, key)
+		}
+		gv.mu.Unlock()
+	}
+	g.set(v)
+}
+
+// Value returns the current value for the given label tuple (0 when the
+// series has not materialized).
+func (gv *GaugeVec) Value(labelValues ...string) float64 {
+	gv.mu.RLock()
+	defer gv.mu.RUnlock()
+	if g, ok := gv.curves[tupleKey(labelValues)]; ok {
+		return g.value()
+	}
+	return 0
+}
+
+func (gv *GaugeVec) helpText() string { return gv.help }
+
+func (gv *GaugeVec) write(w io.Writer, name, help string) {
+	gv.mu.RLock()
+	keys := append([]string(nil), gv.ordered...)
+	vals := make([]float64, len(keys))
+	for i, k := range keys {
+		vals[i] = gv.curves[k].value()
+	}
+	labels := gv.labels
+	gv.mu.RUnlock()
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
+	for i, k := range keys {
+		parts := strings.Split(k, "\x1f")
+		var b strings.Builder
+		for li, l := range labels {
+			if li > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%s=%q", l, parts[li])
+		}
+		fmt.Fprintf(w, "%s{%s} %s\n", name, b.String(), formatValue(vals[i]))
 	}
 }

@@ -319,3 +319,112 @@ func TestScrapeDuringObserve(t *testing.T) {
 		}
 	}
 }
+
+func TestHistogramExemplar(t *testing.T) {
+	h := newHistogram("latency", []float64{0.1, 1})
+	h.Observe(0.05) // no exemplar
+	if _, ok := h.BucketExemplar(0.1); ok {
+		t.Fatal("plain Observe retained an exemplar")
+	}
+	h.ObserveWithExemplar(0.05, "aaaa")
+	h.ObserveWithExemplar(0.07, "bbbb") // replaces aaaa in the same bucket
+	h.ObserveWithExemplar(0.5, "cccc")
+	h.ObserveWithExemplar(5, "dddd") // overflow bucket
+	h.ObserveWithExemplar(9, "")     // empty trace ID: plain observation
+
+	e, ok := h.BucketExemplar(0.1)
+	if !ok || e.TraceID != "bbbb" || e.Value != 0.07 {
+		t.Fatalf("bucket 0.1 exemplar = %+v, want most recent (bbbb, 0.07)", e)
+	}
+	if e, ok = h.BucketExemplar(1); !ok || e.TraceID != "cccc" {
+		t.Fatalf("bucket 1 exemplar = %+v, want cccc", e)
+	}
+	if e, ok = h.BucketExemplar(math.Inf(1)); !ok || e.TraceID != "dddd" {
+		t.Fatalf("+Inf bucket exemplar = %+v, want dddd (empty-ID observe must not replace it)", e)
+	}
+
+	var buf bytes.Buffer
+	h.write(&buf, "lat", "latency")
+	out := buf.String()
+	want := `lat_bucket{le="0.1"} 3 # {trace_id="bbbb"} 0.07`
+	if !strings.Contains(out, want) {
+		t.Fatalf("exposition missing OpenMetrics exemplar %q:\n%s", want, out)
+	}
+	if !strings.Contains(out, `lat_bucket{le="+Inf"} 6 # {trace_id="dddd"} 5`) {
+		t.Fatalf("exposition missing +Inf exemplar:\n%s", out)
+	}
+	if !strings.Contains(out, "lat_count 6") {
+		t.Fatalf("exemplar observes not counted:\n%s", out)
+	}
+}
+
+func TestGaugeVec(t *testing.T) {
+	r := NewRegistry()
+	gv := r.GaugeVec("missrate", "per-level per-mode miss rate", "level", "mode")
+	gv.Set(0.25, "L1", "full")
+	gv.Set(0.75, "L2", "degraded_stale")
+	gv.Set(0.5, "L1", "full") // overwrite
+	if v := gv.Value("L1", "full"); v != 0.5 {
+		t.Fatalf("Value(L1, full) = %g, want 0.5", v)
+	}
+	if v := gv.Value("L9", "nope"); v != 0 {
+		t.Fatalf("unmaterialized tuple = %g, want 0", v)
+	}
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE missrate gauge",
+		`missrate{level="L1",mode="full"} 0.5`,
+		`missrate{level="L2",mode="degraded_stale"} 0.75`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestExemplarScrapeDuringObserve races ObserveWithExemplar (Histogram and
+// HistogramVec) and GaugeVec.Set against WritePrometheus; run under -race
+// it proves a scrape can never tear an exemplar or a gauge tuple.
+func TestExemplarScrapeDuringObserve(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "h", []float64{0.1, 1})
+	hv := r.HistogramVec("hv", "hv", "stage", []float64{0.1, 1})
+	gv := r.GaugeVec("gv", "gv", "level", "mode")
+
+	const writers, perWriter = 8, 400
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				id := fmt.Sprintf("%04x%04x", w, i)
+				h.ObserveWithExemplar(float64(i)/100, id)
+				hv.ObserveWithExemplar(fmt.Sprintf("s%d", w%3), 0.5, id)
+				gv.Set(float64(i), fmt.Sprintf("L%d", w%4), "full")
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for {
+		var buf bytes.Buffer
+		r.WritePrometheus(&buf)
+		select {
+		case <-done:
+			var buf bytes.Buffer
+			r.WritePrometheus(&buf)
+			out := buf.String()
+			if !strings.Contains(out, fmt.Sprintf("h_count %d", writers*perWriter)) {
+				t.Fatalf("final exposition missing full h_count:\n%s", out)
+			}
+			if !strings.Contains(out, "# {trace_id=") {
+				t.Fatalf("final exposition carries no exemplar:\n%s", out)
+			}
+			return
+		default:
+		}
+	}
+}

@@ -138,6 +138,9 @@ type job struct {
 	scheme pipeline.Scheme
 	cfg    pipeline.Config
 
+	// family is the workload family for telemetry grouping: the app name,
+	// or the synthetic/stencil spec's name when it carries one.
+	family string
 	// cost estimates the job's work for admission accounting: iteration
 	// count × topology size.
 	cost int64
@@ -203,13 +206,21 @@ func buildJob(req MapRequest) (*job, error) {
 	if set != 1 {
 		return nil, fmt.Errorf("workload: exactly one of app, synth, stencil must be set")
 	}
+	family := ""
 	switch {
 	case req.Workload.App != "":
 		w, err = workloads.Get(req.Workload.App, req.Workload.Scale)
+		family = req.Workload.App
 	case req.Workload.Synth != nil:
 		w, err = workloads.Synthesize(*req.Workload.Synth)
+		if family = req.Workload.Synth.Name; family == "" {
+			family = "synth"
+		}
 	default:
 		w, err = workloads.SynthesizeStencil(*req.Workload.Stencil)
+		if family = req.Workload.Stencil.Name; family == "" {
+			family = "stencil"
+		}
 	}
 	if err != nil {
 		return nil, err
@@ -246,7 +257,7 @@ func buildJob(req MapRequest) (*job, error) {
 	cfg.Schedule.Alpha = req.Alpha
 	cfg.Schedule.Beta = req.Beta
 
-	j := &job{req: req, work: w, tree: tree, scheme: scheme, cfg: cfg}
+	j := &job{req: req, work: w, tree: tree, scheme: scheme, cfg: cfg, family: family}
 	j.cost = w.Prog.Nest.BoxSize() * int64(len(tree.Nodes()))
 	j.topoSig = topoSigOf(tree)
 	wk := req

@@ -21,12 +21,16 @@ type tracesResponse struct {
 	Capacity int `json:"capacity"`
 	// TotalRecorded counts every trace ever recorded, including those the
 	// ring has since overwritten.
-	TotalRecorded uint64       `json:"total_recorded"`
-	Traces        []*obs.Trace `json:"traces"`
+	TotalRecorded uint64 `json:"total_recorded"`
+	// Truncated marks a response cut by ?limit= or the hard size bound.
+	Truncated bool         `json:"truncated,omitempty"`
+	Traces    []*obs.Trace `json:"traces"`
 }
 
 // handleTraces serves recent request traces as JSON, newest first.
-// ?min_ms=N keeps only traces at least that slow.
+// ?min_ms=N keeps only traces at least that slow; ?limit=N caps the
+// count. The response payload is additionally capped by the hard debug
+// size bound, so scraping a long-running daemon stays cheap.
 func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 	store := s.tracer.Store()
 	if store == nil {
@@ -42,13 +46,25 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 		}
 		min = time.Duration(ms * float64(time.Millisecond))
 	}
+	limit, err := parseLimit(r.URL.Query().Get("limit"))
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
 	traces := store.Traces(min)
-	s.writeJSON(w, http.StatusOK, tracesResponse{
-		Count:         len(traces),
+	limited := limit > 0 && len(traces) > limit
+	if limited {
+		traces = traces[:limit]
+	}
+	resp := tracesResponse{
 		Capacity:      store.Capacity(),
 		TotalRecorded: store.TotalAdded(),
-		Traces:        traces,
-	})
+	}
+	var cut bool
+	resp.Traces, cut = boundJSONList(traces, maxDebugResponseBytes)
+	resp.Truncated = limited || cut
+	resp.Count = len(resp.Traces)
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 // handleTraceByID renders one trace in the Chrome trace_event JSON format,

@@ -1,0 +1,261 @@
+package server
+
+// Wide per-request events: instead of scattering one request's story over
+// access-log lines, span attributes and counters, the server emits one
+// canonical structured event per API request — trace ID, plan key, workload
+// family, serve mode, reused stages, admission wait, per-stage durations,
+// and (when the response was shadow-sampled) the quality verdict, backfilled
+// asynchronously by the sampler worker. Events flow through slog and are
+// retained in a fixed-size ring behind GET /debug/events, the joinable
+// record linking /metrics exemplars, /debug/traces and /debug/quality.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/quality"
+)
+
+// Event is the canonical wide record of one API request.
+type Event struct {
+	Time    time.Time `json:"time"`
+	TraceID string    `json:"trace_id,omitempty"`
+	Method  string    `json:"method"`
+	Path    string    `json:"path"`
+	Status  int       `json:"status"`
+	// DurationMS is the end-to-end request latency.
+	DurationMS float64 `json:"duration_ms"`
+	// Family is the workload family (app name, synth/stencil name).
+	Family string `json:"family,omitempty"`
+	// Mode is the serve mode (quality.Mode*): how the plan was produced.
+	Mode string `json:"mode,omitempty"`
+	// CacheKey is the served plan's content address.
+	CacheKey string `json:"cache_key,omitempty"`
+	// ReusedStages lists pipeline stages an incremental repair reused.
+	ReusedStages []string `json:"reused_stages,omitempty"`
+	// DegradedCause names the overload symptom behind a degraded response.
+	DegradedCause string `json:"degraded_cause,omitempty"`
+	// AdmissionWaitMS is the time spent waiting for a worker slot.
+	AdmissionWaitMS float64 `json:"admission_wait_ms,omitempty"`
+	// StageMS maps pipeline stage name to its duration for this plan's
+	// production (cache hits report the original computation's stages).
+	StageMS map[string]float64 `json:"stage_ms,omitempty"`
+	Error   string             `json:"error,omitempty"`
+	// QualitySampled marks the response as drawn for shadow simulation;
+	// Quality carries the verdict once the sampler worker finishes (nil
+	// until then — poll /debug/events to see it land).
+	QualitySampled bool            `json:"quality_sampled,omitempty"`
+	Quality        *quality.Record `json:"quality,omitempty"`
+
+	// sample is the pending shadow-simulation sample for this request's
+	// served plan, set by the handler and offered by serve only after the
+	// event is published (so the async verdict always finds its event).
+	sample *quality.Sample
+}
+
+// eventCtxKey carries the in-flight request's *Event through the handler
+// chain so deeper layers (admission, mode classification) can annotate it
+// before serve publishes it.
+type eventCtxKey struct{}
+
+func withEvent(ctx context.Context, ev *Event) context.Context {
+	return context.WithValue(ctx, eventCtxKey{}, ev)
+}
+
+// eventFrom returns the request's in-flight event, nil outside a request.
+// The event is written only from the request goroutine until serve
+// publishes a copy into the ring; the published copy is then owned (and
+// locked) by the EventLog.
+func eventFrom(ctx context.Context) *Event {
+	ev, _ := ctx.Value(eventCtxKey{}).(*Event)
+	return ev
+}
+
+// EventLog is a fixed-size ring of the most recent request events, with a
+// trace-ID index for asynchronous quality backfill. Safe for concurrent
+// use.
+type EventLog struct {
+	mu      sync.Mutex
+	buf     []*Event
+	next    int
+	total   uint64
+	byTrace map[string]*Event
+}
+
+// NewEventLog builds a ring holding the newest n events (n <= 0 picks the
+// default 256).
+func NewEventLog(n int) *EventLog {
+	if n <= 0 {
+		n = 256
+	}
+	return &EventLog{buf: make([]*Event, 0, n), byTrace: make(map[string]*Event, n)}
+}
+
+// Capacity returns the ring bound.
+func (l *EventLog) Capacity() int { return cap(l.buf) }
+
+// Total counts every event ever added, including overwritten ones.
+func (l *EventLog) Total() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}
+
+// Add publishes a copy of ev into the ring.
+func (l *EventLog) Add(ev Event) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.total++
+	stored := &ev
+	if len(l.buf) < cap(l.buf) {
+		l.buf = append(l.buf, stored)
+	} else {
+		old := l.buf[l.next]
+		if old.TraceID != "" && l.byTrace[old.TraceID] == old {
+			delete(l.byTrace, old.TraceID)
+		}
+		l.buf[l.next] = stored
+		l.next = (l.next + 1) % cap(l.buf)
+	}
+	if ev.TraceID != "" {
+		l.byTrace[ev.TraceID] = stored
+	}
+}
+
+// markSampled flags the retained event with the given trace ID as drawn
+// for shadow simulation (its verdict arrives later via AttachQuality).
+func (l *EventLog) markSampled(traceID string) {
+	if traceID == "" {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if ev, ok := l.byTrace[traceID]; ok {
+		ev.QualitySampled = true
+	}
+}
+
+// AttachQuality backfills the shadow-simulation verdict onto the retained
+// event with the given trace ID, if the ring still holds it.
+func (l *EventLog) AttachQuality(traceID string, rec quality.Record) {
+	if traceID == "" {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if ev, ok := l.byTrace[traceID]; ok {
+		ev.Quality = &rec
+	}
+}
+
+// Events returns up to limit retained events matching filter, newest
+// first (limit <= 0: all retained). The returned events are copies, safe
+// to use without further locking.
+func (l *EventLog) Events(filter func(*Event) bool, limit int) []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Event, 0, len(l.buf))
+	for i := len(l.buf) - 1; i >= 0; i-- {
+		// Newest-first: walk back from the slot before the overwrite cursor.
+		ev := l.buf[(i+l.next)%len(l.buf)]
+		if filter != nil && !filter(ev) {
+			continue
+		}
+		out = append(out, *ev)
+		if limit > 0 && len(out) >= limit {
+			break
+		}
+	}
+	return out
+}
+
+// maxDebugResponseBytes is the hard bound on /debug/events and
+// /debug/traces response payloads: however large the rings grow, a debug
+// scrape of a long-running daemon stays bounded. Responses cut by the
+// bound set truncated:true.
+const maxDebugResponseBytes = 1 << 20
+
+// eventsResponse is the body of GET /debug/events.
+type eventsResponse struct {
+	Count    int    `json:"count"`
+	Capacity int    `json:"capacity"`
+	Total    uint64 `json:"total_recorded"`
+	// Truncated marks a response cut by the hard size bound.
+	Truncated bool    `json:"truncated,omitempty"`
+	Events    []Event `json:"events"`
+}
+
+// handleEvents serves the request-event ring as JSON, newest first.
+// Filters: ?family=, ?mode=, ?min_ms= (at least this slow), ?limit=.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	if s.events == nil {
+		s.writeError(w, http.StatusNotFound, fmt.Errorf("request events disabled"))
+		return
+	}
+	q := r.URL.Query()
+	limit, err := parseLimit(q.Get("limit"))
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	var minMS float64
+	if v := q.Get("min_ms"); v != "" {
+		minMS, err = strconv.ParseFloat(v, 64)
+		if err != nil || minMS < 0 {
+			s.writeError(w, http.StatusBadRequest, fmt.Errorf("bad min_ms %q", v))
+			return
+		}
+	}
+	family, mode := q.Get("family"), q.Get("mode")
+	events := s.events.Events(func(ev *Event) bool {
+		if family != "" && ev.Family != family {
+			return false
+		}
+		if mode != "" && ev.Mode != mode {
+			return false
+		}
+		return ev.DurationMS >= minMS
+	}, limit)
+
+	resp := eventsResponse{
+		Capacity: s.events.Capacity(),
+		Total:    s.events.Total(),
+	}
+	resp.Events, resp.Truncated = boundJSONList(events, maxDebugResponseBytes)
+	resp.Count = len(resp.Events)
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// parseLimit parses a ?limit= value (empty: 0, meaning unlimited).
+func parseLimit(v string) (int, error) {
+	if v == "" {
+		return 0, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("bad limit %q", v)
+	}
+	return n, nil
+}
+
+// boundJSONList trims items so their summed JSON encodings stay under
+// budget bytes (plus envelope slack), reporting whether anything was cut.
+func boundJSONList[T any](items []T, budget int) ([]T, bool) {
+	var used int
+	for i := range items {
+		b, err := json.Marshal(items[i])
+		if err != nil {
+			return items[:i], true
+		}
+		used += len(b) + 1 // separator
+		if used > budget {
+			return items[:i], true
+		}
+	}
+	return items, false
+}

@@ -56,6 +56,7 @@ import (
 	"net/http"
 	"runtime"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cluster"
@@ -66,6 +67,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/plancache"
+	"repro/internal/quality"
 )
 
 // Config parameterizes the service.
@@ -116,6 +118,22 @@ type Config struct {
 	// first ask the key's owner over the internal fill protocol before
 	// computing (see cluster.go).
 	Cluster *cluster.Node
+	// EventBufferSize bounds the ring of wide per-request events served by
+	// GET /debug/events (default 256; negative disables the ring — events
+	// still flow to the access log).
+	EventBufferSize int
+	// LogSampleRate is the sampled fraction of 200-OK fast-path access-log
+	// lines (default 1: log every request; negative: none). Errors,
+	// degraded responses and slow requests always log, whatever the rate.
+	LogSampleRate float64
+	// LogSampleSeed seeds the deterministic log-sampling draw (default 1).
+	LogSampleSeed uint64
+	// Quality configures shadow-simulation sampling of served plans (see
+	// internal/quality): at Quality.Rate > 0 a deterministic fraction of
+	// /v1/map responses is re-simulated off the request path and recorded
+	// in the per-family quality ledger behind GET /debug/quality. The
+	// Quality.OnRecord hook is owned by the server and must be left nil.
+	Quality quality.Config
 }
 
 func (c *Config) applyDefaults() {
@@ -142,6 +160,15 @@ func (c *Config) applyDefaults() {
 	}
 	if c.AdmissionQueueDepth < 0 {
 		c.AdmissionQueueDepth = 0
+	}
+	if c.EventBufferSize == 0 {
+		c.EventBufferSize = 256
+	}
+	if c.LogSampleRate == 0 {
+		c.LogSampleRate = 1
+	}
+	if c.LogSampleSeed == 0 {
+		c.LogSampleSeed = 1
 	}
 	c.Degraded.applyDefaults()
 	c.Repair.applyDefaults()
@@ -193,6 +220,9 @@ type Server struct {
 	faults  *faults.Injector
 	tracer  *obs.Tracer
 	cluster *cluster.Node
+	sampler *quality.Sampler
+	events  *EventLog
+	logN    atomic.Uint64 // access-log sampling arrival counter
 
 	reqTotal       *metrics.Counter
 	reqMap         *metrics.Counter
@@ -219,6 +249,7 @@ type Server struct {
 	clusterDur     *metrics.Histogram
 	reqDur         *metrics.Histogram
 	stageDur       *metrics.HistogramVec
+	missRate       *metrics.GaugeVec
 
 	// onJobStart, when non-nil, runs at the start of every admitted
 	// mapping job (test synchronization hook).
@@ -310,8 +341,45 @@ func New(cfg Config) *Server {
 	if cfg.TraceBufferSize > 0 {
 		s.tracer = obs.NewTracer(obs.NewSpanStore(cfg.TraceBufferSize))
 	}
+	if cfg.EventBufferSize > 0 {
+		s.events = NewEventLog(cfg.EventBufferSize)
+	}
+	s.missRate = s.reg.GaugeVec("cachemapd_plan_quality_missrate",
+		"shadow-simulated miss rate of the most recently sampled served plan, by paper cache level (L1 = client caches) and serve mode",
+		"level", "mode")
+	qcfg := cfg.Quality
+	qcfg.OnRecord = s.onQualityRecord
+	s.sampler = quality.NewSampler(qcfg)
+	s.reg.CounterFunc("cachemapd_quality_sampled_total",
+		"served responses enqueued for shadow simulation",
+		func() float64 { return float64(s.sampler.Counts().Sampled) })
+	s.reg.CounterFunc("cachemapd_quality_skipped_total",
+		"served responses that failed the deterministic sampling draw",
+		func() float64 { return float64(s.sampler.Counts().Skipped) })
+	s.reg.CounterFunc("cachemapd_quality_overflow_total",
+		"drawn samples shed because the shadow-simulation queue was full",
+		func() float64 { return float64(s.sampler.Counts().Overflow) })
 	registerRuntimeMetrics(s.reg)
 	return s
+}
+
+// Close releases the server's background resources: it stops the
+// shadow-simulation sampler worker and waits for it to exit. In-flight
+// HTTP requests are the http.Server's to drain, not Close's.
+func (s *Server) Close() { s.sampler.Close() }
+
+// onQualityRecord runs on the sampler worker for every completed shadow
+// simulation: it publishes the per-level miss-rate gauges and backfills
+// the originating request's wide event with the verdict.
+func (s *Server) onQualityRecord(rec quality.Record) {
+	if rec.Err == "" {
+		for k, v := range rec.MissRates {
+			s.missRate.Set(v, fmt.Sprintf("L%d", k+1), rec.Mode)
+		}
+	}
+	if s.events != nil {
+		s.events.AttachQuality(rec.TraceID, rec)
+	}
 }
 
 // Tracer returns the server's tracer (nil when tracing is disabled).
@@ -331,6 +399,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /debug/traces", s.handleTraces)
 	mux.HandleFunc("GET /debug/traces/{id}", s.handleTraceByID)
+	mux.HandleFunc("GET /debug/events", s.handleEvents)
+	mux.HandleFunc("GET /debug/quality", s.handleQuality)
 	mux.HandleFunc("GET /debug/faults", s.handleFaultsGet)
 	mux.HandleFunc("POST /debug/faults", s.handleFaultsSet)
 	return mux
@@ -602,6 +672,7 @@ func runJob[T any](s *Server, ctx context.Context, cost int64, fn func(ctx conte
 			return zero, d.Err
 		}
 	}
+	arrived := time.Now()
 	select {
 	case s.sem <- struct{}{}:
 	default:
@@ -618,6 +689,9 @@ func runJob[T any](s *Server, ctx context.Context, cost int64, fn func(ctx conte
 		}
 	}
 	defer func() { <-s.sem }()
+	if ev := eventFrom(ctx); ev != nil {
+		ev.AdmissionWaitMS = float64(time.Since(arrived)) / float64(time.Millisecond)
+	}
 	start := time.Now()
 	v, err := fn(ctx)
 	s.jobs.observe(time.Since(start))
@@ -656,11 +730,12 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 		})
 		if err != nil {
 			if resp, ok := s.tryDegrade(ctx, j, err, elapsed); ok {
+				s.annotateMap(ctx, j, resp)
 				return resp, nil
 			}
 			return nil, err
 		}
-		return &MapResponse{
+		resp := &MapResponse{
 			Plan:         out.plan.Plan,
 			Stages:       out.plan.Stages,
 			CacheKey:     out.key.String(),
@@ -669,8 +744,62 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 			Replanned:    out.plan.Replanned,
 			ReusedStages: out.plan.ReusedStages,
 			ElapsedMS:    elapsed(),
-		}, nil
+		}
+		s.annotateMap(ctx, j, resp)
+		return resp, nil
 	})
+}
+
+// serveMode classifies how a map response's plan reached the client, for
+// the quality ledger and the wide event (see quality.Modes).
+func serveMode(resp *MapResponse) string {
+	switch {
+	case resp.Degraded == DegradedStale:
+		return quality.ModeDegradedStale
+	case resp.Degraded == DegradedFallback:
+		return quality.ModeDegradedFallback
+	case resp.Cached:
+		return quality.ModeCached
+	case resp.Replanned == ReplanIncremental:
+		return quality.ModeIncremental
+	default:
+		return quality.ModeFull
+	}
+}
+
+// annotateMap fills the request's wide event from a successful (possibly
+// degraded) map response and stages the served plan for shadow-simulation
+// sampling. The sample only references the response plan — decoding and
+// simulating happen on the sampler worker, never here.
+func (s *Server) annotateMap(ctx context.Context, j *job, resp *MapResponse) {
+	ev := eventFrom(ctx)
+	if ev == nil {
+		return
+	}
+	mode := serveMode(resp)
+	ev.Family = j.family
+	ev.Mode = mode
+	ev.CacheKey = resp.CacheKey
+	ev.ReusedStages = resp.ReusedStages
+	ev.DegradedCause = resp.DegradedCause
+	if len(resp.Stages) > 0 {
+		ev.StageMS = make(map[string]float64, len(resp.Stages))
+		for _, st := range resp.Stages {
+			ev.StageMS[st.Stage] = st.DurationMS
+		}
+	}
+	if !s.sampler.Active() {
+		return
+	}
+	ev.sample = &quality.Sample{
+		TraceID: ev.TraceID,
+		Family:  j.family,
+		Mode:    mode,
+		Tree:    j.tree,
+		Prog:    j.work.Prog,
+		Plan:    &resp.Plan,
+		Params:  iosim.DefaultParams(),
+	}
 }
 
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
@@ -717,6 +846,15 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 			for k := 1; k <= len(m.LevelStats); k++ {
 				resp.MissRates = append(resp.MissRates, m.MissRateL(k))
 			}
+			if ev := eventFrom(ctx); ev != nil {
+				ev.Family = j.family
+				ev.CacheKey = key.String()
+				if hit {
+					ev.Mode = quality.ModeCached
+				} else {
+					ev.Mode = quality.ModeFull
+				}
+			}
 			return resp, nil
 		})
 	})
@@ -749,6 +887,15 @@ func (s *Server) serve(w http.ResponseWriter, r *http.Request, fn func(ctx conte
 		span.SetAttr("http.method", r.Method)
 		span.SetAttr("http.path", r.URL.Path)
 	}
+
+	// The request's wide event rides the context so deeper layers
+	// (admission wait, serve-mode classification) annotate it in place;
+	// serve publishes a copy once the response is out.
+	ev := &Event{Time: start, Method: r.Method, Path: r.URL.Path}
+	if span != nil {
+		ev.TraceID = span.TraceID().String()
+	}
+	rctx = withEvent(rctx, ev)
 
 	status := http.StatusOK
 	v, err := func() (any, error) {
@@ -786,7 +933,9 @@ func (s *Server) serve(w http.ResponseWriter, r *http.Request, fn func(ctx conte
 	}
 
 	d := time.Since(start)
-	s.reqDur.Observe(d.Seconds())
+	// The exemplar ties the bucket's most recent observation back to its
+	// trace, so a latency spike in /metrics links to /debug/traces/{id}.
+	s.reqDur.ObserveWithExemplar(d.Seconds(), ev.TraceID)
 	if span != nil {
 		span.SetAttr("http.status", strconv.Itoa(status))
 		if err != nil {
@@ -794,18 +943,38 @@ func (s *Server) serve(w http.ResponseWriter, r *http.Request, fn func(ctx conte
 		}
 		span.End() // publishes the trace to the span store
 	}
-	s.logRequest(r, status, d, span)
+	ev.Status = status
+	ev.DurationMS = float64(d) / float64(time.Millisecond)
+	if err != nil {
+		ev.Error = err.Error()
+	}
+	if s.events != nil {
+		s.events.Add(*ev)
+	}
+	// Offer the served plan for shadow simulation only after the event is
+	// retained, so the worker's verdict always finds its event to backfill
+	// (the sim itself runs on the sampler worker, never here).
+	if ev.sample != nil && s.sampler.Offer(*ev.sample) && s.events != nil {
+		s.events.markSampled(ev.TraceID)
+	}
+	s.logRequest(r, status, d, span, ev)
 }
 
 // logRequest emits the structured access log line and, above the
 // slow-request threshold, a Warn line carrying the request's span
-// breakdown (from the just-published trace).
-func (s *Server) logRequest(r *http.Request, status int, d time.Duration, span *obs.Span) {
+// breakdown (from the just-published trace). 200-OK fast-path lines are
+// sampled down by LogSampleRate; errors, degraded responses and slow
+// requests always log — a quiet log never hides a misbehaving request.
+func (s *Server) logRequest(r *http.Request, status int, d time.Duration, span *obs.Span, ev *Event) {
 	slow := s.cfg.SlowRequestThreshold > 0 && d >= s.cfg.SlowRequestThreshold
 	if slow {
 		s.slowRequests.Inc()
 	}
 	if s.cfg.Logger == nil {
+		return
+	}
+	mundane := status < 300 && !slow && ev.DegradedCause == ""
+	if mundane && !quality.Drawn(s.cfg.LogSampleSeed, s.logN.Add(1), s.cfg.LogSampleRate) {
 		return
 	}
 	traceID := ""
@@ -821,6 +990,12 @@ func (s *Server) logRequest(r *http.Request, status int, d time.Duration, span *
 	}
 	if traceID != "" {
 		attrs = append(attrs, slog.String("trace_id", traceID))
+	}
+	if ev.Mode != "" {
+		attrs = append(attrs, slog.String("mode", ev.Mode))
+	}
+	if ev.Family != "" {
+		attrs = append(attrs, slog.String("family", ev.Family))
 	}
 	s.cfg.Logger.LogAttrs(context.Background(), slog.LevelInfo, "request", attrs...)
 	if slow {
