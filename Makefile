@@ -14,12 +14,13 @@ test:
 
 # One pass over every benchmark (the full suite regenerates the paper's
 # tables and figures; -benchtime=1x keeps it bounded). Results stream to
-# the terminal and are folded into BENCH_4.json under the "after" label
-# (pipe the output of a pre-change run through
-# `go run ./cmd/benchjson -o BENCH_4.json -label before` to build the
-# comparison side).
+# the terminal and are folded into BENCH_9.json under the "after" label —
+# with -benchmem, so the ledger also carries the B/op and allocs/op the
+# ci.sh alloc gate compares against (pipe the output of a pre-change run
+# through `go run ./cmd/benchjson -o BENCH_9.json -label before` to build
+# the comparison side).
 bench:
-	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem ./... | $(GO) run ./cmd/benchjson -o BENCH_4.json -label after
+	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem ./... | $(GO) run ./cmd/benchjson -o BENCH_9.json -label after
 
 ci: build vet test
 

@@ -11,9 +11,12 @@ package cachemap
 // better, and "impr%" metrics are mean improvement percentages.
 
 import (
+	"bytes"
 	"context"
-
+	"encoding/json"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"runtime"
 	"testing"
 	"time"
@@ -388,6 +391,82 @@ func BenchmarkTagDotProduct(b *testing.B) {
 	}
 }
 
+// BenchmarkPostings measures the inverted-index build that seeds the
+// sparse similarity engine: one posting list per data-chunk bit over the
+// largest application model's tags. The index storage is pooled, so warm
+// builds should report ~0 allocs/op.
+func BenchmarkPostings(b *testing.B) {
+	w, err := workloads.Get("contour", benchScale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	chunks := tags.Compute(w.Prog.Nest, w.Prog.Refs, w.Prog.Data)
+	tagOf := make([]bitvec.Vector, len(chunks))
+	for i, c := range chunks {
+		tagOf[i] = c.Tag
+	}
+	r := tagOf[0].Len()
+	var ix bitvec.PostingIndex
+	ix.Build(r, tagOf) // warm the recycled storage
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		posts := ix.Build(r, tagOf)
+		if len(posts) != r {
+			b.Fatal("truncated index")
+		}
+	}
+}
+
+// BenchmarkCacheHitServe measures the full HTTP serve path of a warm
+// plan-cache hit: request decode, cache probe, response encode, all through
+// a real net/http round trip against the embedded daemon handler. The
+// allocs/op figure gates the steady-state serving cost (the hit path reuses
+// pooled encode buffers; what remains is net/http per-request overhead).
+func BenchmarkCacheHitServe(b *testing.B) {
+	svc := NewService(ServiceConfig{})
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	body, err := json.Marshal(MapRequest{
+		Workload: WorkloadSpec{Synth: &SynthSpec{
+			Name:    "servehot",
+			Passes:  4,
+			Extent:  2048,
+			Streams: []StreamSpec{{Stride: 1}, {Stride: 1, Offset: 32}},
+		}},
+		Topology: "4/8/16@16,8,4",
+		Scheme:   "inter",
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	post := func() MapResponse {
+		resp, err := http.Post(ts.URL+"/v1/map", "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+		var mr MapResponse
+		if err := json.NewDecoder(resp.Body).Decode(&mr); err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+		return mr
+	}
+	if mr := post(); mr.Cached {
+		b.Fatal("first request unexpectedly hit the cache")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if mr := post(); !mr.Cached {
+			b.Fatal("warm request missed the plan cache")
+		}
+	}
+}
+
 // BenchmarkCacheModes regenerates the cache-management-mode ablation
 // (inclusive / exclusive / prefetching).
 func BenchmarkCacheModes(b *testing.B) {
@@ -510,8 +589,10 @@ func BenchmarkPlanCache(b *testing.B) {
 // computation (sharded over iteration ranges) and similarity-graph
 // weighting (sharded over row blocks) — at 1 worker versus GOMAXPROCS
 // workers on the largest synthetic workload. Results are byte-identical at
-// any worker count; only wall time may differ, and on a single-CPU host
-// the two configurations are expected to tie.
+// any worker count; only wall time may differ. The workers=GOMAXPROCS
+// variant reports scaling-ratio — the single-worker parallel-section time
+// divided by its own — and skips itself on a single-CPU host, where it
+// would measure the identical configuration twice.
 func BenchmarkPipelineParallelism(b *testing.B) {
 	w, err := workloads.Synthesize(workloads.SynthSpec{
 		Name:   "parbench",
@@ -525,8 +606,13 @@ func BenchmarkPipelineParallelism(b *testing.B) {
 		b.Fatal(err)
 	}
 	tree := benchConfig().Tree()
-	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+	procs := runtime.GOMAXPROCS(0)
+	var perOp [2]float64 // tag+similarity ms/op at workers=1, workers=procs
+	for vi, workers := range []int{1, procs} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			if vi == 1 && procs == 1 {
+				b.Skip("GOMAXPROCS=1: the parallel variant is workers=1 again")
+			}
 			var tagMS, simMS float64
 			var pairsGen, pairsDense int64
 			for i := 0; i < b.N; i++ {
@@ -558,6 +644,12 @@ func BenchmarkPipelineParallelism(b *testing.B) {
 			// pairs materialized as a fraction of the dense n(n−1)/2 bound.
 			if pairsDense > 0 {
 				b.ReportMetric(float64(pairsGen)/float64(pairsDense), "pairs-ratio")
+			}
+			perOp[vi] = (tagMS + simMS) / float64(b.N)
+			if vi == 1 && perOp[0] > 0 && perOp[1] > 0 {
+				// How much faster the parallel sections ran with
+				// GOMAXPROCS workers (>1 means a real speedup).
+				b.ReportMetric(perOp[0]/perOp[1], "scaling-ratio")
 			}
 		})
 	}

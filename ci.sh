@@ -68,7 +68,15 @@ echo "==> sparse similarity engine smoke (sparse path selected, pairs_generated 
 go test -short -count=1 -run TestSparseSimilaritySmoke ./internal/core
 go test -short -count=1 -run TestMapSimilarityPairLedger ./internal/pipeline
 
-echo "==> bench regression gate (vs BENCH_4.json)"
+echo "==> zero-alloc steady-state gate (GOGC=off, TestAlloc*)"
+# The pooled hot paths — posting-index transpose, arena carving, warm
+# sparse pair generation, the full distribution run, the plan-cache hit
+# serve path — must stay allocation-free (or at their documented small
+# constants) once warm. GOGC=off pins sync.Pool contents for the whole
+# run, so a GC-timed pool eviction can never fake a regression.
+GOGC=off go test -short -count=1 -run 'TestAlloc' . ./internal/core ./internal/bitvec
+
+echo "==> bench regression gate (vs BENCH_9.json)"
 # Short mode: fixed iteration counts keep this quick; three samples per
 # benchmark are folded to their minimum by benchjson (interference only
 # slows a run down), and the 100% tolerance absorbs shared-runner noise —
@@ -81,7 +89,13 @@ daemon_pid=
 ring_pids=
 trap 'if [ -n "$daemon_pid" ]; then kill $daemon_pid 2>/dev/null || true; fi; if [ -n "$ring_pids" ]; then kill $ring_pids 2>/dev/null || true; fi; rm -rf "$tmp"' EXIT
 go build -o "$tmp/benchjson" ./cmd/benchjson
-go test -run '^$' -bench 'BenchmarkDistribute$' -benchtime 100x -count=3 . >"$tmp/bench.out" 2>&1 || {
+# -benchmem arms the allocation side of the gate: the ledger's B/op and
+# allocs/op entries are compared under the tighter -alloc-tolerance
+# (allocation counts are near-deterministic; 25% absorbs sync.Pool
+# eviction jitter while catching a pooled path regressing to per-call
+# allocation). The ledger's BenchmarkDistribute entry records the sub-1ms
+# steady state this gate anchors to.
+go test -run '^$' -bench 'BenchmarkDistribute$|BenchmarkPostings$|BenchmarkCacheHitServe$' -benchtime 100x -benchmem -count=3 . >"$tmp/bench.out" 2>&1 || {
 	cat "$tmp/bench.out" >&2
 	exit 1
 }
@@ -89,7 +103,7 @@ go test -run '^$' -bench 'BenchmarkPipelineParallelism' -benchtime 1x -count=3 .
 	cat "$tmp/bench.out" >&2
 	exit 1
 }
-"$tmp/benchjson" -compare BENCH_4.json -tolerance 100 <"$tmp/bench.out" >/dev/null
+"$tmp/benchjson" -compare BENCH_9.json -tolerance 100 -alloc-tolerance 25 <"$tmp/bench.out" >/dev/null
 
 echo "==> replan speedup floor gate (vs BENCH_7.json)"
 # Incremental re-planning must stay at least 5x faster than the full

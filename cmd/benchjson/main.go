@@ -4,6 +4,9 @@
 // "after"). When the output file already exists, new results are merged
 // into it, so successive runs under different labels build a
 // before/after comparison (see BENCH_4.json at the repository root).
+// Repeated samples of one benchmark within a single run (go test
+// -count=N) are folded to the per-metric minimum, exactly as compare
+// mode folds them, so the ledger anchors the cleanest sample.
 //
 // Input lines are echoed to stdout, so the command composes as a filter:
 //
@@ -24,6 +27,12 @@
 // speedup-floor of 5 fails any run that measures less than 5x), -tolerance
 // does not soften it, and -count=N samples fold by maximum — interference
 // can only lower a speedup, so the best sample is the least contaminated.
+//
+// When the ledger records B/op or allocs/op (from -benchmem) and the fresh
+// run reports them too, they gate under the separate -alloc-tolerance
+// percentage — allocation counts are nearly deterministic, so their
+// tolerance is much tighter than the wall-clock one, and a ledger value of
+// zero is exact: any measured allocation fails a zero-alloc entry.
 package main
 
 import (
@@ -32,6 +41,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"sort"
 	"strconv"
@@ -104,6 +114,7 @@ func run(out, label string) error {
 	}
 
 	parsed := 0
+	seen := make(map[string]bool) // names folded during this invocation
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -116,6 +127,15 @@ func run(out, label string) error {
 		if file.Benchmarks[name] == nil {
 			file.Benchmarks[name] = make(map[string]*Result)
 		}
+		// Repeated samples within one invocation (go test -count=N) fold
+		// to the per-metric minimum, mirroring compare mode: the ledger
+		// anchors the least-contaminated sample, not the last one. A
+		// stale entry from a previous recording run is still replaced
+		// outright by this run's first sample.
+		if seen[name] {
+			res = foldResults(file.Benchmarks[name][label], res)
+		}
+		seen[name] = true
 		file.Benchmarks[name][label] = res
 		parsed++
 	}
@@ -149,6 +169,43 @@ type comparison struct {
 // isFloor reports whether a custom metric unit gates as a lower bound.
 func isFloor(unit string) bool { return strings.HasSuffix(unit, "-floor") }
 
+// foldResults merges two samples of the same benchmark into one by taking
+// the per-metric minimum — on a shared machine interference only ever
+// slows a run down (and a GC mid-sample can only evict pools, inflating
+// B/op and allocs/op), so the smallest sample is the least contaminated.
+// "-floor" metrics fold by maximum for the same reason: interference can
+// only lower a speedup. Both record mode (-o) and compare mode use this,
+// so a committed ledger anchors exactly what the gate would measure. The
+// first argument is mutated and returned; b may be nil.
+func foldResults(b, res *Result) *Result {
+	if b == nil {
+		return res
+	}
+	if res.NsPerOp < b.NsPerOp {
+		b.NsPerOp = res.NsPerOp
+	}
+	if res.BytesPerOp != nil && (b.BytesPerOp == nil || *res.BytesPerOp < *b.BytesPerOp) {
+		b.BytesPerOp = res.BytesPerOp
+	}
+	if res.AllocsPerOp != nil && (b.AllocsPerOp == nil || *res.AllocsPerOp < *b.AllocsPerOp) {
+		b.AllocsPerOp = res.AllocsPerOp
+	}
+	for unit, v := range res.Metrics {
+		prev, seen := b.Metrics[unit]
+		better := v < prev
+		if isFloor(unit) {
+			better = v > prev
+		}
+		if !seen || better {
+			if b.Metrics == nil {
+				b.Metrics = make(map[string]float64)
+			}
+			b.Metrics[unit] = v
+		}
+	}
+	return b
+}
+
 // compare parses benchmark output from in (echoing to echo), folds
 // repeated samples of the same benchmark (go test -count=N) into one
 // result by taking the per-metric minimum — on a shared machine
@@ -158,7 +215,7 @@ func isFloor(unit string) bool { return strings.HasSuffix(unit, "-floor") }
 // containing "ms/op") must not exceed the ledger value by more than
 // tolerance percent. Benchmarks absent from the ledger are skipped; zero
 // overlap is an error (an empty gate guards nothing).
-func compare(in io.Reader, echo io.Writer, ledgerPath, label string, tolerance float64) ([]comparison, error) {
+func compare(in io.Reader, echo io.Writer, ledgerPath, label string, tolerance, allocTolerance float64) ([]comparison, error) {
 	raw, err := os.ReadFile(ledgerPath)
 	if err != nil {
 		return nil, err
@@ -185,22 +242,7 @@ func compare(in io.Reader, echo io.Writer, ledgerPath, label string, tolerance f
 			order = append(order, name)
 			continue
 		}
-		if res.NsPerOp < b.NsPerOp {
-			b.NsPerOp = res.NsPerOp
-		}
-		for unit, v := range res.Metrics {
-			prev, seen := b.Metrics[unit]
-			better := v < prev
-			if isFloor(unit) {
-				better = v > prev
-			}
-			if !seen || better {
-				if b.Metrics == nil {
-					b.Metrics = make(map[string]float64)
-				}
-				b.Metrics[unit] = v
-			}
-		}
+		best[name] = foldResults(b, res)
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
@@ -226,6 +268,25 @@ func compare(in io.Reader, echo io.Writer, ledgerPath, label string, tolerance f
 			deltaP: 100 * (new - floor) / floor, floor: true, failed: new < floor,
 		})
 	}
+	// checkAlloc gates an allocation stat under allocTolerance. Unlike
+	// wall-clock checks a ledger value of zero is meaningful and exact:
+	// a zero-alloc entry fails on any measured allocation.
+	checkAlloc := func(bench, what string, old, new int64) {
+		var deltaP float64
+		failed := false
+		switch {
+		case old > 0:
+			deltaP = 100 * float64(new-old) / float64(old)
+			failed = deltaP > allocTolerance
+		case new > 0:
+			deltaP = math.Inf(1)
+			failed = true
+		}
+		comps = append(comps, comparison{
+			bench: bench, what: what, old: float64(old), new: float64(new),
+			deltaP: deltaP, failed: failed,
+		})
+	}
 	for _, name := range order {
 		old, ok := ledger.Benchmarks[name][label]
 		if !ok {
@@ -233,6 +294,15 @@ func compare(in io.Reader, echo io.Writer, ledgerPath, label string, tolerance f
 		}
 		res := best[name]
 		check(name, "ns/op", old.NsPerOp, res.NsPerOp)
+		// Allocation stats gate only when both sides report them: a ledger
+		// written with -benchmem still composes with a quick gate run that
+		// skipped it.
+		if old.BytesPerOp != nil && res.BytesPerOp != nil {
+			checkAlloc(name, "B/op", *old.BytesPerOp, *res.BytesPerOp)
+		}
+		if old.AllocsPerOp != nil && res.AllocsPerOp != nil {
+			checkAlloc(name, "allocs/op", *old.AllocsPerOp, *res.AllocsPerOp)
+		}
 		// Time-like custom metrics (e.g. the pipeline's similarity-ms/op)
 		// gate too; counts and ratios are informational only.
 		units := make([]string, 0, len(old.Metrics))
@@ -263,8 +333,8 @@ func compare(in io.Reader, echo io.Writer, ledgerPath, label string, tolerance f
 	return comps, nil
 }
 
-func runCompare(ledgerPath, label string, tolerance float64) error {
-	comps, err := compare(os.Stdin, os.Stdout, ledgerPath, label, tolerance)
+func runCompare(ledgerPath, label string, tolerance, allocTolerance float64) error {
+	comps, err := compare(os.Stdin, os.Stdout, ledgerPath, label, tolerance, allocTolerance)
 	if err != nil {
 		return err
 	}
@@ -283,8 +353,12 @@ func runCompare(ledgerPath, label string, tolerance float64) error {
 				verdict, c.bench, c.what, c.old, c.new, c.deltaP)
 			continue
 		}
+		tol := tolerance
+		if c.what == "B/op" || c.what == "allocs/op" {
+			tol = allocTolerance
+		}
 		fmt.Fprintf(os.Stderr, "benchjson: %-11s %s %s: %.4g -> %.4g (%+.1f%%, tolerance %+.0f%%)\n",
-			verdict, c.bench, c.what, c.old, c.new, c.deltaP, tolerance)
+			verdict, c.bench, c.what, c.old, c.new, c.deltaP, tol)
 	}
 	if failures > 0 {
 		return fmt.Errorf("%d of %d checks regressed beyond %.0f%% of ledger %s", failures, len(comps), tolerance, ledgerPath)
@@ -298,10 +372,11 @@ func main() {
 	label := flag.String("label", "after", "label to record results under (or compare against, with -compare)")
 	compareTo := flag.String("compare", "", "compare stdin results against this ledger instead of writing a file")
 	tolerance := flag.Float64("tolerance", 25, "compare mode: max allowed ns/op (and …ms/op) regression, percent")
+	allocTolerance := flag.Float64("alloc-tolerance", 10, "compare mode: max allowed B/op and allocs/op regression, percent (a zero-alloc ledger entry is exact)")
 	flag.Parse()
 	var err error
 	if *compareTo != "" {
-		err = runCompare(*compareTo, *label, *tolerance)
+		err = runCompare(*compareTo, *label, *tolerance, *allocTolerance)
 	} else {
 		err = run(*out, *label)
 	}

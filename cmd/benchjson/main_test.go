@@ -75,7 +75,7 @@ func ledgerWith(ns float64, metrics map[string]float64) File {
 func TestCompareWithinTolerance(t *testing.T) {
 	path := writeLedger(t, ledgerWith(1000000, nil))
 	in := strings.NewReader("BenchmarkDistribute \t 300\t 1100000 ns/op\n")
-	comps, err := compare(in, io.Discard, path, "after", 25)
+	comps, err := compare(in, io.Discard, path, "after", 25, 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +90,7 @@ func TestCompareWithinTolerance(t *testing.T) {
 func TestCompareFlagsRegression(t *testing.T) {
 	path := writeLedger(t, ledgerWith(1000000, nil))
 	in := strings.NewReader("BenchmarkDistribute \t 300\t 1500000 ns/op\n")
-	comps, err := compare(in, io.Discard, path, "after", 25)
+	comps, err := compare(in, io.Discard, path, "after", 25, 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +105,7 @@ func TestCompareFlagsRegression(t *testing.T) {
 func TestCompareInvertedTolerance(t *testing.T) {
 	path := writeLedger(t, ledgerWith(1000000, nil))
 	in := strings.NewReader("BenchmarkDistribute \t 300\t 1000000 ns/op\n")
-	comps, err := compare(in, io.Discard, path, "after", -1)
+	comps, err := compare(in, io.Discard, path, "after", -1, 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,7 +121,7 @@ func TestCompareCustomMetricsGate(t *testing.T) {
 	}))
 	in := strings.NewReader(
 		"BenchmarkDistribute \t 300\t 1000000 ns/op\t 20 similarity-ms/op\t 0.5 pairs-ratio\n")
-	comps, err := compare(in, io.Discard, path, "after", 25)
+	comps, err := compare(in, io.Discard, path, "after", 25, 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,7 +157,7 @@ func TestCompareFoldsRepeatedSamplesByMin(t *testing.T) {
 		"BenchmarkDistribute \t 300\t 1050000 ns/op\t 30 similarity-ms/op",
 		"BenchmarkDistribute \t 300\t 1900000 ns/op\t 11 similarity-ms/op",
 	}, "\n") + "\n")
-	comps, err := compare(in, io.Discard, path, "after", 25)
+	comps, err := compare(in, io.Discard, path, "after", 25, 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -201,7 +201,7 @@ func TestCompareFloorMetricGate(t *testing.T) {
 	// Meeting the floor passes.
 	comps, err := compare(strings.NewReader(
 		"BenchmarkDistribute \t 300\t 1000000 ns/op\t 7.2 speedup-floor\n"),
-		io.Discard, path, "after", 25)
+		io.Discard, path, "after", 25, 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -213,7 +213,7 @@ func TestCompareFloorMetricGate(t *testing.T) {
 	// Dipping below fails even though the shortfall is within -tolerance.
 	comps, err = compare(strings.NewReader(
 		"BenchmarkDistribute \t 300\t 1000000 ns/op\t 4.5 speedup-floor\n"),
-		io.Discard, path, "after", 25)
+		io.Discard, path, "after", 25, 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -225,7 +225,7 @@ func TestCompareFloorMetricGate(t *testing.T) {
 	// the gate.
 	comps, err = compare(strings.NewReader(
 		"BenchmarkDistribute \t 300\t 1000000 ns/op\n"),
-		io.Discard, path, "after", 25)
+		io.Discard, path, "after", 25, 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -246,7 +246,7 @@ func TestCompareFoldsFloorByMax(t *testing.T) {
 		"BenchmarkDistribute \t 300\t 1000000 ns/op\t 6.4 speedup-floor",
 		"BenchmarkDistribute \t 300\t 1000000 ns/op\t 4.9 speedup-floor",
 	}, "\n") + "\n")
-	comps, err := compare(in, io.Discard, path, "after", 25)
+	comps, err := compare(in, io.Discard, path, "after", 25, 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -270,7 +270,7 @@ func TestCompareSkipsUnknownAndRequiresOverlap(t *testing.T) {
 	// A benchmark the ledger does not record is skipped…
 	in := strings.NewReader(
 		"BenchmarkNovel \t 10\t 999 ns/op\nBenchmarkDistribute \t 300\t 900000 ns/op\n")
-	comps, err := compare(in, io.Discard, path, "after", 25)
+	comps, err := compare(in, io.Discard, path, "after", 25, 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -279,30 +279,44 @@ func TestCompareSkipsUnknownAndRequiresOverlap(t *testing.T) {
 	}
 	// …but zero overlap is an error, not a silent pass.
 	if _, err := compare(strings.NewReader("BenchmarkNovel \t 10\t 999 ns/op\n"),
-		io.Discard, path, "after", 25); err == nil {
+		io.Discard, path, "after", 25, 10); err == nil {
 		t.Fatal("empty comparison did not fail")
 	}
 	// Unknown label behaves like zero overlap.
 	if _, err := compare(strings.NewReader("BenchmarkDistribute \t 300\t 1 ns/op\n"),
-		io.Discard, path, "nosuch", 25); err == nil {
+		io.Discard, path, "nosuch", 25, 10); err == nil {
 		t.Fatal("unknown label did not fail")
 	}
 }
 
 // TestCompareAgainstCommittedLedger keeps the CI gate honest: the
-// committed BENCH_4.json must contain the two entries ci.sh gates on.
+// committed BENCH_9.json must contain the entries ci.sh gates on,
+// including the allocation stats the alloc side of the gate compares and
+// the sub-1ms BenchmarkDistribute steady state the PR pinned.
 func TestCompareAgainstCommittedLedger(t *testing.T) {
-	raw, err := os.ReadFile("../../BENCH_4.json")
+	raw, err := os.ReadFile("../../BENCH_9.json")
 	if err != nil {
 		t.Skipf("no committed ledger: %v", err)
 	}
 	var f File
 	if err := json.Unmarshal(raw, &f); err != nil {
-		t.Fatalf("BENCH_4.json does not parse: %v", err)
+		t.Fatalf("BENCH_9.json does not parse: %v", err)
 	}
 	d, ok := f.Benchmarks["BenchmarkDistribute"]["after"]
 	if !ok || d.NsPerOp <= 0 {
-		t.Fatal("BENCH_4.json lacks BenchmarkDistribute/after")
+		t.Fatal("BENCH_9.json lacks BenchmarkDistribute/after")
+	}
+	if d.NsPerOp >= 1e6 {
+		t.Fatalf("BenchmarkDistribute/after anchors at %.0f ns/op, want < 1ms", d.NsPerOp)
+	}
+	if d.BytesPerOp == nil || d.AllocsPerOp == nil {
+		t.Fatal("BenchmarkDistribute/after lacks the B/op + allocs/op entries the alloc gate needs")
+	}
+	for _, name := range []string{"BenchmarkPostings", "BenchmarkCacheHitServe"} {
+		r, ok := f.Benchmarks[name]["after"]
+		if !ok || r.NsPerOp <= 0 {
+			t.Fatalf("BENCH_9.json lacks %s/after", name)
+		}
 	}
 	found := false
 	for name, labels := range f.Benchmarks {
@@ -313,6 +327,195 @@ func TestCompareAgainstCommittedLedger(t *testing.T) {
 		}
 	}
 	if !found {
-		t.Fatal("BENCH_4.json lacks a pipeline similarity-ms/op entry under after")
+		t.Fatal("BENCH_9.json lacks a pipeline similarity-ms/op entry under after")
+	}
+}
+
+// allocLedger builds a ledger whose entry carries allocation stats.
+func allocLedger(ns float64, bytesPerOp, allocsPerOp int64) File {
+	return File{Benchmarks: map[string]map[string]*Result{
+		"BenchmarkDistribute": {
+			"after": {Iterations: 300, NsPerOp: ns, BytesPerOp: &bytesPerOp, AllocsPerOp: &allocsPerOp},
+		},
+	}}
+}
+
+// TestCompareAllocGate: B/op and allocs/op gate under the separate alloc
+// tolerance — tighter than the wall-clock one — and only when measured.
+func TestCompareAllocGate(t *testing.T) {
+	path := writeLedger(t, allocLedger(1000000, 50000, 700))
+	// 5% more bytes and 30% more allocs at 10% alloc tolerance: bytes pass,
+	// allocs fail, even though both are far inside the 25% ns/op tolerance.
+	in := strings.NewReader("BenchmarkDistribute \t 300\t 1000000 ns/op\t 52500 B/op\t 910 allocs/op\n")
+	comps, err := compare(in, io.Discard, path, "after", 25, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comps) != 3 {
+		t.Fatalf("want ns/op + B/op + allocs/op checks, got %+v", comps)
+	}
+	for _, c := range comps {
+		switch c.what {
+		case "B/op":
+			if c.failed {
+				t.Fatalf("+5%% B/op failed a 10%% alloc tolerance: %+v", c)
+			}
+		case "allocs/op":
+			if !c.failed {
+				t.Fatalf("+30%% allocs/op passed a 10%% alloc tolerance: %+v", c)
+			}
+		}
+	}
+}
+
+// TestCompareAllocZeroLedgerIsExact: a zero-alloc ledger entry fails on any
+// measured allocation regardless of tolerance.
+func TestCompareAllocZeroLedgerIsExact(t *testing.T) {
+	path := writeLedger(t, allocLedger(1000000, 0, 0))
+	in := strings.NewReader("BenchmarkDistribute \t 300\t 1000000 ns/op\t 16 B/op\t 1 allocs/op\n")
+	comps, err := compare(in, io.Discard, path, "after", 25, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	failed := 0
+	for _, c := range comps {
+		if (c.what == "B/op" || c.what == "allocs/op") && c.failed {
+			failed++
+		}
+	}
+	if failed != 2 {
+		t.Fatalf("nonzero measurement against zero-alloc ledger: %+v", comps)
+	}
+	// An exactly zero measurement passes.
+	in = strings.NewReader("BenchmarkDistribute \t 300\t 1000000 ns/op\t 0 B/op\t 0 allocs/op\n")
+	comps, err = compare(in, io.Discard, path, "after", 25, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range comps {
+		if c.failed {
+			t.Fatalf("zero measurement failed zero-alloc ledger: %+v", c)
+		}
+	}
+}
+
+// TestCompareAllocFoldsByMin: repeated -count samples fold allocation stats
+// by minimum, mirroring ns/op.
+func TestCompareAllocFoldsByMin(t *testing.T) {
+	path := writeLedger(t, allocLedger(1000000, 50000, 700))
+	in := strings.NewReader(strings.Join([]string{
+		"BenchmarkDistribute \t 300\t 1000000 ns/op\t 90000 B/op\t 1400 allocs/op",
+		"BenchmarkDistribute \t 300\t 1000000 ns/op\t 50100 B/op\t 701 allocs/op",
+	}, "\n") + "\n")
+	comps, err := compare(in, io.Discard, path, "after", 25, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range comps {
+		if c.failed {
+			t.Fatalf("min-folded alloc sample tripped the gate: %+v", c)
+		}
+		if c.what == "allocs/op" && c.new != 701 {
+			t.Fatalf("allocs/op folded to %v, want min 701", c.new)
+		}
+	}
+}
+
+// TestCompareAllocSkippedWithoutBenchmem: a fresh run without -benchmem
+// (no B/op fields) skips the allocation checks instead of failing them.
+func TestCompareAllocSkippedWithoutBenchmem(t *testing.T) {
+	path := writeLedger(t, allocLedger(1000000, 50000, 700))
+	in := strings.NewReader("BenchmarkDistribute \t 300\t 1000000 ns/op\n")
+	comps, err := compare(in, io.Discard, path, "after", 25, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comps) != 1 || comps[0].what != "ns/op" {
+		t.Fatalf("want only the ns/op check, got %+v", comps)
+	}
+}
+
+func TestFoldResultsPerMetricMin(t *testing.T) {
+	b50, b70 := int64(50), int64(70)
+	a5, a9 := int64(5), int64(9)
+	first := &Result{
+		Iterations: 100, NsPerOp: 1200, BytesPerOp: &b70, AllocsPerOp: &a5,
+		Metrics: map[string]float64{"similarity-ms/op": 9.0, "speedup-floor": 3.0},
+	}
+	second := &Result{
+		Iterations: 100, NsPerOp: 900, BytesPerOp: &b50, AllocsPerOp: &a9,
+		Metrics: map[string]float64{"similarity-ms/op": 11.0, "speedup-floor": 4.0},
+	}
+	got := foldResults(first, second)
+	if got.NsPerOp != 900 {
+		t.Errorf("ns/op folded to %v, want min 900", got.NsPerOp)
+	}
+	if *got.BytesPerOp != 50 || *got.AllocsPerOp != 5 {
+		t.Errorf("B/op=%d allocs/op=%d, want per-stat mins 50 and 5", *got.BytesPerOp, *got.AllocsPerOp)
+	}
+	if got.Metrics["similarity-ms/op"] != 9.0 {
+		t.Errorf("time-like metric folded to %v, want min 9.0", got.Metrics["similarity-ms/op"])
+	}
+	if got.Metrics["speedup-floor"] != 4.0 {
+		t.Errorf("floor metric folded to %v, want max 4.0", got.Metrics["speedup-floor"])
+	}
+	if r := (&Result{NsPerOp: 7}); foldResults(nil, r) != r {
+		t.Error("foldResults(nil, r) should return r unchanged")
+	}
+	// A sample missing -benchmem stats must not erase stats already seen.
+	bare := &Result{NsPerOp: 1000}
+	if got := foldResults(got, bare); got.BytesPerOp == nil || *got.BytesPerOp != 50 {
+		t.Error("folding a bare sample dropped the B/op stat")
+	}
+}
+
+func TestRecordFoldsDuplicatesWithinInvocation(t *testing.T) {
+	// run() reads os.Stdin, so drive it through a pipe. Two samples of the
+	// same benchmark in one invocation must fold to the min; a stale entry
+	// in the existing file must be replaced, not folded with.
+	path := filepath.Join(t.TempDir(), "ledger.json")
+	stale := `{"benchmarks":{"BenchmarkDistribute":{"after":{"iterations":1,"ns_per_op":1}}}}`
+	if err := os.WriteFile(path, []byte(stale), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	input := "BenchmarkDistribute \t 100\t 1200 ns/op\t 70 B/op\t 5 allocs/op\n" +
+		"BenchmarkDistribute \t 100\t 900 ns/op\t 50 B/op\t 9 allocs/op\n"
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	origStdin, origStdout := os.Stdin, os.Stdout
+	devNull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdin, os.Stdout = r, devNull
+	defer func() { os.Stdin, os.Stdout = origStdin, origStdout; devNull.Close() }()
+	if _, err := w.WriteString(input); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	if err := run(path, "after"); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	os.Stdin, os.Stdout = origStdin, origStdout
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f File
+	if err := json.Unmarshal(raw, &f); err != nil {
+		t.Fatal(err)
+	}
+	got := f.Benchmarks["BenchmarkDistribute"]["after"]
+	if got == nil {
+		t.Fatal("BenchmarkDistribute/after missing from recorded ledger")
+	}
+	if got.NsPerOp != 900 {
+		t.Errorf("recorded ns/op = %v, want min 900 (stale entry replaced, duplicates folded)", got.NsPerOp)
+	}
+	if got.BytesPerOp == nil || *got.BytesPerOp != 50 || got.AllocsPerOp == nil || *got.AllocsPerOp != 5 {
+		t.Errorf("recorded B/op/allocs not folded to per-stat mins: %+v", got)
 	}
 }

@@ -46,6 +46,77 @@ func NewArena(count, n int) []Vector {
 	return vs
 }
 
+// arenaBlockWords sizes an Arena backing block: 4096 words = 32 KiB, large
+// enough to amortize block bookkeeping and small enough that a mostly-idle
+// arena does not pin much memory in a sync.Pool.
+const arenaBlockWords = 4096
+
+// Arena is a reusable bump allocator for equal-lifetime Vectors. Vec carves
+// a zeroed vector from block-based backing storage; Reset rewinds the arena
+// so the blocks are re-carved by the next cycle. Growth never moves memory
+// that was already handed out — carved Vectors keep their own word windows —
+// so an Arena may grow mid-cycle without invalidating earlier vectors.
+//
+// A Reset recycles every previously carved vector's storage, so the caller
+// must ensure none of them is still live. The intended pattern is a
+// sync.Pool of Arenas where each request Gets one, carves request-scoped
+// vectors, and Resets+Puts it only after the last carved vector is dead
+// (see internal/core for the cluster-tag use). The zero value is ready to
+// use. An Arena must not be used from multiple goroutines concurrently.
+type Arena struct {
+	blocks [][]uint64
+	cur    int // index of the block being carved
+	off    int // word offset into blocks[cur]
+}
+
+// Vec carves a zeroed n-bit Vector from the arena. It panics if n is
+// negative.
+func (a *Arena) Vec(n int) Vector {
+	if n < 0 {
+		panic(fmt.Sprintf("bitvec: negative length %d", n))
+	}
+	w := (n + wordBits - 1) / wordBits
+	if w == 0 {
+		return Vector{n: n}
+	}
+	for {
+		if a.cur < len(a.blocks) {
+			blk := a.blocks[a.cur]
+			if a.off+w <= len(blk) {
+				words := blk[a.off : a.off+w : a.off+w]
+				a.off += w
+				clear(words)
+				return Vector{n: n, words: words}
+			}
+			// The remainder of this block is too small; waste it and move
+			// on. Widths are constant within a request shape, so the waste
+			// is bounded by one vector per block.
+			a.cur++
+			a.off = 0
+			continue
+		}
+		sz := arenaBlockWords
+		if w > sz {
+			sz = w
+		}
+		a.blocks = append(a.blocks, make([]uint64, sz))
+	}
+}
+
+// Clone carves a copy of v from the arena.
+func (a *Arena) Clone(v Vector) Vector {
+	w := a.Vec(v.n)
+	copy(w.words, v.words)
+	return w
+}
+
+// Reset rewinds the arena so all blocks are available for re-carving. Every
+// Vector previously carved from the arena becomes invalid: its storage will
+// be handed out again.
+func (a *Arena) Reset() {
+	a.cur, a.off = 0, 0
+}
+
 // FromBits builds a Vector from a slice of booleans, bit i taken from bits[i].
 func FromBits(bitsIn []bool) Vector {
 	v := New(len(bitsIn))
@@ -115,6 +186,14 @@ func (v Vector) Clone() Vector {
 	w := Vector{n: v.n, words: make([]uint64, len(v.words))}
 	copy(w.words, v.words)
 	return w
+}
+
+// CopyFrom overwrites v's bits with o's. Both vectors must have the same
+// length. It is the allocation-free sibling of Clone for hot loops that
+// reuse a destination vector.
+func (v Vector) CopyFrom(o Vector) {
+	v.match(o)
+	copy(v.words, o.words)
 }
 
 // And returns v ∧ o. Both vectors must have the same length.
@@ -287,41 +366,94 @@ func (v Vector) AppendSetBits(dst []int32) []int32 {
 // dense n² product. r is the common vector width (posting lists of width-r
 // vectors; vectors of a different width cause a panic).
 func Postings(r int, vecs []Vector) [][]int32 {
-	// Two passes over the set bits: size every list first, then fill into
-	// one flat backing array, so the index costs two allocations total
-	// instead of per-list append growth.
-	sizes := make([]int32, r)
-	total := 0
+	return new(PostingIndex).Build(r, vecs)
+}
+
+// postingsTileWords bounds the bit-range one tiling pass touches: 128 words
+// = 8192 bits, so a tile's slice of the sizes array (32 KiB of int32) plus
+// its active list headers stay L1/L2-resident while every vector streams
+// through once. Wide tag spaces would otherwise scatter size increments and
+// list appends across an r-proportional working set.
+const postingsTileWords = 128
+
+// PostingIndex is the reusable form of Postings: Build produces the same
+// inverted index but recycles the size table, list headers and flat backing
+// across calls, so a pooled index makes repeat transposes allocation-free
+// once warm. The returned lists alias the index's backing array and are
+// valid only until the next Build.
+type PostingIndex struct {
+	sizes   []int32
+	lists   [][]int32
+	backing []int32
+}
+
+// Build constructs the inverted index of vecs (see Postings) into the
+// index's reused storage. The walk is tiled over the tag-bit space in
+// postingsTileWords blocks: both the sizing and the fill pass confine their
+// writes to one tile's bit range at a time, streaming the vector set once
+// per tile. Within a tile bits ascend per vector and vectors are visited in
+// ascending order, so every posting list comes out identical to the
+// untiled two-pass construction.
+func (ix *PostingIndex) Build(r int, vecs []Vector) [][]int32 {
+	words := (r + wordBits - 1) / wordBits
 	for _, v := range vecs {
 		if v.Len() != r {
 			panic(fmt.Sprintf("bitvec: postings width mismatch %d vs %d", v.Len(), r))
 		}
-		for wi, w := range v.words {
-			for w != 0 {
-				b := bits.TrailingZeros64(w)
-				sizes[wi*wordBits+b]++
-				total++
-				w &= w - 1
+	}
+	if cap(ix.sizes) < r {
+		ix.sizes = make([]int32, r)
+	} else {
+		ix.sizes = ix.sizes[:r]
+		clear(ix.sizes)
+	}
+	sizes := ix.sizes
+	total := 0
+	for wLo := 0; wLo < words; wLo += postingsTileWords {
+		wHi := min(wLo+postingsTileWords, words)
+		for _, v := range vecs {
+			for wi := wLo; wi < wHi; wi++ {
+				w := v.words[wi]
+				base := wi * wordBits
+				for w != 0 {
+					sizes[base+bits.TrailingZeros64(w)]++
+					total++
+					w &= w - 1
+				}
 			}
 		}
 	}
-	posts := make([][]int32, r)
-	backing := make([]int32, total)
+	if cap(ix.lists) < r {
+		ix.lists = make([][]int32, r)
+	} else {
+		ix.lists = ix.lists[:r]
+	}
+	posts := ix.lists
+	if cap(ix.backing) < total {
+		ix.backing = make([]int32, total)
+	}
+	backing := ix.backing[:total]
 	off := 0
 	for b, sz := range sizes {
 		if sz > 0 {
 			posts[b] = backing[off : off : off+int(sz)]
 			off += int(sz)
+		} else {
+			posts[b] = nil
 		}
 	}
-	for i, v := range vecs {
-		i32 := int32(i)
-		for wi, w := range v.words {
-			for w != 0 {
-				b := bits.TrailingZeros64(w)
-				bi := wi*wordBits + b
-				posts[bi] = append(posts[bi], i32)
-				w &= w - 1
+	for wLo := 0; wLo < words; wLo += postingsTileWords {
+		wHi := min(wLo+postingsTileWords, words)
+		for i, v := range vecs {
+			i32 := int32(i)
+			for wi := wLo; wi < wHi; wi++ {
+				w := v.words[wi]
+				base := wi * wordBits
+				for w != 0 {
+					bi := base + bits.TrailingZeros64(w)
+					posts[bi] = append(posts[bi], i32)
+					w &= w - 1
+				}
 			}
 		}
 	}
@@ -368,6 +500,17 @@ type Counted struct {
 // NewCounted returns an all-zero counted vector of width n.
 func NewCounted(n int) *Counted {
 	return &Counted{vec: New(n), counts: make([]int32, n)}
+}
+
+// InitCounted initializes c with caller-provided storage — the arena-backed
+// sibling of NewCounted for hot paths that recycle counted vectors. vec and
+// counts must both be zeroed, with len(counts) == vec.Len(); c takes
+// ownership of both.
+func InitCounted(c *Counted, vec Vector, counts []int32) {
+	if len(counts) != vec.Len() {
+		panic(fmt.Sprintf("bitvec: counted storage mismatch %d counts for %d bits", len(counts), vec.Len()))
+	}
+	c.vec, c.counts = vec, counts
 }
 
 // Vec returns the OR view of the counted vector: bit i is set iff its

@@ -502,3 +502,187 @@ func TestPropertyCountedMatchesOR(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestCopyFrom(t *testing.T) {
+	src := FromIndices(130, 0, 64, 129)
+	dst := FromIndices(130, 1, 2, 3)
+	dst.CopyFrom(src)
+	if dst.String() != src.String() {
+		t.Fatalf("dst = %s, want %s", dst, src)
+	}
+	src.Clear(64)
+	if !dst.Get(64) {
+		t.Fatal("CopyFrom aliased the source storage")
+	}
+}
+
+func TestCopyFromMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	New(8).CopyFrom(New(16))
+}
+
+func TestArenaCarveAndReset(t *testing.T) {
+	var a Arena
+	v1 := a.Vec(100)
+	v2 := a.Vec(100)
+	v1.Set(3)
+	if v2.Get(3) {
+		t.Fatal("carved vectors share storage")
+	}
+	v2.Set(99)
+	a.Reset()
+	// The next cycle re-carves the same storage, zeroed.
+	w1, w2 := a.Vec(100), a.Vec(100)
+	if w1.PopCount() != 0 || w2.PopCount() != 0 {
+		t.Fatalf("re-carved vectors not zeroed: %d, %d set bits", w1.PopCount(), w2.PopCount())
+	}
+	if got := len(a.blocks); got != 1 {
+		t.Fatalf("reset cycle grew the arena to %d blocks", got)
+	}
+}
+
+func TestArenaGrowthKeepsCarvedVectors(t *testing.T) {
+	var a Arena
+	first := a.Vec(64)
+	first.Set(7)
+	// Force several new blocks behind first's back.
+	for i := 0; i < 3*arenaBlockWords; i++ {
+		a.Vec(64)
+	}
+	if !first.Get(7) || first.PopCount() != 1 {
+		t.Fatal("arena growth disturbed an already-carved vector")
+	}
+}
+
+func TestArenaOversizedVector(t *testing.T) {
+	var a Arena
+	n := (arenaBlockWords + 1) * 64
+	v := a.Vec(n)
+	v.Set(n - 1)
+	if v.PopCount() != 1 {
+		t.Fatal("oversized carve corrupt")
+	}
+	// Clone carves an independent copy.
+	c := a.Clone(v)
+	v.Clear(n - 1)
+	if !c.Get(n - 1) {
+		t.Fatal("Clone aliased the source")
+	}
+	if a.Vec(0).Len() != 0 {
+		t.Fatal("zero-width carve")
+	}
+}
+
+// TestPropertyPostingIndexMatchesReference checks the tiled, recycled
+// PostingIndex build against the one-shot Postings reference, reusing one
+// index across trials (so stale recycled state would surface) and mixing
+// widths on both sides of the postingsTileWords boundary.
+func TestPropertyPostingIndexMatchesReference(t *testing.T) {
+	var ix PostingIndex
+	rr := rand.New(rand.NewSource(11))
+	widths := []int{1, 63, 64, 150, 8192, 8192 + 257, 3 * 8192}
+	for trial := 0; trial < 40; trial++ {
+		r := widths[rr.Intn(len(widths))]
+		vecs := make([]Vector, rr.Intn(40))
+		for i := range vecs {
+			v := New(r)
+			for k := 0; k < 1+rr.Intn(16); k++ {
+				v.Set(rr.Intn(r))
+			}
+			vecs[i] = v
+		}
+		want := Postings(r, vecs)
+		got := ix.Build(r, vecs)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: r=%d len %d != %d", trial, r, len(got), len(want))
+		}
+		for b := range want {
+			if !slicesEqual32(got[b], want[b]) {
+				t.Fatalf("trial %d: r=%d bit %d: %v != %v", trial, r, b, got[b], want[b])
+			}
+		}
+	}
+}
+
+func slicesEqual32(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestAllocPostingIndexWarmBuild gates the zero-alloc steady state of the
+// pooled inverted-index transpose (the ci.sh alloc-gate job runs every
+// TestAlloc* with GOGC=off).
+func TestAllocPostingIndexWarmBuild(t *testing.T) {
+	const r = 300
+	vecs := make([]Vector, 200)
+	rr := rand.New(rand.NewSource(5))
+	for i := range vecs {
+		vecs[i] = randomVector(rr, r)
+	}
+	var ix PostingIndex
+	ix.Build(r, vecs)
+	allocs := testing.AllocsPerRun(100, func() {
+		ix.Build(r, vecs)
+	})
+	if allocs != 0 {
+		t.Fatalf("warm PostingIndex.Build allocates %v objects/op, want 0", allocs)
+	}
+}
+
+// TestAllocArenaWarmCarve: after one carve/Reset cycle sized the arena, the
+// steady state carves without allocating.
+func TestAllocArenaWarmCarve(t *testing.T) {
+	var a Arena
+	carve := func() {
+		for i := 0; i < 64; i++ {
+			v := a.Vec(300)
+			v.Set(i)
+		}
+		a.Reset()
+	}
+	carve()
+	if allocs := testing.AllocsPerRun(100, carve); allocs != 0 {
+		t.Fatalf("warm arena cycle allocates %v objects/op, want 0", allocs)
+	}
+}
+
+func TestInitCounted(t *testing.T) {
+	ref := NewCounted(70)
+	var c Counted
+	InitCounted(&c, New(70), make([]int32, 70))
+	a := FromIndices(70, 1, 64)
+	b := FromIndices(70, 1, 3)
+	for _, add := range []Vector{a, b} {
+		ref.AddVec(add)
+		c.AddVec(add)
+	}
+	ref.SubVec(a)
+	c.SubVec(a)
+	if c.Vec().String() != ref.Vec().String() {
+		t.Fatalf("init-counted view %s != reference %s", c.Vec(), ref.Vec())
+	}
+	if c.Len() != 70 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+}
+
+func TestInitCountedMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on storage mismatch")
+		}
+	}()
+	var c Counted
+	InitCounted(&c, New(70), make([]int32, 60))
+}

@@ -1,0 +1,77 @@
+package core
+
+// Zero-alloc steady-state gates (the ci.sh alloc-gate job runs every
+// TestAlloc* with GOGC=off). Each test disables GC for its measurement so
+// sync.Pool eviction cannot fake a regression under a default GOGC run.
+
+import (
+	"context"
+	"math/rand"
+	"runtime/debug"
+	"testing"
+
+	"repro/internal/bitvec"
+)
+
+// allocTags builds a contour-shaped tag set: n sparse vectors of width r.
+func allocTags(rr *rand.Rand, r, n int) []bitvec.Vector {
+	tagOf := make([]bitvec.Vector, n)
+	for i := range tagOf {
+		v := bitvec.New(r)
+		for k := 0; k < 6; k++ {
+			v.Set(rr.Intn(r))
+		}
+		tagOf[i] = v
+	}
+	return tagOf
+}
+
+// TestAllocSparsePairsWarm: with a warm distScratch and warm per-worker
+// scratch pool, single-worker pair generation plus adjacency construction
+// allocates nothing — pairs land in the recycled heap backing, adjacency in
+// the recycled degree/header/backing tables.
+func TestAllocSparsePairsWarm(t *testing.T) {
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	tagOf := allocTags(rand.New(rand.NewSource(7)), 294, 253)
+	scr := distScratchPool.Get().(*distScratch)
+	defer distScratchPool.Put(scr)
+	warm := func() {
+		if _, _, err := sparsePairs(context.Background(), tagOf, 294, 1, scr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	warm()
+	if allocs := testing.AllocsPerRun(50, warm); allocs != 0 {
+		t.Fatalf("warm sparsePairs allocates %v objects/op, want 0", allocs)
+	}
+}
+
+// TestAllocDistributeWarmBound gates the whole distribution run's
+// steady-state allocation count on a fixed workload. The survivors are the
+// escaping results — the per-client member lists, their size tables, split
+// chunk storage and the returned assignment — so the count is a workload
+// constant, not zero; the bound holds headroom over the measured value and
+// exists to catch a pooled path regressing to per-call allocation (which
+// shows up as hundreds of extra objects, not tens).
+func TestAllocDistributeWarmBound(t *testing.T) {
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	rr := rand.New(rand.NewSource(3))
+	chunks, tree := randomWorkload(rr, 294, 253, 0.02)
+	opts := DefaultOptions()
+	opts.Workers = 1
+	run := func() {
+		if _, err := Distribute(cloneChunks(chunks), tree, opts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run() // warm the pools
+	allocs := testing.AllocsPerRun(20, run)
+	// cloneChunks contributes ~2 allocs per chunk on top of the run itself;
+	// the distribution run proper measures ~700 on the contour benchmark
+	// shape (see BENCH_9.json). Anything past the bound means a recycled
+	// path started allocating per call.
+	const bound = 2500
+	if allocs > bound {
+		t.Fatalf("warm Distribute allocates %v objects/op, want <= %d", allocs, bound)
+	}
+}

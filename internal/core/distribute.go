@@ -26,8 +26,8 @@ import (
 	"context"
 	"fmt"
 	"slices"
-	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/bitvec"
 	"repro/internal/hierarchy"
@@ -70,6 +70,15 @@ type PhaseClock interface {
 	StartPhase(name string) (stop func())
 }
 
+// PhaseRecorder is optionally implemented by Options.Clock: when it is,
+// the distributor reports each phase as one (name, start, duration) call
+// after the fact instead of requesting a stop closure up front — the
+// closure allocation per phase per hierarchy node is measurable on the
+// steady-state path. Semantics are identical to StartPhase.
+type PhaseRecorder interface {
+	RecordPhase(name string, start time.Time, d time.Duration)
+}
+
 // DefaultOptions returns the paper's experimental settings.
 func DefaultOptions() Options { return Options{BalanceThreshold: 0.10} }
 
@@ -93,6 +102,157 @@ type Cluster struct {
 
 func newCluster(r int) *Cluster { return &Cluster{Tag: bitvec.New(r)} }
 
+// chainFrame is one step of the pre-order walk that materializes deferred
+// member lists after the merge loop (see mergeClusters).
+type chainFrame struct{ node, child int32 }
+
+// ranked pairs a child index with its leaf weight for split's rank-wise
+// cluster-to-child assignment.
+type ranked struct {
+	idx int
+	w   int64
+}
+
+// bump is a run-scoped generic bump allocator: take carves a zeroed
+// self-capped window, reset rewinds (and re-zeroes the used region, so
+// pointer-typed blocks never pin a dead request's objects while parked in
+// the pool). Unlike the split-scoped tag arena, bumps rewind only when the
+// run releases its scratch — carved windows stay valid for the whole run.
+type bump[T any] struct {
+	blocks [][]T
+	cur    int
+	off    int
+}
+
+// bumpBlock is the default elements-per-block; takes larger than a block
+// get a block of their own.
+const bumpBlock = 1024
+
+// take carves a zeroed n-element window. The zeroing invariant is
+// maintained by reset, so take itself never clears.
+func (a *bump[T]) take(n int) []T {
+	for {
+		if a.cur < len(a.blocks) {
+			blk := a.blocks[a.cur]
+			if a.off+n <= len(blk) {
+				w := blk[a.off : a.off+n : a.off+n]
+				a.off += n
+				return w
+			}
+			a.cur++
+			a.off = 0
+			continue
+		}
+		sz := bumpBlock
+		if n > sz {
+			sz = n
+		}
+		a.blocks = append(a.blocks, make([]T, sz))
+	}
+}
+
+// reset rewinds the allocator and re-zeroes everything handed out since
+// the last reset. Every previously taken window becomes invalid.
+func (a *bump[T]) reset() {
+	for i := 0; i < a.cur && i < len(a.blocks); i++ {
+		clear(a.blocks[i])
+	}
+	if a.cur < len(a.blocks) {
+		clear(a.blocks[a.cur][:a.off])
+	}
+	a.cur, a.off = 0, 0
+}
+
+// distScratch is the recycled working state of one distribution run: the
+// cluster-tag arena plus every per-node slice of the merge loop and the
+// run-scoped bump allocators for cluster structs, pointer tables and
+// balance bookkeeping. A run acquires it lazily from distScratchPool and
+// releases it when the run ends, so repeat requests of the same shape stop
+// allocating once the pool is warm. The tag arena is reset at the start of
+// every split call — by then the parent level's cluster tags are dead
+// (only member lists survive a split; see the escape notes in split) —
+// while the bumps rewind only on release, because cluster structs and
+// pointer tables of one level are still read while the children recurse.
+type distScratch struct {
+	tags      bitvec.Arena    // cluster tags, merge newbits, counted OR views
+	tagOf     []bitvec.Vector // tag view handed to sparsePairs
+	active    []bool          // per-node liveness in the merge loop
+	parent    []int32         // owner union-find
+	mark      []int32         // generation stamps for neighbor dedup
+	neighbors []int32         // merged-cluster neighbor accumulator
+	chainHead []int32         // first-child links of the merge tree
+	chainNext []int32         // next-sibling links
+	chainTail []int32         // last child, for O(1) appends
+	frames    []chainFrame    // pre-order walk stack
+	byWeight  []ranked        // split's child-rank table
+
+	clusters bump[Cluster]        // cluster structs (Stage 0 slabs + splits)
+	ptrs     bump[*Cluster]       // cluster pointer tables
+	ints     bump[int64]          // size slabs + balance limit tables
+	counts32 bump[int32]          // counted-tag reference counts
+	counted  bump[bitvec.Counted] // counted-tag structs
+	order    []int                // balance rank order
+	heap     []mergePair          // merge-heap backing (also sparsePairs output)
+	adjDeg   []int32              // similarity adjacency degrees
+	adjLists [][]int32            // similarity adjacency headers
+	adjBack  []int32              // similarity adjacency flat backing
+}
+
+var distScratchPool = sync.Pool{New: func() any { return new(distScratch) }}
+
+// scratch lazily acquires the run's recycled scratch.
+func (d *distributor) scratch() *distScratch {
+	if d.scr == nil {
+		d.scr = distScratchPool.Get().(*distScratch)
+	}
+	return d.scr
+}
+
+// release returns the scratch to the pool. The arena and bump resets
+// invalidate everything carved from them, so release must come after the
+// last use of any cluster of the run (the returned assignment only carries
+// member chunk lists, never clusters or their tags, so running it on exit
+// is safe).
+func (d *distributor) release() {
+	if d.scr != nil {
+		d.scr.tags.Reset()
+		d.scr.clusters.reset()
+		d.scr.ptrs.reset()
+		d.scr.ints.reset()
+		d.scr.counts32.reset()
+		d.scr.counted.reset()
+		distScratchPool.Put(d.scr)
+		d.scr = nil
+	}
+}
+
+// newArenaCluster carves an empty cluster — struct and tag both — from the
+// run's recycled storage. The struct comes from the run-scoped bump (it can
+// outlive the call that made it, but never the run); the tag from the
+// split-scoped arena.
+func (d *distributor) newArenaCluster() *Cluster {
+	scr := d.scratch()
+	c := &scr.clusters.take(1)[0]
+	c.Tag = scr.tags.Vec(d.r)
+	return c
+}
+
+// grow32 resizes s to n without zeroing retained storage; callers overwrite
+// every entry before reading.
+func grow32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+func growBool(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	return s[:n]
+}
+
 func (c *Cluster) add(ic *tags.IterationChunk) {
 	c.Members = append(c.Members, ic)
 	if c.counts != nil {
@@ -105,12 +265,23 @@ func (c *Cluster) add(ic *tags.IterationChunk) {
 	c.Size += cnt
 }
 
-// ensureCounts materializes the counted tag from the current members.
-func (c *Cluster) ensureCounts() {
+// ensureCounts materializes the counted tag from the current members. With a
+// non-nil scr the struct, count table and OR view come from the run's
+// recycled storage (the view from the split-scoped tag arena is safe: counts
+// are only used by balance, which finishes before the next split resets it);
+// nil falls back to plain allocation for callers outside a run.
+func (c *Cluster) ensureCounts(scr *distScratch) {
 	if c.counts != nil {
 		return
 	}
-	c.counts = bitvec.NewCounted(c.Tag.Len())
+	n := c.Tag.Len()
+	if scr != nil {
+		ct := &scr.counted.take(1)[0]
+		bitvec.InitCounted(ct, scr.tags.Vec(n), scr.counts32.take(n))
+		c.counts = ct
+	} else {
+		c.counts = bitvec.NewCounted(n)
+	}
 	for _, m := range c.Members {
 		c.counts.AddVec(m.Tag)
 	}
@@ -118,8 +289,8 @@ func (c *Cluster) ensureCounts() {
 }
 
 // removeAt detaches member i, decrementing the counted aggregate tag.
-func (c *Cluster) removeAt(i int) *tags.IterationChunk {
-	c.ensureCounts()
+func (c *Cluster) removeAt(i int, scr *distScratch) *tags.IterationChunk {
+	c.ensureCounts(scr)
 	ic := c.Members[i]
 	c.Members = append(c.Members[:i], c.Members[i+1:]...)
 	c.Size -= c.sizes[i]
@@ -198,6 +369,7 @@ func DistributeCtx(ctx context.Context, chunks []*tags.IterationChunk, tree *hie
 		}
 	}
 	d := &distributor{ctx: ctx, opts: opts, tree: tree, r: r}
+	defer d.release()
 	out := make([][]*tags.IterationChunk, tree.NumClients())
 	clientIdx := make(map[*hierarchy.Node]int, tree.NumClients())
 	for i, leaf := range tree.Clients() {
@@ -214,6 +386,7 @@ type distributor struct {
 	opts Options
 	tree *hierarchy.Tree
 	r    int
+	scr  *distScratch // lazily acquired recycled scratch; see scratch()
 }
 
 // startPhase notifies the configured PhaseClock, if any.
@@ -222,6 +395,34 @@ func (d *distributor) startPhase(name string) func() {
 		return func() {}
 	}
 	return d.opts.Clock.StartPhase(name)
+}
+
+// phase is a value-typed in-flight phase measurement: beginPhase/end avoid
+// the per-phase closure allocation when the clock implements PhaseRecorder,
+// and fall back to StartPhase otherwise.
+type phase struct {
+	name  string
+	start time.Time
+	stop  func()
+}
+
+func (d *distributor) beginPhase(name string) phase {
+	if d.opts.Clock == nil {
+		return phase{}
+	}
+	if _, ok := d.opts.Clock.(PhaseRecorder); ok {
+		return phase{name: name, start: time.Now()}
+	}
+	return phase{stop: d.opts.Clock.StartPhase(name)}
+}
+
+func (p phase) end(d *distributor) {
+	switch {
+	case p.stop != nil:
+		p.stop()
+	case p.name != "":
+		d.opts.Clock.(PhaseRecorder).RecordPhase(p.name, p.start, time.Since(p.start))
+	}
 }
 
 // assign recursively splits the chunk list of a tree node among its
@@ -235,7 +436,7 @@ func (d *distributor) assign(node *hierarchy.Node, members []*tags.IterationChun
 	if len(node.Children) == 1 {
 		return d.assign(node.Children[0], members, clientIdx, out)
 	}
-	weights := make([]int64, len(node.Children))
+	weights := d.scratch().ints.take(len(node.Children))
 	for i, ch := range node.Children {
 		weights[i] = int64(d.tree.NumLeavesUnder(ch))
 	}
@@ -260,15 +461,24 @@ func (d *distributor) split(members []*tags.IterationChunk, weights []int64) ([]
 	// member lists and size caches are carved from four slab allocations
 	// instead of 4·n; the self-capped windows force copy-on-grow, so later
 	// appends never step on a neighbor.
+	//
+	// Escape notes: memSlab windows CAN escape the run — a leaf assignment
+	// hands out c.Members, which aliases memSlab for clusters that never
+	// merged or grew — so the member and size slabs stay real allocations.
+	// Cluster tags never escape (the output carries iteration-chunk member
+	// lists only), and by the time this level's children recurse the parent
+	// tags are no longer read, so the tag storage comes from the recycled
+	// arena, reset here at the start of every split.
 	n := len(members)
-	slab := make([]Cluster, n)
-	tagArena := bitvec.NewArena(n, d.r)
+	scr := d.scratch()
+	scr.tags.Reset()
+	slab := scr.clusters.take(n)
 	memSlab := make([]*tags.IterationChunk, n)
-	sizeSlab := make([]int64, n)
-	clusters := make([]*Cluster, n)
+	sizeSlab := scr.ints.take(n)
+	clusters := scr.ptrs.take(n)
 	for i, m := range members {
 		c := &slab[i]
-		c.Tag = tagArena[i]
+		c.Tag = scr.tags.Vec(d.r)
 		c.Members = memSlab[i : i : i+1]
 		c.sizes = sizeSlab[i : i : i+1]
 		c.add(m)
@@ -287,17 +497,19 @@ func (d *distributor) split(members []*tags.IterationChunk, weights []int64) ([]
 	}
 	// Pair clusters to children rank-wise: largest cluster to the child
 	// with the most leaves, deterministically.
-	type ranked struct {
-		idx int
-		w   int64
+	if cap(scr.byWeight) < k {
+		scr.byWeight = make([]ranked, k)
 	}
-	byWeight := make([]ranked, k)
+	byWeight := scr.byWeight[:k]
 	for i, w := range weights {
 		byWeight[i] = ranked{i, w}
 	}
 	slices.SortStableFunc(byWeight, func(a, b ranked) int { return cmp.Compare(b.w, a.w) })
-	order := make([]int, len(clusters))
-	firsts := make([]int64, len(clusters))
+	if cap(scr.order) < len(clusters) {
+		scr.order = make([]int, len(clusters))
+	}
+	order := scr.order[:len(clusters)]
+	firsts := scr.ints.take(len(clusters))
 	for i := range order {
 		order[i] = i
 		firsts[i] = clusters[i].firstIter()
@@ -309,7 +521,7 @@ func (d *distributor) split(members []*tags.IterationChunk, weights []int64) ([]
 		}
 		return cmp.Compare(firsts[a], firsts[b])
 	})
-	result := make([]*Cluster, k)
+	result := scr.ptrs.take(k)
 	for rank, rw := range byWeight {
 		result[rw.idx] = clusters[order[rank]]
 	}
@@ -351,18 +563,22 @@ func (d *distributor) mergeClusters(clusters []*Cluster, k int) ([]*Cluster, err
 	if n <= k {
 		return clusters, nil
 	}
-	active := make([]bool, n)
+	scr := d.scratch()
+	active := growBool(scr.active, n)
 	for i := range active {
 		active[i] = true
 	}
-	stopSim := d.startPhase("similarity")
-	tagOf := make([]bitvec.Vector, n)
+	simPhase := d.beginPhase("similarity")
+	if cap(scr.tagOf) < n {
+		scr.tagOf = make([]bitvec.Vector, n)
+	}
+	tagOf := scr.tagOf[:n]
 	for i, c := range clusters {
 		tagOf[i] = c.Tag
 	}
-	pairs, adj, err := sparsePairs(d.ctx, tagOf, d.r, d.opts.Workers)
+	pairs, adj, err := sparsePairs(d.ctx, tagOf, d.r, d.opts.Workers, scr)
 	if err != nil {
-		stopSim()
+		simPhase.end(d)
 		return nil, err
 	}
 	if rec, ok := d.opts.Clock.(PairStatsRecorder); ok {
@@ -370,17 +586,18 @@ func (d *distributor) mergeClusters(clusters []*Cluster, k int) ([]*Cluster, err
 	}
 	// Bulk heapify: O(p) instead of p individual sift-up pushes. Reserve
 	// headroom for the push-on-increase entries so the merge loop's pushes
-	// don't regrow the backing array repeatedly.
-	h := &pairHeap{items: slices.Grow(pairs, len(pairs)/2+64)[:len(pairs)]}
+	// don't regrow the backing array repeatedly (pairs arrives in scr.heap
+	// with that headroom already reserved, so Grow is a no-op once warm).
+	h := pairHeap{items: slices.Grow(pairs, len(pairs)/2+64)[:len(pairs)]}
 	h.init()
-	stopSim()
+	simPhase.end(d)
 
-	stopCluster := d.startPhase("cluster")
-	defer stopCluster()
+	clusterPhase := d.beginPhase("cluster")
+	defer func() { clusterPhase.end(d) }()
 
 	// owner union-find: adjacency lists hold original cluster indices;
 	// find resolves them to the absorbing cluster they now belong to.
-	parent := make([]int32, n)
+	parent := grow32(scr.parent, n)
 	for i := range parent {
 		parent[i] = int32(i)
 	}
@@ -391,10 +608,11 @@ func (d *distributor) mergeClusters(clusters []*Cluster, k int) ([]*Cluster, err
 		}
 		return x
 	}
-	mark := make([]int32, n) // generation stamps for neighbor dedup
+	mark := grow32(scr.mark, n) // generation stamps for neighbor dedup
+	clear(mark)                 // stale stamps from a previous run could collide
 	var gen int32
-	var neighbors []int32
-	newbits := bitvec.New(d.r) // bits the absorbed half newly contributes
+	neighbors := scr.neighbors[:0]
+	newbits := scr.tags.Vec(d.r) // bits the absorbed half newly contributes
 
 	// Member lists are NOT concatenated during the merge loop: an eager
 	// absorb re-copies the growing list on every merge (two small
@@ -403,12 +621,15 @@ func (d *distributor) mergeClusters(clusters []*Cluster, k int) ([]*Cluster, err
 	// member/size lists are materialized afterwards in one exact-size
 	// allocation per cluster, walking the merge tree in pre-order — the
 	// identical order eager concatenation would have produced.
-	chainHead := make([]int32, n)
-	chainNext := make([]int32, n)
-	chainTail := make([]int32, n)
+	chainHead := grow32(scr.chainHead, n)
+	chainNext := grow32(scr.chainNext, n)
+	chainTail := grow32(scr.chainTail, n)
 	for i := range chainHead {
 		chainHead[i], chainNext[i], chainTail[i] = -1, -1, -1
 	}
+	// Store the possibly regrown slices back so the capacity is kept.
+	scr.active, scr.parent, scr.mark = active, parent, mark
+	scr.chainHead, scr.chainNext, scr.chainTail = chainHead, chainNext, chainTail
 	link := func(a, b int32) {
 		if chainHead[a] < 0 {
 			chainHead[a] = b
@@ -505,11 +726,13 @@ func (d *distributor) mergeClusters(clusters []*Cluster, k int) ([]*Cluster, err
 			remaining--
 		}
 	}
+	scr.neighbors = neighbors
+	scr.heap = h.items[:0] // keep any growth from push-on-increase entries
 	// Materialize the deferred member lists: pre-order over each surviving
 	// cluster's merge tree, children in absorb order.
-	type chainFrame struct{ node, child int32 }
-	var frames []chainFrame
-	out := make([]*Cluster, 0, remaining)
+	frames := scr.frames[:0]
+	defer func() { scr.frames = frames }()
+	out := scr.ptrs.take(remaining)[:0]
 	for i, c := range clusters {
 		if !active[i] {
 			continue
@@ -528,8 +751,12 @@ func (d *distributor) mergeClusters(clusters []*Cluster, k int) ([]*Cluster, err
 				total += len(clusters[ch].Members)
 				frames = append(frames, chainFrame{ch, chainHead[ch]})
 			}
-			members := make([]*tags.IterationChunk, 0, total)
-			sizes := make([]int64, 0, total)
+			// memberPad slots of headroom absorb the typical few chunks the
+			// balance stage evicts into this cluster, so a recipient's first
+			// adds don't immediately regrow an exact-capacity list.
+			const memberPad = 4
+			members := make([]*tags.IterationChunk, 0, total+memberPad)
+			sizes := make([]int64, 0, total+memberPad)
 			members = append(members, c.Members...)
 			sizes = append(sizes, c.sizes...)
 			frames = append(frames[:0], chainFrame{int32(i), chainHead[i]})
@@ -734,7 +961,7 @@ func (d *distributor) splitUpTo(clusters []*Cluster, k int) []*Cluster {
 	}
 	if len(clusters) == 0 {
 		for len(clusters) < k {
-			clusters = append(clusters, newCluster(d.r))
+			clusters = append(clusters, d.newArenaCluster())
 		}
 		return clusters
 	}
@@ -759,7 +986,7 @@ func (d *distributor) splitUpTo(clusters []*Cluster, k int) []*Cluster {
 // count. Multi-member clusters are partitioned greedily by member size;
 // single-member clusters split the iteration chunk itself.
 func (d *distributor) breakCluster(c *Cluster) (*Cluster, *Cluster) {
-	a, b := newCluster(d.r), newCluster(d.r)
+	a, b := d.newArenaCluster(), d.newArenaCluster()
 	switch len(c.Members) {
 	case 0:
 		return a, b
@@ -796,8 +1023,8 @@ func (d *distributor) breakCluster(c *Cluster) (*Cluster, *Cluster) {
 // tag with the recipient cluster's tag; chunks are split when no whole
 // chunk satisfies the limits.
 func (d *distributor) balance(clusters []*Cluster, weights []int64) error {
-	stop := d.startPhase("balance")
-	defer stop()
+	ph := d.beginPhase("balance")
+	defer func() { ph.end(d) }()
 	var total, wsum int64
 	for _, c := range clusters {
 		total += c.Size
@@ -809,13 +1036,16 @@ func (d *distributor) balance(clusters []*Cluster, weights []int64) error {
 		return nil
 	}
 	k := len(clusters)
-	target := make([]int64, k)
-	uLim := make([]int64, k)
-	lLim := make([]int64, k)
+	scr := d.scratch()
+	target := scr.ints.take(k)
+	uLim := scr.ints.take(k)
+	lLim := scr.ints.take(k)
 	// Limits are per size-rank slot: the weights sorted descending, so the
-	// largest cluster is held to the largest child's share.
-	ws := append([]int64(nil), weights...)
-	sort.Slice(ws, func(a, b int) bool { return ws[a] > ws[b] })
+	// largest cluster is held to the largest child's share. SortFunc avoids
+	// sort.Slice's reflection-built swapper allocation.
+	ws := scr.ints.take(len(weights))
+	copy(ws, weights)
+	slices.SortFunc(ws, func(a, b int64) int { return cmp.Compare(b, a) })
 	for i := 0; i < k; i++ {
 		w := int64(1)
 		if i < len(ws) {
@@ -840,9 +1070,13 @@ func (d *distributor) balance(clusters []*Cluster, weights []int64) error {
 	// The rank order is re-sorted every round, but only the donor and
 	// recipient change between rounds; the order slice and the firstIter
 	// cache (an O(|members|) scan otherwise repeated per comparison) are
-	// hoisted and maintained incrementally.
-	order := make([]int, k)
-	firsts := make([]int64, k)
+	// hoisted and maintained incrementally. scr.order is shared with split's
+	// final ranking, which runs only after balance returns.
+	if cap(scr.order) < k {
+		scr.order = make([]int, k)
+	}
+	order := scr.order[:k]
+	firsts := scr.ints.take(k)
 	for i := range order {
 		order[i] = i
 		firsts[i] = clusters[i].firstIter()
@@ -933,7 +1167,7 @@ func (d *distributor) evict(donor, recip *Cluster, donorLLim, recipULim, donorTa
 		}
 	}
 	if bestIdx >= 0 {
-		m := donor.removeAt(bestIdx)
+		m := donor.removeAt(bestIdx, d.scratch())
 		recip.add(m)
 		return m, true, true
 	}
@@ -962,7 +1196,7 @@ func (d *distributor) evict(donor, recip *Cluster, donorLLim, recipULim, donorTa
 	if bestIdx < 0 {
 		return nil, false, false
 	}
-	m := donor.removeAt(bestIdx)
+	m := donor.removeAt(bestIdx, d.scratch())
 	keep, give := m.Split(m.Count() - move)
 	donor.add(keep)
 	recip.add(give)

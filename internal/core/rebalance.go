@@ -63,10 +63,17 @@ func RebalanceClusters(ctx context.Context, assign [][]*tags.IterationChunk, tre
 	opts.BalanceThreshold = eff
 	opts.slackExtra = int64(2*h + 2)
 	d := &distributor{ctx: ctx, opts: opts, tree: tree, r: r}
+	defer d.release()
 
+	// Cluster tags come from the run's recycled arena: the returned
+	// assignment carries only the member chunk lists, so no tag outlives
+	// the release. Member lists start as exact-capacity copies — the input
+	// lists are contractually never modified, and balance may append.
 	clusters := make([]*Cluster, len(assign))
 	for i, cl := range assign {
-		c := newCluster(r)
+		c := d.newArenaCluster()
+		c.Members = make([]*tags.IterationChunk, 0, len(cl))
+		c.sizes = make([]int64, 0, len(cl))
 		for _, m := range cl {
 			c.add(m)
 		}

@@ -35,12 +35,23 @@ type PairStatsRecorder interface {
 	RecordSimilarityPairs(generated, dense int64)
 }
 
-// simScratch is the reusable per-worker state of the counting pass.
+// simCountTile bounds the cluster-index range one counting block touches:
+// 4096 entries of counts (16 KiB of int32) plus the touched list stay
+// L1-resident while the row's posting tails stream through. Rows over small
+// n use a single block, which reduces to the untiled pass.
+const simCountTile = 4096
+
+// simScratch is the reusable per-worker state of the counting pass. counts
+// is all-zero between rows (the emit loop resets every touched entry), and
+// that invariant is preserved across pool cycles, so getSimScratch never
+// re-zeroes it; a scratch abandoned mid-row (cancellation) must not be
+// returned to the pool.
 type simScratch struct {
 	counts  []int32     // per-cluster weight accumulator, all-zero between rows
-	touched []int32     // clusters with counts > 0 in the current row
+	touched []int32     // clusters with counts > 0 in the current block
 	bits    []int32     // set-bit scratch for the current row's tag
 	cur     []int32     // per-posting-list cursor past the current row index
+	pos     []int32     // per-row-bit cursor of the tiled block walk
 	pairs   []mergePair // per-shard output buffer
 }
 
@@ -52,9 +63,6 @@ func getSimScratch(n, r int) *simScratch {
 		s.counts = make([]int32, n)
 	} else {
 		s.counts = s.counts[:n]
-		for i := range s.counts {
-			s.counts[i] = 0
-		}
 	}
 	if cap(s.cur) < r {
 		s.cur = make([]int32, r)
@@ -72,6 +80,11 @@ func getSimScratch(n, r int) *simScratch {
 
 func putSimScratch(s *simScratch) { simScratchPool.Put(s) }
 
+// simPostingsPool recycles the inverted-index storage across sparsePairs
+// calls; the lists alias the index's backing, so the index is returned only
+// after the last shard finishes reading posts.
+var simPostingsPool = sync.Pool{New: func() any { return new(bitvec.PostingIndex) }}
+
 // sparsePairs generates every pair (i, j), i < j, whose tags share at least
 // one "1" bit, with its similarity weight, in row-major order. It also
 // returns the adjacency lists of the sparse graph (adj[i] = the js of i's
@@ -79,7 +92,13 @@ func putSimScratch(s *simScratch) { simScratchPool.Put(s) }
 // only reachable pairs after an absorb. Rows are sharded across workers;
 // the shard outputs concatenate in row order, so the result is
 // byte-identical at any worker count.
-func sparsePairs(ctx context.Context, tagOf []bitvec.Vector, r, workers int) ([]mergePair, [][]int32, error) {
+//
+// With a non-nil scr, the pair list and adjacency storage come from the
+// run's recycled scratch: pairs land in scr.heap with the merge heap's
+// push headroom already reserved (so mergeClusters' slices.Grow no-ops),
+// and the adjacency tables reuse scr.adjDeg/adjLists/adjBack. Both outputs
+// are consumed before the run releases its scratch.
+func sparsePairs(ctx context.Context, tagOf []bitvec.Vector, r, workers int, scr *distScratch) ([]mergePair, [][]int32, error) {
 	n := len(tagOf)
 	if workers < 1 {
 		workers = 1
@@ -99,7 +118,9 @@ func sparsePairs(ctx context.Context, tagOf []bitvec.Vector, r, workers int) ([]
 	var posts [][]int32
 	useCounting := false
 	if n > 32 {
-		posts = bitvec.Postings(r, tagOf)
+		ix := simPostingsPool.Get().(*bitvec.PostingIndex)
+		defer simPostingsPool.Put(ix)
+		posts = ix.Build(r, tagOf)
 		var postWork int64
 		for _, p := range posts {
 			l := int64(len(p))
@@ -113,115 +134,79 @@ func sparsePairs(ctx context.Context, tagOf []bitvec.Vector, r, workers int) ([]
 	if useCounting {
 		curLen = r
 	}
-	fill := func(lo, hi int) ([]mergePair, error) {
-		s := getSimScratch(n, curLen)
-		for i := lo; i < hi; i++ {
-			if ctx.Err() != nil {
-				putSimScratch(s)
-				return nil, ctx.Err()
-			}
-			ti := tagOf[i]
-			s.touched = s.touched[:0]
-			if useCounting {
-				s.bits = ti.AppendSetBits(s.bits[:0])
-				for _, b := range s.bits {
-					p := posts[b]
-					// Skip to the entries after i (lists are ascending and
-					// contain i itself). Rows ascend within a shard, so each
-					// list's skip point only moves forward: a monotone cursor
-					// replaces a per-(row, bit) binary search, costing O(|p|)
-					// total advance per shard.
-					c := s.cur[b]
-					for int(c) < len(p) && p[c] <= int32(i) {
-						c++
-					}
-					s.cur[b] = c
-					for _, j := range p[c:] {
-						if s.counts[j] == 0 {
-							s.touched = append(s.touched, j)
-						}
-						s.counts[j]++
-					}
-				}
-				slices.Sort(s.touched)
-				for _, j := range s.touched {
-					s.pairs = append(s.pairs, mergePair{dot: int64(s.counts[j]), a: int32(i), b: j})
-					s.counts[j] = 0
-				}
-			} else {
-				for j := i + 1; j < n; j++ {
-					if w := int64(ti.AndPopCount(tagOf[j])); w > 0 {
-						s.pairs = append(s.pairs, mergePair{dot: w, a: int32(i), b: int32(j)})
-					}
-				}
-			}
-		}
-		out := append([]mergePair(nil), s.pairs...)
-		putSimScratch(s)
-		return out, nil
-	}
 
-	var shards [][]mergePair
+	// The fan-out lives in its own function so this one shares no variables
+	// with a goroutine closure: captured locals are forced to the heap on
+	// every path, which would cost the single-worker steady state five
+	// allocations per call (see TestAllocSparsePairsWarm).
+	var one [1]*simScratch
+	var shards []*simScratch
 	if workers <= 1 {
-		p, err := fill(0, n)
+		s, err := simFill(ctx, tagOf, posts, useCounting, curLen, 0, n)
 		if err != nil {
 			return nil, nil, err
 		}
-		shards = [][]mergePair{p}
+		one[0] = s
+		shards = one[:]
 	} else {
-		shards = make([][]mergePair, workers)
-		errs := make([]error, workers)
-		step := (n + workers - 1) / workers
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			lo, hi := w*step, (w+1)*step
-			if hi > n {
-				hi = n
-			}
-			if lo >= hi {
-				break
-			}
-			wg.Add(1)
-			go func(w, lo, hi int) {
-				defer wg.Done()
-				shards[w], errs[w] = fill(lo, hi)
-			}(w, lo, hi)
-		}
-		wg.Wait()
-		for _, err := range errs {
-			if err != nil {
-				return nil, nil, err
-			}
+		var err error
+		shards, err = simFillParallel(ctx, tagOf, posts, useCounting, curLen, n, workers)
+		if err != nil {
+			return nil, nil, err
 		}
 	}
 
 	total := 0
 	for _, s := range shards {
-		total += len(s)
+		total += len(s.pairs)
 	}
 	var pairs []mergePair
-	if len(shards) == 1 {
-		pairs = shards[0] // already exact; skip the concat copy
+	if scr != nil {
+		// Land the concatenation in scr.heap with the merge heap's push
+		// headroom pre-reserved, so the caller's slices.Grow is a no-op.
+		want := total + total/2 + 64
+		if cap(scr.heap) < want {
+			scr.heap = make([]mergePair, 0, want)
+		}
+		pairs = scr.heap[:0]
 	} else {
 		pairs = make([]mergePair, 0, total)
-		for _, s := range shards {
-			pairs = append(pairs, s...)
-		}
+	}
+	for _, s := range shards {
+		pairs = append(pairs, s.pairs...)
+		putSimScratch(s)
 	}
 	// Adjacency lists in one flat backing array: size by degree first, so
-	// the whole graph costs two allocations instead of per-list growth.
-	deg := make([]int32, n)
+	// the whole graph costs two allocations instead of per-list growth —
+	// and zero once the recycled scratch tables are warm.
+	var deg []int32
+	var adj [][]int32
+	var backing []int32
+	if scr != nil {
+		deg = grow32(scr.adjDeg, n)
+		clear(deg)
+		if cap(scr.adjLists) < n {
+			scr.adjLists = make([][]int32, n)
+		}
+		adj = scr.adjLists[:n]
+		backing = grow32(scr.adjBack, 2*total)
+		scr.adjDeg, scr.adjBack = deg, backing
+	} else {
+		deg = make([]int32, n)
+		adj = make([][]int32, n)
+		backing = make([]int32, 2*total)
+	}
 	for _, p := range pairs {
 		deg[p.a]++
 		deg[p.b]++
 	}
-	adj := make([][]int32, n)
-	backing := make([]int32, 2*total)
 	off := 0
 	for i, dg := range deg {
 		if dg > 0 {
 			adj[i] = backing[off : off : off+int(dg)]
 			off += int(dg)
+		} else {
+			adj[i] = nil // clear a stale recycled header
 		}
 	}
 	for _, p := range pairs {
@@ -231,11 +216,124 @@ func sparsePairs(ctx context.Context, tagOf []bitvec.Vector, r, workers int) ([]
 	return pairs, adj, nil
 }
 
+// simFillParallel shards the pair-generation pass over workers goroutines,
+// one contiguous row range each. Shard outputs concatenate in row order.
+func simFillParallel(ctx context.Context, tagOf []bitvec.Vector, posts [][]int32, useCounting bool, curLen, n, workers int) ([]*simScratch, error) {
+	shards := make([]*simScratch, workers)
+	errs := make([]error, workers)
+	step := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := w*step, (w+1)*step
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			shards = shards[:w]
+			errs = errs[:w]
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			shards[w], errs[w] = simFill(ctx, tagOf, posts, useCounting, curLen, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			for _, s := range shards {
+				if s != nil {
+					putSimScratch(s)
+				}
+			}
+			return nil, err
+		}
+	}
+	return shards, nil
+}
+
+// simFill runs the pair-generation pass over rows [lo, hi). It is a
+// top-level function rather than a closure inside sparsePairs so the
+// single-worker path — the steady state on small machines — allocates no
+// escaping func value. The returned scratch holds the shard's pairs; the
+// caller copies them out and recycles it.
+func simFill(ctx context.Context, tagOf []bitvec.Vector, posts [][]int32, useCounting bool, curLen, lo, hi int) (*simScratch, error) {
+	n := len(tagOf)
+	s := getSimScratch(n, curLen)
+	for i := lo; i < hi; i++ {
+		if ctx.Err() != nil {
+			// s.counts is clean here (rows only dirty it mid-row), so
+			// the scratch is safe to recycle.
+			putSimScratch(s)
+			return nil, ctx.Err()
+		}
+		ti := tagOf[i]
+		if useCounting {
+			s.bits = ti.AppendSetBits(s.bits[:0])
+			// Skip every list to the entries after i (lists are
+			// ascending and contain i itself). Rows ascend within a
+			// shard, so each list's skip point only moves forward: a
+			// monotone cursor replaces a per-(row, bit) binary search,
+			// costing O(|p|) total advance per shard.
+			for _, b := range s.bits {
+				p := posts[b]
+				c := s.cur[b]
+				for int(c) < len(p) && p[c] <= int32(i) {
+					c++
+				}
+				s.cur[b] = c
+			}
+			// Accumulate the row in j-blocks of simCountTile clusters:
+			// each block confines the counts/touched writes to one
+			// L1-resident window while the posting tails stream through
+			// in order. Blocks ascend and each block's touched set is
+			// sorted before emitting, so the concatenation reproduces
+			// the fully sorted row order byte for byte; when the row's
+			// tail fits one block this is exactly the untiled pass.
+			s.pos = s.pos[:0]
+			for _, b := range s.bits {
+				s.pos = append(s.pos, s.cur[b])
+			}
+			for jLo := i + 1; jLo < n; jLo += simCountTile {
+				jHi := int32(min(jLo+simCountTile, n))
+				s.touched = s.touched[:0]
+				for k, b := range s.bits {
+					p := posts[b]
+					c := s.pos[k]
+					for int(c) < len(p) && p[c] < jHi {
+						j := p[c]
+						if s.counts[j] == 0 {
+							s.touched = append(s.touched, j)
+						}
+						s.counts[j]++
+						c++
+					}
+					s.pos[k] = c
+				}
+				slices.Sort(s.touched)
+				for _, j := range s.touched {
+					s.pairs = append(s.pairs, mergePair{dot: int64(s.counts[j]), a: int32(i), b: j})
+					s.counts[j] = 0
+				}
+			}
+		} else {
+			for j := i + 1; j < n; j++ {
+				if w := int64(ti.AndPopCount(tagOf[j])); w > 0 {
+					s.pairs = append(s.pairs, mergePair{dot: w, a: int32(i), b: int32(j)})
+				}
+			}
+		}
+	}
+	// The caller copies s.pairs out and returns the scratch.
+	return s, nil
+}
+
 // tagOverlapPairs returns every chunk pair sharing at least one tag bit, in
 // row-major order — the conservative dependence approximation, routed
 // through the same inverted index as the similarity seeding.
 func tagOverlapPairs(tagOf []bitvec.Vector, r int) [][2]int {
-	pairs, _, err := sparsePairs(context.Background(), tagOf, r, 1)
+	pairs, _, err := sparsePairs(context.Background(), tagOf, r, 1, nil)
 	if err != nil { // unreachable: background ctx never cancels
 		panic("core: " + err.Error())
 	}

@@ -199,7 +199,7 @@ func TestSparsePairsMatchesBruteForce(t *testing.T) {
 			}
 		}
 		for _, workers := range []int{1, 2, 5} {
-			got, adj, err := sparsePairs(t.Context(), tagOf, r, workers)
+			got, adj, err := sparsePairs(t.Context(), tagOf, r, workers, nil)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -336,7 +336,7 @@ func TestClusterCountedTagRemoval(t *testing.T) {
 	c.add(a)
 	c.add(b)
 	c.add(d)
-	got := c.removeAt(1) // drop b
+	got := c.removeAt(1, nil) // drop b
 	if got != b {
 		t.Fatal("removeAt returned the wrong member")
 	}
@@ -344,7 +344,7 @@ func TestClusterCountedTagRemoval(t *testing.T) {
 	if want := bitvec.FromIndices(r, 0, 1, 2, 3, 9); !c.Tag.Equal(want) {
 		t.Fatalf("tag after removal = %s, want %s", c.Tag, want)
 	}
-	c.removeAt(1) // drop d
+	c.removeAt(1, nil) // drop d
 	if want := bitvec.FromIndices(r, 0, 1, 2); !c.Tag.Equal(want) {
 		t.Fatalf("tag after second removal = %s, want %s", c.Tag, want)
 	}

@@ -53,10 +53,21 @@ func StateOf(st *pipeline.State) State {
 		NumChunks: st.NumChunks,
 		Clients:   make([][]StateChunk, len(st.Clustering)),
 	}
+	// Tag index lists are carved from one flat backing sized by a popcount
+	// pre-pass, instead of one exact-size allocation per chunk.
+	totalBits := 0
+	for _, cl := range st.Clustering {
+		for _, ch := range cl {
+			totalBits += ch.Tag.PopCount()
+		}
+	}
+	backing := make([]int, 0, totalBits)
 	for c, cl := range st.Clustering {
 		s.Clients[c] = make([]StateChunk, 0, len(cl))
 		for _, ch := range cl {
-			sc := StateChunk{Tag: ch.Tag.Indices(), Nest: ch.Nest}
+			lo := len(backing)
+			ch.Tag.ForEach(func(b int) { backing = append(backing, b) })
+			sc := StateChunk{Tag: backing[lo:len(backing):len(backing)], Nest: ch.Nest}
 			ch.Iters.ForEachRun(func(run itset.Run) {
 				sc.Runs = append(sc.Runs, [2]int64{run.Start, run.End})
 			})
@@ -82,10 +93,20 @@ func (s State) PipelineState() (*pipeline.State, error) {
 		NumChunks:  s.NumChunks,
 		Clustering: make([][]*tags.IterationChunk, len(s.Clients)),
 	}
+	// Decode into slabs: one tag arena and one chunk-struct slab for the
+	// whole state instead of two allocations per chunk. The slabs are
+	// one-shot — decoded chunks outlive this call in plan-cache tiers.
+	total := 0
+	for _, cl := range s.Clients {
+		total += len(cl)
+	}
+	tagSlab := bitvec.NewArena(total, s.TagBits)
+	chunkSlab := make([]tags.IterationChunk, total)
+	next := 0
 	for c, cl := range s.Clients {
 		st.Clustering[c] = make([]*tags.IterationChunk, 0, len(cl))
 		for i, sc := range cl {
-			tag := bitvec.New(s.TagBits)
+			tag := tagSlab[next]
 			for _, b := range sc.Tag {
 				if b < 0 || b >= s.TagBits {
 					return nil, fmt.Errorf("mapping: state client %d chunk %d tag bit %d outside width %d", c, i, b, s.TagBits)
@@ -99,11 +120,13 @@ func (s State) PipelineState() (*pipeline.State, error) {
 				}
 				runs = append(runs, itset.Run{Start: r[0], End: r[1]})
 			}
-			st.Clustering[c] = append(st.Clustering[c], &tags.IterationChunk{
+			chunkSlab[next] = tags.IterationChunk{
 				Tag:   tag,
 				Iters: itset.FromRuns(runs...),
 				Nest:  sc.Nest,
-			})
+			}
+			st.Clustering[c] = append(st.Clustering[c], &chunkSlab[next])
+			next++
 		}
 	}
 	return st, nil

@@ -158,6 +158,16 @@ func (r *Run) StartPhase(name string) (stop func()) {
 	}
 }
 
+// RecordPhase implements core.PhaseRecorder: the distributor reports each
+// phase as one after-the-fact (name, start, duration) call instead of
+// requesting a stop closure per phase per hierarchy node, which keeps the
+// steady-state distribution path free of closure allocations. Semantically
+// identical to StartPhase.
+func (r *Run) RecordPhase(name string, start time.Time, d time.Duration) {
+	r.add(name, d, 0)
+	obs.Record(r.ctx, name, start, d)
+}
+
 // RecordSimilarityPairs implements core.PairStatsRecorder: the distributor
 // reports, for each hierarchy node it clusters, how many similarity pairs
 // the sparse engine generated versus the dense bound. The counts accumulate

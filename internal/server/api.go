@@ -1,7 +1,9 @@
 package server
 
 import (
+	"encoding/json"
 	"fmt"
+	"sync"
 
 	"repro/internal/cache"
 	"repro/internal/hierarchy"
@@ -184,61 +186,144 @@ func parseDepMode(s string) (pipeline.DepMode, error) {
 	return 0, fmt.Errorf("unknown dep_mode %q (want ignore, merge or sync)", s)
 }
 
+// The spec caches memoize the two expensive, deterministic artifacts a
+// request derives before it can even probe the plan cache: the parsed
+// topology tree (plus its drift signature) and the constructed workload.
+// Both are pure functions of their spec and read-only downstream — the
+// planner builds fresh chunks per run, the simulator keys its per-node
+// state by node ID, and nothing assigns into a Node after hierarchy.Build —
+// so sharing them across requests is safe and takes the plan-cache hit
+// path from ~160 allocations to a handful (see TestAllocPlanCacheHit). A
+// serving fleet sees a tiny vocabulary of specs; adversarial spec churn is
+// bounded by wholesale reset instead of eviction bookkeeping.
+const specCacheMax = 512
+
+type cachedTopo struct {
+	tree *hierarchy.Tree
+	sig  plancache.TopoSig
+}
+
+var (
+	topoCacheMu sync.Mutex
+	topoCache   map[string]cachedTopo
+)
+
+func parseTopology(spec string) (cachedTopo, error) {
+	topoCacheMu.Lock()
+	ct, ok := topoCache[spec]
+	topoCacheMu.Unlock()
+	if ok {
+		return ct, nil
+	}
+	tree, err := hierarchy.Parse(spec)
+	if err != nil {
+		return cachedTopo{}, err
+	}
+	ct = cachedTopo{tree: tree, sig: topoSigOf(tree)}
+	topoCacheMu.Lock()
+	if topoCache == nil || len(topoCache) >= specCacheMax {
+		topoCache = make(map[string]cachedTopo)
+	}
+	topoCache[spec] = ct
+	topoCacheMu.Unlock()
+	return ct, nil
+}
+
+type cachedWorkload struct {
+	work   workloads.Workload
+	family string
+}
+
+var (
+	workCacheMu sync.Mutex
+	workCache   map[string]cachedWorkload
+)
+
+// buildWorkload resolves the request's workload spec, memoized on the
+// spec's canonical JSON (normalize ran first, so equivalent requests share
+// one encoding — the same property the plan-cache key relies on).
+func buildWorkload(spec WorkloadSpec) (cachedWorkload, error) {
+	rawKey, err := json.Marshal(spec)
+	if err != nil {
+		return cachedWorkload{}, err
+	}
+	key := string(rawKey)
+	workCacheMu.Lock()
+	cw, ok := workCache[key]
+	workCacheMu.Unlock()
+	if ok {
+		return cw, nil
+	}
+
+	var w workloads.Workload
+	set := 0
+	if spec.App != "" {
+		set++
+	}
+	if spec.Synth != nil {
+		set++
+	}
+	if spec.Stencil != nil {
+		set++
+	}
+	if set != 1 {
+		return cachedWorkload{}, fmt.Errorf("workload: exactly one of app, synth, stencil must be set")
+	}
+	family := ""
+	switch {
+	case spec.App != "":
+		w, err = workloads.Get(spec.App, spec.Scale)
+		family = spec.App
+	case spec.Synth != nil:
+		w, err = workloads.Synthesize(*spec.Synth)
+		if family = spec.Synth.Name; family == "" {
+			family = "synth"
+		}
+	default:
+		w, err = workloads.SynthesizeStencil(*spec.Stencil)
+		if family = spec.Stencil.Name; family == "" {
+			family = "stencil"
+		}
+	}
+	if err != nil {
+		return cachedWorkload{}, err
+	}
+	if spec.ChunkKB < 0 {
+		return cachedWorkload{}, fmt.Errorf("workload: negative chunk_kb %d", spec.ChunkKB)
+	}
+	if spec.ChunkKB > 0 {
+		w = w.WithChunkBytes(spec.ChunkKB * 1024)
+	}
+
+	cw = cachedWorkload{work: w, family: family}
+	workCacheMu.Lock()
+	if workCache == nil || len(workCache) >= specCacheMax {
+		workCache = make(map[string]cachedWorkload)
+	}
+	workCache[key] = cw
+	workCacheMu.Unlock()
+	return cw, nil
+}
+
 // buildJob validates the request and constructs the workload, topology and
 // mapping configuration it describes.
 func buildJob(req MapRequest) (*job, error) {
 	req.normalize()
 
-	var (
-		w   workloads.Workload
-		err error
-	)
-	set := 0
-	if req.Workload.App != "" {
-		set++
-	}
-	if req.Workload.Synth != nil {
-		set++
-	}
-	if req.Workload.Stencil != nil {
-		set++
-	}
-	if set != 1 {
-		return nil, fmt.Errorf("workload: exactly one of app, synth, stencil must be set")
-	}
-	family := ""
-	switch {
-	case req.Workload.App != "":
-		w, err = workloads.Get(req.Workload.App, req.Workload.Scale)
-		family = req.Workload.App
-	case req.Workload.Synth != nil:
-		w, err = workloads.Synthesize(*req.Workload.Synth)
-		if family = req.Workload.Synth.Name; family == "" {
-			family = "synth"
-		}
-	default:
-		w, err = workloads.SynthesizeStencil(*req.Workload.Stencil)
-		if family = req.Workload.Stencil.Name; family == "" {
-			family = "stencil"
-		}
-	}
+	cw, err := buildWorkload(req.Workload)
 	if err != nil {
 		return nil, err
 	}
-	if req.Workload.ChunkKB < 0 {
-		return nil, fmt.Errorf("workload: negative chunk_kb %d", req.Workload.ChunkKB)
-	}
-	if req.Workload.ChunkKB > 0 {
-		w = w.WithChunkBytes(req.Workload.ChunkKB * 1024)
-	}
+	w, family := cw.work, cw.family
 
 	if req.Topology == "" {
 		return nil, fmt.Errorf("topology: missing (compact spec such as \"16/32/64@16,8,4\")")
 	}
-	tree, err := hierarchy.Parse(req.Topology)
+	ct, err := parseTopology(req.Topology)
 	if err != nil {
 		return nil, err
 	}
+	tree := ct.tree
 
 	scheme, err := pipeline.ParseScheme(req.Scheme)
 	if err != nil {
@@ -259,7 +344,7 @@ func buildJob(req MapRequest) (*job, error) {
 
 	j := &job{req: req, work: w, tree: tree, scheme: scheme, cfg: cfg, family: family}
 	j.cost = w.Prog.Nest.BoxSize() * int64(len(tree.Nodes()))
-	j.topoSig = topoSigOf(tree)
+	j.topoSig = ct.sig
 	wk := req
 	wk.Topology = "" // workload identity only: any topology may serve stale
 	j.wkKey, err = plancache.KeyOf(planKeySpec{Schema: mapping.PlanSchemaVersion, Request: wk})

@@ -56,6 +56,7 @@ import (
 	"net/http"
 	"runtime"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -1045,13 +1046,40 @@ func decodeStrict(body []byte, v any) error {
 	return nil
 }
 
+// jsonBuf is a pooled response-encode buffer with its bound encoder, so a
+// plan-cache hit (or repair) response reuses one buffer instead of paying
+// encoder state and copy-on-grow garbage per request. Encoding into the
+// buffer before touching the ResponseWriter also means an encode failure
+// still yields a clean 500 instead of a torn body.
+type jsonBuf struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+var jsonBufPool = sync.Pool{New: func() any {
+	b := &jsonBuf{}
+	b.enc = json.NewEncoder(&b.buf)
+	return b
+}}
+
+// jsonBufMaxRetain caps the buffer size returned to the pool; a rare huge
+// plan should not pin its backing array forever.
+const jsonBufMaxRetain = 1 << 20
+
 func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	if err := enc.Encode(v); err != nil {
-		// Headers are gone; nothing sensible left to do.
+	b := jsonBufPool.Get().(*jsonBuf)
+	b.buf.Reset()
+	if err := b.enc.Encode(v); err != nil {
+		jsonBufPool.Put(b)
+		s.writeError(w, http.StatusInternalServerError, fmt.Errorf("encoding response: %w", err))
 		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(b.buf.Len()))
+	w.WriteHeader(status)
+	w.Write(b.buf.Bytes())
+	if b.buf.Cap() <= jsonBufMaxRetain {
+		jsonBufPool.Put(b)
 	}
 }
 

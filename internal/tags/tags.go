@@ -125,6 +125,19 @@ func ComputeCtx(ctx context.Context, nest *polyhedral.Nest, refs []polyhedral.Re
 	return mergePartials(data.NumChunks(), parts), nil
 }
 
+// tagScratch is the recycled per-shard working state of computeRange: the
+// subscript buffer, signature bytes and current-chunk list. Unlike the
+// group map and its iteration sets — which escape into the result — these
+// never leave the shard, so a sync.Pool makes repeat taggings of the same
+// shape allocation-free in the inner loop.
+type tagScratch struct {
+	subs []int64
+	sig  []byte
+	cur  []int
+}
+
+var tagScratchPool = sync.Pool{New: func() any { return new(tagScratch) }}
+
 // computeRange tags the iterations with box indices in [lo, hi).
 func computeRange(ctx context.Context, nest *polyhedral.Nest, refs []polyhedral.Ref, data *chunking.DataSpace, lo, hi int64) (*partial, error) {
 	p := &partial{groups: make(map[string]*group)}
@@ -135,9 +148,17 @@ func computeRange(ctx context.Context, nest *polyhedral.Nest, refs []polyhedral.
 			maxSubs = len(ref.Exprs)
 		}
 	}
-	subs := make([]int64, maxSubs)
-	sig := make([]byte, 0, 64)
-	cur := make([]int, 0, len(refs))
+	scr := tagScratchPool.Get().(*tagScratch)
+	if cap(scr.subs) < maxSubs {
+		scr.subs = make([]int64, maxSubs)
+	}
+	subs := scr.subs[:maxSubs]
+	sig := scr.sig[:0]
+	cur := scr.cur[:0]
+	defer func() {
+		scr.sig, scr.cur = sig, cur // keep any growth
+		tagScratchPool.Put(scr)
+	}()
 	var since int
 	var canceled bool
 	nest.ForEachRange(lo, hi, func(idx int64, it []int64) bool {
@@ -167,9 +188,12 @@ func computeRange(ctx context.Context, nest *polyhedral.Nest, refs []polyhedral.
 		for _, c := range cur {
 			sig = append(sig, byte(c), byte(c>>8), byte(c>>16), byte(c>>24))
 		}
-		key := string(sig)
-		g, ok := p.groups[key]
+		// The compiler elides the []byte→string copy for the map lookup, so
+		// the common revisit of a known signature does not allocate; the
+		// string is materialized only for a first-seen signature.
+		g, ok := p.groups[string(sig)]
 		if !ok {
+			key := string(sig)
 			g = &group{chunks: append([]int(nil), cur...)}
 			p.groups[key] = g
 			p.order = append(p.order, key)
@@ -204,14 +228,23 @@ func mergePartials(r int, parts []*partial) []*IterationChunk {
 		}
 	}
 
+	// Tag vectors are carved from one slab allocation instead of one per
+	// group. The slab is one-shot, never pooled: the tags escape into the
+	// returned chunks, which outlive this call arbitrarily (plan caches
+	// keep decoded chunk lists for their stale tier), so recycling the
+	// backing would corrupt cached plans. The chunk structs come from one
+	// slab likewise.
 	out := make([]*IterationChunk, 0, len(order))
-	for _, key := range order {
+	chunkSlab := make([]IterationChunk, len(order))
+	tagSlab := bitvec.NewArena(len(order), r)
+	for gi, key := range order {
 		g := groups[key]
-		tag := bitvec.New(r)
+		tag := tagSlab[gi]
 		for _, c := range g.chunks {
 			tag.Set(c)
 		}
-		out = append(out, &IterationChunk{Tag: tag, Iters: g.iters})
+		chunkSlab[gi] = IterationChunk{Tag: tag, Iters: g.iters}
+		out = append(out, &chunkSlab[gi])
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Iters.Min() < out[j].Iters.Min() })
 	return out
