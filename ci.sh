@@ -21,9 +21,12 @@ echo "==> go vet ./..."
 go vet ./...
 
 # Optional linters: pinned installs when absent; offline environments skip
-# them gracefully (the pinned `go install` needs the module proxy).
-STATICCHECK_VERSION=2024.1.1
-GOVULNCHECK_VERSION=v1.1.3
+# them gracefully (the pinned `go install` needs the module proxy). The
+# pins live in .github/workflows/ci.yml's env block — the workflow exports
+# them so ci.sh and CI can't drift; these are the local-run fallbacks and
+# must match the workflow.
+STATICCHECK_VERSION=${STATICCHECK_VERSION:-2024.1.1}
+GOVULNCHECK_VERSION=${GOVULNCHECK_VERSION:-v1.1.3}
 have_tool() {
 	command -v "$1" >/dev/null 2>&1 || [ -x "$(go env GOPATH)/bin/$1" ]
 }
@@ -88,22 +91,40 @@ tmp=$(mktemp -d)
 daemon_pid=
 ring_pids=
 trap 'if [ -n "$daemon_pid" ]; then kill $daemon_pid 2>/dev/null || true; fi; if [ -n "$ring_pids" ]; then kill $ring_pids 2>/dev/null || true; fi; rm -rf "$tmp"' EXIT
+# Bench raw output and comparison verdicts land in BENCH_ARTIFACTS when CI
+# sets it (uploaded as a workflow artifact on bench-gate failure); locally
+# they stay in the run's temp dir.
+bench_dir=${BENCH_ARTIFACTS:-$tmp}
+mkdir -p "$bench_dir"
 go build -o "$tmp/benchjson" ./cmd/benchjson
+# bench_gate <ledger> <raw-bench-output> [benchjson flags...]: compare a
+# bench run against its ledger, keeping the verdict next to the raw output
+# for the artifact upload, and dumping both on failure.
+bench_gate() {
+	ledger=$1
+	raw=$2
+	shift 2
+	if ! "$tmp/benchjson" -compare "$ledger" "$@" <"$raw" >"$bench_dir/$(basename "$ledger" .json)-compare.txt" 2>&1; then
+		echo "bench gate vs $ledger failed:" >&2
+		cat "$bench_dir/$(basename "$ledger" .json)-compare.txt" >&2
+		exit 1
+	fi
+}
 # -benchmem arms the allocation side of the gate: the ledger's B/op and
 # allocs/op entries are compared under the tighter -alloc-tolerance
 # (allocation counts are near-deterministic; 25% absorbs sync.Pool
 # eviction jitter while catching a pooled path regressing to per-call
 # allocation). The ledger's BenchmarkDistribute entry records the sub-1ms
 # steady state this gate anchors to.
-go test -run '^$' -bench 'BenchmarkDistribute$|BenchmarkPostings$|BenchmarkCacheHitServe$' -benchtime 100x -benchmem -count=3 . >"$tmp/bench.out" 2>&1 || {
-	cat "$tmp/bench.out" >&2
+go test -run '^$' -bench 'BenchmarkDistribute$|BenchmarkPostings$|BenchmarkCacheHitServe$' -benchtime 100x -benchmem -count=3 . >"$bench_dir/bench.out" 2>&1 || {
+	cat "$bench_dir/bench.out" >&2
 	exit 1
 }
-go test -run '^$' -bench 'BenchmarkPipelineParallelism' -benchtime 1x -count=3 . >>"$tmp/bench.out" 2>&1 || {
-	cat "$tmp/bench.out" >&2
+go test -run '^$' -bench 'BenchmarkPipelineParallelism' -benchtime 1x -count=3 . >>"$bench_dir/bench.out" 2>&1 || {
+	cat "$bench_dir/bench.out" >&2
 	exit 1
 }
-"$tmp/benchjson" -compare BENCH_9.json -tolerance 100 -alloc-tolerance 25 <"$tmp/bench.out" >/dev/null
+bench_gate BENCH_9.json "$bench_dir/bench.out" -tolerance 100 -alloc-tolerance 25
 
 echo "==> replan speedup floor gate (vs BENCH_7.json)"
 # Incremental re-planning must stay at least 5x faster than the full
@@ -111,11 +132,22 @@ echo "==> replan speedup floor gate (vs BENCH_7.json)"
 # bound (benchjson "-floor" semantics): runner noise shrinks a measured
 # speedup toward 1, never inflates it, so samples fold by maximum and the
 # floor sits far below the ~100x+ measured on an idle machine.
-go test -run '^$' -bench 'BenchmarkReplanIncremental$' -benchtime 3x -count=3 . >"$tmp/replan-bench.out" 2>&1 || {
-	cat "$tmp/replan-bench.out" >&2
+go test -run '^$' -bench 'BenchmarkReplanIncremental$' -benchtime 3x -count=3 . >"$bench_dir/replan-bench.out" 2>&1 || {
+	cat "$bench_dir/replan-bench.out" >&2
 	exit 1
 }
-"$tmp/benchjson" -compare BENCH_7.json <"$tmp/replan-bench.out" >/dev/null
+bench_gate BENCH_7.json "$bench_dir/replan-bench.out"
+
+echo "==> warm-scan bench gate (vs BENCH_10.json)"
+# The persistent store's startup scan must stay an O(records) streaming
+# read: the ledger records its records/s throughput and allocation
+# footprint on a 2048-record log. 100% tolerance for time (CI I/O jitter),
+# the tighter alloc tolerance for the scan's near-constant allocations.
+go test -run '^$' -bench 'BenchmarkWarmScan$' -benchtime 5x -benchmem -count=3 ./internal/planstore >"$bench_dir/warmscan-bench.out" 2>&1 || {
+	cat "$bench_dir/warmscan-bench.out" >&2
+	exit 1
+}
+bench_gate BENCH_10.json "$bench_dir/warmscan-bench.out" -tolerance 100 -alloc-tolerance 25
 
 echo "==> cachemapd trace smoke test"
 # Boot the daemon on ephemeral ports (parsed from its own log, so parallel
@@ -412,6 +444,142 @@ kill "$daemon_pid"
 wait "$daemon_pid" 2>/dev/null || true
 daemon_pid=
 echo "quality smoke: $modes serve modes in the ledger; exemplar trace $ex_trace resolved; $req_lines sampled access-log lines"
+
+echo "==> kill/restart persistence smoke (warm start, torn-tail recovery, snapshot)"
+# The ROADMAP's warm-start proof: a daemon with a persistent plan store is
+# kill -9'd after serving, its log tail is deliberately torn mid-record
+# (the crash-during-write case), and the restarted daemon must (a) skip
+# the torn record with the counter observed, (b) serve the surviving spec
+# as a cache hit with zero pipeline computes, and (c) emit a compacted
+# snapshot on demand.
+store_dir="$tmp/planstore"
+"$tmp/cachemapd" -addr 127.0.0.1:0 -store-dir "$store_dir" 2>"$tmp/daemon.log" &
+daemon_pid=$!
+i=0
+addr=
+while [ -z "$addr" ]; do
+	addr=$(parse_addr "$tmp/daemon.log" listening)
+	i=$((i + 1))
+	if [ "$i" -gt 50 ]; then
+		echo "persist cachemapd never logged its listen address" >&2
+		cat "$tmp/daemon.log" >&2
+		exit 1
+	fi
+	[ -n "$addr" ] || sleep 0.1
+done
+i=0
+until curl -fsS -o /dev/null "http://$addr/healthz" 2>/dev/null; do
+	i=$((i + 1))
+	if [ "$i" -gt 50 ]; then
+		echo "persist cachemapd did not become healthy" >&2
+		cat "$tmp/daemon.log" >&2
+		exit 1
+	fi
+	sleep 0.1
+done
+persist_spec='{"workload":{"synth":{"name":"persist-ci","passes":2,"extent":256,"streams":[{"stride":1}]}},"topology":"2/4/8@16,8,4","scheme":"inter"}'
+tail_spec='{"workload":{"synth":{"name":"persist-ci","passes":2,"extent":256,"streams":[{"stride":1}]}},"topology":"2/4/8@16,8,5","scheme":"inter"}'
+ccurl -o "$tmp/persist1.json" -H 'Content-Type: application/json' \
+	-d "$persist_spec" "http://$addr/v1/map"
+grep '"cached":false' "$tmp/persist1.json" >/dev/null || {
+	echo "first serve of the persist spec was not a cold compute:" >&2
+	cat "$tmp/persist1.json" >&2
+	exit 1
+}
+# A second spec appends a second record: tearing the log tail later must
+# destroy only this one, leaving the first spec's record intact.
+ccurl -o /dev/null -H 'Content-Type: application/json' \
+	-d "$tail_spec" "http://$addr/v1/map"
+# The disk writes ride a write-behind queue; wait for both records to land
+# before the kill, or the test would measure the queue, not the log.
+i=0
+records=0
+while [ "${records:-0}" -lt 2 ]; do
+	records=$(ccurl "http://$addr/metrics" | sed -n 's/^cachemapd_planstore_records //p')
+	i=$((i + 1))
+	if [ "$i" -gt 50 ]; then
+		echo "plan store never reached 2 records (got ${records:-0})" >&2
+		cat "$tmp/daemon.log" >&2
+		exit 1
+	fi
+	[ "${records:-0}" -ge 2 ] || sleep 0.1
+done
+kill -9 "$daemon_pid"
+wait "$daemon_pid" 2>/dev/null || true
+daemon_pid=
+# Tear the log mid-record: drop the last 17 bytes, slicing into the second
+# spec's record — a crash during its append.
+log_size=$(wc -c <"$store_dir/plans.log")
+truncate -s $((log_size - 17)) "$store_dir/plans.log"
+
+"$tmp/cachemapd" -addr 127.0.0.1:0 -store-dir "$store_dir" 2>"$tmp/daemon2.log" &
+daemon_pid=$!
+i=0
+addr=
+while [ -z "$addr" ]; do
+	addr=$(parse_addr "$tmp/daemon2.log" listening)
+	i=$((i + 1))
+	if [ "$i" -gt 50 ]; then
+		echo "restarted cachemapd never logged its listen address" >&2
+		cat "$tmp/daemon2.log" >&2
+		exit 1
+	fi
+	[ -n "$addr" ] || sleep 0.1
+done
+i=0
+until curl -fsS -o /dev/null "http://$addr/healthz" 2>/dev/null; do
+	i=$((i + 1))
+	if [ "$i" -gt 50 ]; then
+		echo "restarted cachemapd did not become healthy" >&2
+		cat "$tmp/daemon2.log" >&2
+		exit 1
+	fi
+	sleep 0.1
+done
+skipped=$(ccurl "http://$addr/metrics" | sed -n 's/^cachemapd_planstore_skipped_records_total //p')
+if [ "${skipped:-0}" -lt 1 ]; then
+	echo "torn log tail not skipped: cachemapd_planstore_skipped_records_total = ${skipped:-0}" >&2
+	cat "$tmp/daemon2.log" >&2
+	exit 1
+fi
+warm=$(ccurl "http://$addr/metrics" | sed -n 's/^cachemapd_planstore_warm_records //p')
+if [ "${warm:-0}" -lt 1 ]; then
+	echo "restart warm-scanned ${warm:-0} records (want >= 1)" >&2
+	cat "$tmp/daemon2.log" >&2
+	exit 1
+fi
+ccurl -o "$tmp/persist2.json" -H 'Content-Type: application/json' \
+	-d "$persist_spec" "http://$addr/v1/map"
+grep '"cached":true' "$tmp/persist2.json" >/dev/null || {
+	echo "restarted daemon did not serve the persisted spec as a hit:" >&2
+	cat "$tmp/persist2.json" >&2
+	cat "$tmp/daemon2.log" >&2
+	exit 1
+}
+computes=$(ccurl "http://$addr/metrics" | sed -n 's/^cachemapd_pipeline_computes_total //p')
+if [ "${computes:-0}" != "0" ]; then
+	echo "restarted daemon ran ${computes:-0} pipeline computes serving a persisted spec (want 0)" >&2
+	cat "$tmp/daemon2.log" >&2
+	exit 1
+fi
+# The served plans must be byte-identical across the restart.
+pre=$(sed -n 's/.*"plan":\(.*\),"stages".*/\1/p' "$tmp/persist1.json")
+post=$(sed -n 's/.*"plan":\(.*\),"stages".*/\1/p' "$tmp/persist2.json")
+if [ -z "$pre" ] || [ "$pre" != "$post" ]; then
+	echo "plan served after restart differs from the one computed before it" >&2
+	exit 1
+fi
+# Snapshot: POST compacts the log in place; the GET stats reflect it.
+ccurl -o "$tmp/snapshot.json" -X POST "http://$addr/debug/cache/snapshot"
+grep '"compacted":true' "$tmp/snapshot.json" >/dev/null || {
+	echo "POST /debug/cache/snapshot did not compact:" >&2
+	cat "$tmp/snapshot.json" >&2
+	exit 1
+}
+kill "$daemon_pid"
+wait "$daemon_pid" 2>/dev/null || true
+daemon_pid=
+echo "persist smoke: torn tail skipped ($skipped), $warm records warm-scanned, hit served with 0 computes"
 
 echo "==> 3-node ring smoke (peer fill, fleet-wide singleflight, owner kill, degraded stale)"
 # Boot a 3-node consistent-hash ring and prove the distributed plan cache

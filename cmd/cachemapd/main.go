@@ -11,6 +11,7 @@
 //	cachemapd -queue 128 -degraded -stale-tolerance 0.3
 //	cachemapd -repair -repair-tolerance 0.25
 //	cachemapd -faults 'latency:pipeline/tags:0.2:50ms;crash:plancache/leader:0.05' -fault-seed 42
+//	cachemapd -store-dir /var/lib/cachemapd -store-fsync batch -store-cap 4096
 //	cachemapd -addr :8642 -self 127.0.0.1:8642 \
 //	          -peers 127.0.0.1:8642,127.0.0.1:8643,127.0.0.1:8644
 //
@@ -29,6 +30,8 @@
 //	GET  /debug/quality       plan-quality ledger; on a ring, the fleet-wide view
 //	GET  /debug/faults        armed fault rules with evaluation counters (with -faults)
 //	POST /debug/faults        replace the armed fault rules (JSON array)
+//	GET  /debug/cache/snapshot  persistent plan-store stats (with -store-dir)
+//	POST /debug/cache/snapshot  flush the write queue and force a compaction
 //
 // Plan-quality telemetry: -quality-sample N shadow-simulates a
 // deterministic fraction of served /v1/map plans on a dedicated worker
@@ -65,6 +68,16 @@
 // failed or slow fill (bounded by -fill-timeout) falls back to local
 // computation, so a dead owner degrades throughput, not availability.
 //
+// Persistence: -store-dir backs the plan cache with a crash-safe
+// append-only log so computed plans survive restarts — the daemon
+// warm-scans the log on startup (verifying checksums, truncating a torn
+// tail, dropping schema-mismatched records) and serves previously
+// computed plans with zero recomputation. Writes are write-behind off
+// the request path; -store-fsync (batch|always|never) picks the
+// durability point, -store-cap bounds the on-disk entry count and
+// -store-compact the dead-byte ratio that triggers compaction. See the
+// /debug/cache/snapshot endpoints and README "Persistent plan store".
+//
 // Every request runs under a trace span; callers may propagate W3C
 // trace-context via the traceparent header and correlate responses through
 // X-Trace-Id. With -debug-addr set, net/http/pprof is served on a second,
@@ -92,6 +105,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/faults"
 	"repro/internal/metrics"
+	"repro/internal/planstore"
 	"repro/internal/quality"
 	"repro/internal/server"
 )
@@ -124,6 +138,11 @@ func main() {
 	qualitySeed := flag.Uint64("quality-seed", 1, "seed for the deterministic shadow-sampling draw")
 	logSample := flag.Float64("log-sample", 1, "fraction of 200-OK fast-path access-log lines emitted; errors, degraded and slow requests always log")
 	events := flag.Int("events", 256, "wide per-request events retained for /debug/events (0 disables the ring)")
+	storeDir := flag.String("store-dir", "", "persistent plan store directory; restarts warm-scan it and serve prior plans as hits (empty disables)")
+	storeCap := flag.Int("store-cap", 4096, "persistent plan store capacity, in plans (LRU-evicted beyond it)")
+	storeFsync := flag.String("store-fsync", "batch", "plan log durability policy: always, batch or never")
+	storeQueue := flag.Int("store-queue", 256, "write-behind queue depth between the request path and the plan log writer")
+	storeCompact := flag.Float64("store-compact", 0.5, "dead-byte ratio above which the plan log compacts (negative disables auto-compaction)")
 	flag.Parse()
 
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
@@ -194,7 +213,12 @@ func main() {
 	if logRate <= 0 {
 		logRate = -1 // Config treats 0 as "default 1"; negative: sample none.
 	}
-	srv := server.New(server.Config{
+	fsyncPolicy, err := planstore.ParseFsyncPolicy(*storeFsync)
+	if err != nil {
+		logger.Error("bad -store-fsync", "err", err)
+		os.Exit(2)
+	}
+	srv, err := server.NewServer(server.Config{
 		Registry:             reg,
 		Workers:              *workers,
 		PlanCacheSize:        *cacheSize,
@@ -220,7 +244,22 @@ func main() {
 			Rate: *qualitySample,
 			Seed: *qualitySeed,
 		},
+		Store: server.StoreConfig{
+			Dir:          *storeDir,
+			Capacity:     *storeCap,
+			QueueLen:     *storeQueue,
+			Fsync:        fsyncPolicy,
+			CompactRatio: *storeCompact,
+		},
 	})
+	if err != nil {
+		logger.Error("starting server", "err", err)
+		os.Exit(1)
+	}
+	if *storeDir != "" {
+		logger.Info("plan store open", "dir", *storeDir, "cap", *storeCap,
+			"fsync", fsyncPolicy.String(), "queue", *storeQueue)
+	}
 	defer srv.Close()
 	hs := &http.Server{
 		Handler:           srv.Handler(),

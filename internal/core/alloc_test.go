@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"repro/internal/bitvec"
+	"repro/internal/race"
 )
 
 // allocTags builds a contour-shaped tag set: n sparse vectors of width r.
@@ -31,6 +32,9 @@ func allocTags(rr *rand.Rand, r, n int) []bitvec.Vector {
 // allocates nothing — pairs land in the recycled heap backing, adjacency in
 // the recycled degree/header/backing tables.
 func TestAllocSparsePairsWarm(t *testing.T) {
+	if race.Enabled {
+		t.Skip("race-mode sync.Pool drops Puts by design; the alloc gate runs without -race")
+	}
 	defer debug.SetGCPercent(debug.SetGCPercent(-1))
 	tagOf := allocTags(rand.New(rand.NewSource(7)), 294, 253)
 	scr := distScratchPool.Get().(*distScratch)
@@ -54,6 +58,9 @@ func TestAllocSparsePairsWarm(t *testing.T) {
 // exists to catch a pooled path regressing to per-call allocation (which
 // shows up as hundreds of extra objects, not tens).
 func TestAllocDistributeWarmBound(t *testing.T) {
+	if race.Enabled {
+		t.Skip("race-mode sync.Pool drops Puts by design; the alloc gate runs without -race")
+	}
 	defer debug.SetGCPercent(debug.SetGCPercent(-1))
 	rr := rand.New(rand.NewSource(3))
 	chunks, tree := randomWorkload(rr, 294, 253, 0.02)

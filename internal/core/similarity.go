@@ -219,19 +219,21 @@ func sparsePairs(ctx context.Context, tagOf []bitvec.Vector, r, workers int, scr
 // simFillParallel shards the pair-generation pass over workers goroutines,
 // one contiguous row range each. Shard outputs concatenate in row order.
 func simFillParallel(ctx context.Context, tagOf []bitvec.Vector, posts [][]int32, useCounting bool, curLen, n, workers int) ([]*simScratch, error) {
-	shards := make([]*simScratch, workers)
-	errs := make([]error, workers)
 	step := (n + workers - 1) / workers
+	if step == 0 {
+		return nil, nil
+	}
+	// Size the shard slices to the non-empty row ranges up front: the
+	// workers index into them concurrently, so the headers must not be
+	// re-sliced once the first goroutine is running.
+	count := (n + step - 1) / step
+	shards := make([]*simScratch, count)
+	errs := make([]error, count)
 	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
+	for w := 0; w < count; w++ {
 		lo, hi := w*step, (w+1)*step
 		if hi > n {
 			hi = n
-		}
-		if lo >= hi {
-			shards = shards[:w]
-			errs = errs[:w]
-			break
 		}
 		wg.Add(1)
 		go func(w, lo, hi int) {

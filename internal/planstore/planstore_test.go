@@ -1,0 +1,443 @@
+package planstore
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"repro/internal/plancache"
+	"repro/internal/plancache/storetest"
+)
+
+// stringCodec is the test codec: values are their own bytes.
+var stringCodec = Codec[string]{
+	Encode: func(s string) ([]byte, error) { return []byte(s), nil },
+	Decode: func(b []byte) (string, error) { return string(b), nil },
+}
+
+func openTestLog(t *testing.T, opts Options) *Log[string] {
+	t.Helper()
+	if opts.Dir == "" {
+		opts.Dir = t.TempDir()
+	}
+	l, err := Open[string](opts, stringCodec)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(func() { l.Close() })
+	return l
+}
+
+// TestLogConformance runs the shared Store contract suite against the disk
+// tier, in its default shape and with compaction made aggressive enough to
+// fire inside the suite's own churn — eviction and compaction must be
+// invisible to the contract.
+func TestLogConformance(t *testing.T) {
+	var n int
+	mk := func(opts Options) func(capacity int) plancache.Store[string] {
+		return func(capacity int) plancache.Store[string] {
+			n++
+			o := opts
+			o.Dir = filepath.Join(t.TempDir(), fmt.Sprintf("log%d", n))
+			o.Capacity = capacity
+			l, err := Open[string](o, stringCodec)
+			if err != nil {
+				t.Fatalf("Open: %v", err)
+			}
+			t.Cleanup(func() { l.Close() })
+			return l
+		}
+	}
+	storetest.RunStore(t, "Log", mk(Options{}))
+	storetest.RunStore(t, "LogCompacting", mk(Options{CompactRatio: 0.05, CompactMinBytes: 1}))
+	storetest.RunStore(t, "LogFsyncAlways", mk(Options{Fsync: FsyncAlways}))
+}
+
+func TestWarmScanRestoresIndex(t *testing.T) {
+	dir := t.TempDir()
+	l := openTestLog(t, Options{Dir: dir})
+	const n = 20
+	for i := 0; i < n; i++ {
+		l.Put(storetest.Key(fmt.Sprintf("k%d", i)), fmt.Sprintf("v%d", i))
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	l2 := openTestLog(t, Options{Dir: dir})
+	st := l2.Stats()
+	if st.WarmRecords != n || st.Records != n {
+		t.Fatalf("warm scan restored %d records (%d warm), want %d", st.Records, st.WarmRecords, n)
+	}
+	if st.SkippedRecords != 0 {
+		t.Fatalf("clean log scan skipped %d records", st.SkippedRecords)
+	}
+	for i := 0; i < n; i++ {
+		v, ok := l2.Get(storetest.Key(fmt.Sprintf("k%d", i)))
+		if !ok || v != fmt.Sprintf("v%d", i) {
+			t.Fatalf("after restart Get(k%d) = %q, %v", i, v, ok)
+		}
+	}
+}
+
+// TestScanSkipsTornTail is the crash-during-write case: a record torn
+// mid-payload (or mid-header) must be skipped and truncated away, with
+// everything before the tear served and the skip counted.
+func TestScanSkipsTornTail(t *testing.T) {
+	for _, cut := range []int64{3, headerSize - 5, headerSize + 1} {
+		t.Run(fmt.Sprintf("cut%d", cut), func(t *testing.T) {
+			dir := t.TempDir()
+			l := openTestLog(t, Options{Dir: dir})
+			l.Put(storetest.Key("a"), "alpha")
+			l.Put(storetest.Key("b"), "beta")
+			l.Put(storetest.Key("c"), "gamma")
+			if err := l.Close(); err != nil {
+				t.Fatalf("Close: %v", err)
+			}
+
+			path := filepath.Join(dir, logFileName)
+			fi, err := os.Stat(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Tear the last record: leave `cut` bytes of it.
+			lastStart := fi.Size() - (headerSize + int64(len("gamma")))
+			if err := os.Truncate(path, lastStart+cut); err != nil {
+				t.Fatal(err)
+			}
+
+			l2 := openTestLog(t, Options{Dir: dir})
+			st := l2.Stats()
+			if st.SkippedRecords != 1 {
+				t.Fatalf("SkippedRecords = %d, want 1", st.SkippedRecords)
+			}
+			if st.Records != 2 {
+				t.Fatalf("Records = %d, want the 2 before the tear", st.Records)
+			}
+			for k, want := range map[string]string{"a": "alpha", "b": "beta"} {
+				if v, ok := l2.Get(storetest.Key(k)); !ok || v != want {
+					t.Fatalf("Get(%s) = %q, %v; want %q", k, v, ok, want)
+				}
+			}
+			if _, ok := l2.Get(storetest.Key("c")); ok {
+				t.Fatal("torn record still served")
+			}
+			// The tail was truncated back to the last good record, so new
+			// appends land on a clean boundary and survive another restart.
+			if fi2, _ := os.Stat(path); fi2.Size() != lastStart {
+				t.Fatalf("log size %d after recovery, want %d", fi2.Size(), lastStart)
+			}
+			l2.Put(storetest.Key("d"), "delta")
+			if err := l2.Close(); err != nil {
+				t.Fatalf("Close: %v", err)
+			}
+			l3 := openTestLog(t, Options{Dir: dir})
+			if st := l3.Stats(); st.Records != 3 || st.SkippedRecords != 0 {
+				t.Fatalf("after re-append: Records = %d, Skipped = %d; want 3, 0", st.Records, st.SkippedRecords)
+			}
+		})
+	}
+}
+
+// TestScanSkipsGarbageTail covers tail corruption that is not a clean
+// truncation: a wrong magic and a flipped payload bit.
+func TestScanSkipsGarbageTail(t *testing.T) {
+	dir := t.TempDir()
+	l := openTestLog(t, Options{Dir: dir})
+	l.Put(storetest.Key("a"), "alpha")
+	l.Put(storetest.Key("b"), "beta")
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	path := filepath.Join(dir, logFileName)
+
+	// Flip one bit inside the last record's payload: its CRC fails.
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte{'X'}, fi.Size()-1); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	l2 := openTestLog(t, Options{Dir: dir})
+	if st := l2.Stats(); st.SkippedRecords != 1 || st.Records != 1 {
+		t.Fatalf("bit flip: Skipped = %d, Records = %d; want 1, 1", st.SkippedRecords, st.Records)
+	}
+	if v, ok := l2.Get(storetest.Key("a")); !ok || v != "alpha" {
+		t.Fatalf("Get(a) = %q, %v after tail corruption", v, ok)
+	}
+	l2.Close()
+}
+
+func TestScanDropsSchemaMismatch(t *testing.T) {
+	dir := t.TempDir()
+	l := openTestLog(t, Options{Dir: dir, Schema: 1})
+	l.Put(storetest.Key("a"), "alpha")
+	l.Put(storetest.Key("b"), "beta")
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	l2 := openTestLog(t, Options{Dir: dir, Schema: 2})
+	st := l2.Stats()
+	if st.Records != 0 || st.SchemaDropped != 2 {
+		t.Fatalf("schema bump: Records = %d, SchemaDropped = %d; want 0, 2", st.Records, st.SchemaDropped)
+	}
+	if st.SkippedRecords != 0 {
+		t.Fatalf("schema mismatch counted as corruption: Skipped = %d", st.SkippedRecords)
+	}
+	// The dropped records are dead bytes; a new put under the new schema
+	// coexists until compaction clears them.
+	l2.Put(storetest.Key("a"), "alpha-v2")
+	if v, ok := l2.Get(storetest.Key("a")); !ok || v != "alpha-v2" {
+		t.Fatalf("Get under new schema = %q, %v", v, ok)
+	}
+	l2.Close()
+}
+
+// TestTombstoneSurvivesRestart: a capacity eviction is persisted as a
+// tombstone, so the evicted key stays gone after a restart even when the
+// restart's capacity would have room for it.
+func TestTombstoneSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	l := openTestLog(t, Options{Dir: dir, Capacity: 2})
+	l.Put(storetest.Key("k0"), "v0")
+	l.Put(storetest.Key("k1"), "v1")
+	ev := l.Put(storetest.Key("k2"), "v2") // evicts k0 (LRU)
+	if len(ev) != 1 || ev[0].Val != "v0" {
+		t.Fatalf("eviction = %v, want k0/v0", ev)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	l2 := openTestLog(t, Options{Dir: dir, Capacity: 100})
+	if _, ok := l2.Get(storetest.Key("k0")); ok {
+		t.Fatal("tombstoned k0 resurrected by restart")
+	}
+	for _, k := range []string{"k1", "k2"} {
+		if _, ok := l2.Get(storetest.Key(k)); !ok {
+			t.Fatalf("%s missing after restart", k)
+		}
+	}
+	l2.Close()
+}
+
+func TestCompaction(t *testing.T) {
+	l := openTestLog(t, Options{CompactRatio: 0.5, CompactMinBytes: 1})
+	k := storetest.Key("hot")
+	for i := 0; i < 50; i++ {
+		l.Put(k, fmt.Sprintf("version-%d", i))
+	}
+	st := l.Stats()
+	if st.Compactions == 0 {
+		t.Fatalf("50 supersedes of one key never compacted (dead=%d total=%d)", st.DeadBytes, st.TotalBytes)
+	}
+	if v, ok := l.Get(k); !ok || v != "version-49" {
+		t.Fatalf("Get after compaction = %q, %v", v, ok)
+	}
+
+	// A forced compaction (the snapshot path) leaves zero dead bytes and a
+	// file of exactly the live records.
+	l.Put(k, "final")
+	if err := l.Compact(); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	st = l.Stats()
+	if st.DeadBytes != 0 || st.TotalBytes != st.LiveBytes {
+		t.Fatalf("after forced compaction: dead=%d total=%d live=%d", st.DeadBytes, st.TotalBytes, st.LiveBytes)
+	}
+
+	// The compacted log is a valid snapshot: a fresh scan restores it.
+	dir := l.Dir()
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	l2 := openTestLog(t, Options{Dir: dir})
+	if v, ok := l2.Get(k); !ok || v != "final" {
+		t.Fatalf("Get after compact+restart = %q, %v", v, ok)
+	}
+	l2.Close()
+}
+
+// TestCompactionPreservesRecency: restart after compaction must evict in
+// the same LRU order as before it.
+func TestCompactionPreservesRecency(t *testing.T) {
+	dir := t.TempDir()
+	l := openTestLog(t, Options{Dir: dir})
+	for i := 0; i < 4; i++ {
+		l.Put(storetest.Key(fmt.Sprintf("k%d", i)), fmt.Sprintf("v%d", i))
+	}
+	l.Get(storetest.Key("k0")) // k0 becomes most recent; k1 is now LRU
+	if err := l.Compact(); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	l2 := openTestLog(t, Options{Dir: dir, Capacity: 3})
+	if _, ok := l2.Get(storetest.Key("k1")); ok {
+		t.Fatal("capacity 3 restart kept k1, which was LRU at compaction time")
+	}
+	if _, ok := l2.Get(storetest.Key("k0")); !ok {
+		t.Fatal("capacity 3 restart dropped k0, which was MRU at compaction time")
+	}
+	l2.Close()
+}
+
+func TestWriteBehindPromotion(t *testing.T) {
+	back := openTestLog(t, Options{})
+	wb := NewWriteBehind[string](plancache.NewMemStore[string](1), back, 16)
+	defer wb.Close()
+
+	wb.Put(storetest.Key("k1"), "v1")
+	wb.Put(storetest.Key("k2"), "v2") // displaces k1 from the 1-entry front
+	if !wb.Flush() {
+		t.Fatal("Flush on an open store returned false")
+	}
+	if v, ok := wb.Get(storetest.Key("k1")); !ok || v != "v1" {
+		t.Fatalf("memory-evicted k1: Get = %q, %v; want the disk copy", v, ok)
+	}
+	promotions, dropped, enqueued, _ := wb.Stats()
+	if promotions != 1 {
+		t.Fatalf("promotions = %d, want 1", promotions)
+	}
+	if dropped != 0 || enqueued != 2 {
+		t.Fatalf("dropped = %d, enqueued = %d; want 0, 2", dropped, enqueued)
+	}
+	// The promotion put k1 back in the 1-entry front: the next Get must be
+	// a pure memory hit (promotions stays 1).
+	if _, ok := wb.Get(storetest.Key("k1")); !ok {
+		t.Fatal("promoted k1 not in memory")
+	}
+	if p, _, _, _ := wb.Stats(); p != 1 {
+		t.Fatalf("second Get promoted again: promotions = %d", p)
+	}
+}
+
+// TestWriteBehindDropOnPressure: with the writer stalled and the queue
+// full, Put drops the disk write (counted) instead of blocking the caller.
+func TestWriteBehindDropOnPressure(t *testing.T) {
+	back := openTestLog(t, Options{})
+	gate := make(chan struct{})
+	wb := newWriteBehind[string](plancache.NewMemStore[string](8), back, 1, gate)
+
+	wb.Put(storetest.Key("q1"), "v1") // writer picks this up and stalls on the gate
+	for {                             // wait for the writer to hold q1, emptying the queue
+		if _, _, _, depth := wb.Stats(); depth == 0 {
+			break
+		}
+		runtime.Gosched()
+	}
+	wb.Put(storetest.Key("q2"), "v2") // sits in the 1-slot queue
+	wb.Put(storetest.Key("q3"), "v3") // queue full: dropped
+
+	// The dropped write never reaches disk, but the caller still sees it:
+	// it stayed in the front store.
+	if v, ok := wb.Get(storetest.Key("q3")); !ok || v != "v3" {
+		t.Fatalf("dropped write lost from memory: Get = %q, %v", v, ok)
+	}
+	_, dropped, _, _ := wb.Stats()
+	if dropped < 1 {
+		t.Fatalf("dropped = %d, want >= 1", dropped)
+	}
+	close(gate)
+	wb.Flush()
+	if _, ok := back.Get(storetest.Key("q3")); ok {
+		t.Fatal("dropped write reached disk anyway")
+	}
+	if _, ok := back.Get(storetest.Key("q2")); !ok {
+		t.Fatal("queued write q2 never reached disk")
+	}
+	if err := wb.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+func TestWriteBehindCloseIdempotent(t *testing.T) {
+	back := openTestLog(t, Options{})
+	wb := NewWriteBehind[string](plancache.NewMemStore[string](8), back, 4)
+	wb.Put(storetest.Key("a"), "v")
+	if err := wb.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := wb.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if wb.Flush() {
+		t.Fatal("Flush on a closed store returned true")
+	}
+	// Put after Close must not panic (send on closed channel): the write
+	// is simply not persisted.
+	wb.Put(storetest.Key("b"), "v2")
+}
+
+func TestParseFsyncPolicy(t *testing.T) {
+	for in, want := range map[string]FsyncPolicy{"always": FsyncAlways, "batch": FsyncBatch, "never": FsyncNever} {
+		got, err := ParseFsyncPolicy(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseFsyncPolicy(%q) = %v, %v", in, got, err)
+		}
+		if got.String() != in {
+			t.Fatalf("String() = %q, want %q", got.String(), in)
+		}
+	}
+	if _, err := ParseFsyncPolicy("sometimes"); err == nil {
+		t.Fatal("ParseFsyncPolicy accepted garbage")
+	}
+}
+
+func TestOpenRejectsBadConfig(t *testing.T) {
+	if _, err := Open[string](Options{}, stringCodec); err == nil {
+		t.Fatal("Open without Dir succeeded")
+	}
+	if _, err := Open[string](Options{Dir: t.TempDir()}, Codec[string]{}); err == nil {
+		t.Fatal("Open without codec funcs succeeded")
+	}
+}
+
+// BenchmarkWarmScan measures the startup scan: an N-record log opened into
+// a fully verified in-memory index. Reported as records/s plus the scan's
+// allocation footprint — the warm-start path a restarted daemon pays
+// before it can serve.
+func BenchmarkWarmScan(b *testing.B) {
+	const records = 2048
+	dir := b.TempDir()
+	l, err := Open[string](Options{Dir: dir}, stringCodec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, 256)
+	for i := range payload {
+		payload[i] = byte('a' + i%26)
+	}
+	for i := 0; i < records; i++ {
+		l.Put(storetest.Key(fmt.Sprintf("bench-%d", i)), string(payload))
+	}
+	if err := l.Close(); err != nil {
+		b.Fatal(err)
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l, err := Open[string](Options{Dir: dir}, stringCodec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if l.Stats().WarmRecords != records {
+			b.Fatalf("warm scan restored %d records", l.Stats().WarmRecords)
+		}
+		l.Close()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(records)*float64(b.N)/b.Elapsed().Seconds(), "records/s")
+}

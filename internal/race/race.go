@@ -1,0 +1,12 @@
+//go:build race
+
+// Package race reports whether the race detector is compiled in, mirroring
+// the runtime's internal/race. The zero-alloc steady-state gates skip under
+// it: the race-mode sync.Pool deliberately drops Puts and misses Gets to
+// shake out races, so "warm pool ⇒ zero allocations" cannot hold. The
+// dedicated alloc gate (ci.sh and the alloc-gate CI job) runs without
+// -race and keeps the assertions armed.
+package race
+
+// Enabled is true when the binary was built with -race.
+const Enabled = true

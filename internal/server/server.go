@@ -68,6 +68,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/plancache"
+	"repro/internal/planstore"
 	"repro/internal/quality"
 )
 
@@ -129,6 +130,13 @@ type Config struct {
 	LogSampleRate float64
 	// LogSampleSeed seeds the deterministic log-sampling draw (default 1).
 	LogSampleSeed uint64
+	// Store configures the persistent plan store (see persist.go): with a
+	// non-empty Store.Dir the plan cache grows a disk-backed second tier —
+	// reads hit the in-memory LRU first, a miss consults the append-only
+	// plan log before the ring/pipeline, and writes are persisted behind a
+	// bounded write-behind queue. A restarted server warm-scans the log
+	// and serves previously computed plans as hits.
+	Store StoreConfig
 	// Quality configures shadow-simulation sampling of served plans (see
 	// internal/quality): at Quality.Rate > 0 a deterministic fraction of
 	// /v1/map responses is re-simulated off the request path and recorded
@@ -173,6 +181,7 @@ func (c *Config) applyDefaults() {
 	}
 	c.Degraded.applyDefaults()
 	c.Repair.applyDefaults()
+	c.Store.applyDefaults()
 }
 
 // RepairConfig controls the incremental re-planning fast-path.
@@ -223,7 +232,9 @@ type Server struct {
 	cluster *cluster.Node
 	sampler *quality.Sampler
 	events  *EventLog
-	logN    atomic.Uint64 // access-log sampling arrival counter
+	planLog *planstore.Log[cachedPlan]         // nil without -store-dir
+	planWB  *planstore.WriteBehind[cachedPlan] // nil without -store-dir
+	logN    atomic.Uint64                      // access-log sampling arrival counter
 
 	reqTotal       *metrics.Counter
 	reqMap         *metrics.Counter
@@ -257,18 +268,51 @@ type Server struct {
 	onJobStart func()
 }
 
-// New builds a Server from the configuration.
+// New builds a Server from the configuration. It panics if the
+// configuration cannot be realized, which only a persistent store that
+// fails to open can cause — callers enabling Store.Dir should prefer
+// NewServer and handle the error.
 func New(cfg Config) *Server {
+	s, err := NewServer(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// NewServer builds a Server from the configuration. The only fallible
+// step is opening the persistent plan store (Store.Dir non-empty): its
+// startup scan tolerates torn and corrupt logs by design, so an error
+// here means the directory itself is unusable.
+func NewServer(cfg Config) (*Server, error) {
 	cfg.applyDefaults()
 	s := &Server{
 		cfg:     cfg,
 		reg:     cfg.Registry,
-		cache:   plancache.New[cachedPlan](cfg.PlanCacheSize),
 		stale:   plancache.NewStaleTier[staleValue](cfg.Degraded.StaleTierSize),
 		sem:     make(chan struct{}, cfg.Workers),
 		adm:     admission{depth: cfg.AdmissionQueueDepth, maxCost: cfg.AdmissionQueueCost},
 		faults:  cfg.Faults,
 		cluster: cfg.Cluster,
+	}
+	if cfg.Store.Dir != "" {
+		log, err := planstore.Open[cachedPlan](planstore.Options{
+			Dir:          cfg.Store.Dir,
+			Capacity:     cfg.Store.Capacity,
+			Schema:       uint32(mapping.PlanSchemaVersion),
+			Fsync:        cfg.Store.Fsync,
+			CompactRatio: cfg.Store.CompactRatio,
+		}, planCodec())
+		if err != nil {
+			return nil, fmt.Errorf("opening plan store: %w", err)
+		}
+		s.planLog = log
+		s.planWB = planstore.NewWriteBehind[cachedPlan](
+			plancache.NewMemStore[cachedPlan](cfg.PlanCacheSize), log, cfg.Store.QueueLen)
+		s.cache = plancache.NewWithStore[cachedPlan](s.planWB)
+		s.registerPlanstoreMetrics()
+	} else {
+		s.cache = plancache.New[cachedPlan](cfg.PlanCacheSize)
 	}
 	s.reqTotal = s.reg.Counter("cachemapd_requests_total", "API requests received")
 	s.reqMap = s.reg.Counter("cachemapd_map_requests_total", "POST /v1/map requests received")
@@ -361,13 +405,19 @@ func New(cfg Config) *Server {
 		"drawn samples shed because the shadow-simulation queue was full",
 		func() float64 { return float64(s.sampler.Counts().Overflow) })
 	registerRuntimeMetrics(s.reg)
-	return s
+	return s, nil
 }
 
 // Close releases the server's background resources: it stops the
-// shadow-simulation sampler worker and waits for it to exit. In-flight
-// HTTP requests are the http.Server's to drain, not Close's.
-func (s *Server) Close() { s.sampler.Close() }
+// shadow-simulation sampler worker, then drains the write-behind queue
+// and closes the plan log (when a persistent store is configured).
+// In-flight HTTP requests are the http.Server's to drain, not Close's.
+func (s *Server) Close() {
+	s.sampler.Close()
+	if s.planWB != nil {
+		s.planWB.Close()
+	}
+}
 
 // onQualityRecord runs on the sampler worker for every completed shadow
 // simulation: it publishes the per-level miss-rate gauges and backfills
@@ -404,6 +454,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /debug/quality", s.handleQuality)
 	mux.HandleFunc("GET /debug/faults", s.handleFaultsGet)
 	mux.HandleFunc("POST /debug/faults", s.handleFaultsSet)
+	mux.HandleFunc("GET /debug/cache/snapshot", s.handleSnapshotGet)
+	mux.HandleFunc("POST /debug/cache/snapshot", s.handleSnapshotPost)
 	return mux
 }
 
